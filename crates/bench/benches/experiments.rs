@@ -1,0 +1,60 @@
+//! Criterion benchmarks of the end-to-end experiment pipelines at
+//! reduced scale: one co-run of the virtualized-testbed engine, one
+//! profiling pass, and one static / dynamic data-center simulation —
+//! the building blocks each table/figure driver repeats.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::OnceLock;
+use tracon_dcsim::arrival::{poisson_trace, static_batch, WorkloadMix};
+use tracon_dcsim::{SchedulerKind, Simulation, Testbed, TestbedConfig};
+use tracon_vmsim::{apps, Engine, HostConfig};
+
+fn testbed() -> &'static Testbed {
+    static TB: OnceLock<Testbed> = OnceLock::new();
+    TB.get_or_init(|| Testbed::build(&TestbedConfig::small()))
+}
+
+fn bench_corun(c: &mut Criterion) {
+    let engine = Engine::new(HostConfig::testbed());
+    let target = apps::Benchmark::Video.model().time_scaled(0.1);
+    let bg = apps::synthetic(0.5, 0.75, 0.5);
+    c.bench_function("vmsim_corun_video_vs_synth", |b| {
+        b.iter(|| engine.co_run(&target, &bg, 7))
+    });
+}
+
+fn bench_profile_pass(c: &mut Criterion) {
+    let engine = Engine::new(HostConfig::testbed());
+    let profiler = tracon_vmsim::Profiler::new(engine);
+    let target = apps::Benchmark::Dedup.model().time_scaled(0.1);
+    let backgrounds: Vec<_> = [0.0f64, 0.5, 1.0]
+        .iter()
+        .map(|&l| apps::synthetic(l, l, l))
+        .collect();
+    c.bench_function("vmsim_profile_3_backgrounds", |b| {
+        b.iter(|| profiler.profile(&target, &backgrounds, 3))
+    });
+}
+
+fn bench_static_simulation(c: &mut Criterion) {
+    let tb = testbed();
+    let trace = static_batch(32, WorkloadMix::Medium, 11);
+    c.bench_function("dcsim_static_mibs_32tasks_16machines", |b| {
+        b.iter(|| Simulation::new(tb, 16, SchedulerKind::Mibs(32)).run(&trace, None))
+    });
+}
+
+fn bench_dynamic_simulation(c: &mut Criterion) {
+    let tb = testbed();
+    let trace = poisson_trace(20.0, 1800.0, WorkloadMix::Medium, 13);
+    c.bench_function("dcsim_dynamic_mibs8_30min_16machines", |b| {
+        b.iter(|| Simulation::new(tb, 16, SchedulerKind::Mibs(8)).run(&trace, Some(1800.0)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_corun, bench_profile_pass, bench_static_simulation, bench_dynamic_simulation
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion microbenchmarks of the interference-model pipeline: basis
+//! expansion, training (WMM / LM / NLM), and single-shot prediction —
+//! the operations the scheduler and the online monitor pay for.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tracon_core::{train_model_scaled, ModelKind, ResponseScale, TrainingData};
+
+fn synthetic_training_data(n: usize, seed: u64) -> TrainingData {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = TrainingData::default();
+    for _ in 0..n {
+        let f: [f64; 8] = std::array::from_fn(|i| {
+            if i == 0 || i == 4 {
+                rng.gen_range(0.0..300.0)
+            } else {
+                rng.gen_range(0.0..1.0)
+            }
+        });
+        let y = 50.0 + 0.2 * f[0] + 0.002 * f[0] * f[4] + 40.0 * f[6] + rng.gen_range(-1.0..1.0);
+        data.push(f, y);
+    }
+    data
+}
+
+fn bench_training(c: &mut Criterion) {
+    let data = synthetic_training_data(125, 7);
+    let mut group = c.benchmark_group("model_training_125pts");
+    for kind in [ModelKind::Wmm, ModelKind::Linear, ModelKind::Nonlinear] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| train_model_scaled(kind, &data, ResponseScale::Linear));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let data = synthetic_training_data(125, 11);
+    let mut group = c.benchmark_group("model_prediction");
+    for kind in [ModelKind::Wmm, ModelKind::Linear, ModelKind::Nonlinear] {
+        let model = train_model_scaled(kind, &data, ResponseScale::Linear);
+        let query = data.features[3];
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &model, |b, m| {
+            b.iter(|| m.predict(&query));
+        });
+    }
+    group.finish();
+}
+
+fn bench_stepwise_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nlm_training_by_sample_size");
+    for &n in &[50usize, 125, 250, 500] {
+        let data = synthetic_training_data(n, n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, d| {
+            b.iter(|| train_model_scaled(ModelKind::Nonlinear, d, ResponseScale::Linear));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_training,
+    bench_prediction,
+    bench_stepwise_scaling
+);
+criterion_main!(benches);

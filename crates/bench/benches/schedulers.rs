@@ -1,0 +1,119 @@
+//! Criterion microbenchmarks of the schedulers: batch scheduling cost of
+//! FIFO / MIOS / MIBS / MIX across cluster sizes — the overhead trade-off
+//! the paper discusses (MIOS cheapest, MIX most expensive).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, VecDeque};
+use tracon_core::characteristics::N_JOINT;
+use tracon_core::{
+    AppModelSet, AppProfile, Characteristics, ClusterState, Fifo, InterferenceModel, Mibs, Mios,
+    Mix, ModelKind, Objective, Predictor, Scheduler, ScoringPolicy, Task,
+};
+
+/// A cheap synthetic model (product interference) so the benchmark
+/// measures scheduler logic rather than model evaluation.
+struct ProductModel;
+impl InterferenceModel for ProductModel {
+    fn predict(&self, f: &[f64; N_JOINT]) -> f64 {
+        100.0 + 0.01 * f[0] * f[4] + 50.0 * f[2] * f[6]
+    }
+    fn kind(&self) -> ModelKind {
+        ModelKind::Nonlinear
+    }
+    fn n_terms(&self) -> usize {
+        2
+    }
+}
+
+fn synthetic_world(n_apps: usize) -> (Predictor, HashMap<String, Characteristics>) {
+    let mut predictor = Predictor::new();
+    let mut chars = HashMap::new();
+    for i in 0..n_apps {
+        let name = format!("app{i}");
+        let c = Characteristics::new(
+            30.0 * (i as f64 + 1.0),
+            5.0 * i as f64,
+            0.1 + 0.1 * i as f64,
+            0.01 * (i as f64 + 1.0),
+        );
+        predictor.add_app(
+            AppProfile {
+                name: name.clone(),
+                solo: c,
+                solo_runtime: 100.0,
+                solo_iops: c.total_rps(),
+            },
+            AppModelSet {
+                runtime: Box::new(ProductModel),
+                iops: Box::new(ProductModel),
+            },
+        );
+        chars.insert(name, c);
+    }
+    (predictor, chars)
+}
+
+fn batch(n: usize, n_apps: usize, seed: u64) -> VecDeque<Task> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| Task::new(i as u64, format!("app{}", rng.gen_range(0..n_apps))))
+        .collect()
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let (predictor, chars) = synthetic_world(8);
+    let mut group = c.benchmark_group("schedule_batch_32_tasks_16_machines");
+    #[allow(clippy::type_complexity)]
+    let schedulers: Vec<(&str, Box<dyn Fn() -> Box<dyn Scheduler>>)> = vec![
+        ("FIFO", Box::new(|| Box::new(Fifo))),
+        ("MIOS", Box::new(|| Box::new(Mios))),
+        ("MIBS", Box::new(|| Box::new(Mibs::new(32)))),
+        ("MIX", Box::new(|| Box::new(Mix::new(32)))),
+    ];
+    for (name, make) in &schedulers {
+        group.bench_function(*name, |b| {
+            b.iter_batched(
+                || {
+                    (
+                        make(),
+                        batch(32, 8, 5),
+                        ClusterState::new(16, 2, chars.clone()),
+                        ScoringPolicy::new(&predictor, Objective::MinRuntime),
+                    )
+                },
+                |(mut s, mut q, mut cl, sc)| s.schedule(&mut q, &mut cl, &sc),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_cluster_scaling(c: &mut Criterion) {
+    // MIBS cost must stay flat as the cluster grows (the neighbour-class
+    // index makes scheduling O(window x classes), not O(window x VMs)).
+    let (predictor, chars) = synthetic_world(8);
+    let mut group = c.benchmark_group("mibs8_one_batch_by_cluster_size");
+    for &machines in &[16usize, 128, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(machines), &machines, |b, &m| {
+            b.iter_batched(
+                || {
+                    (
+                        Mibs::new(8),
+                        batch(8, 8, 9),
+                        ClusterState::new(m, 2, chars.clone()),
+                        ScoringPolicy::new(&predictor, Objective::MinRuntime),
+                    )
+                },
+                |(mut s, mut q, mut cl, sc)| s.schedule(&mut q, &mut cl, &sc),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_cluster_scaling);
+criterion_main!(benches);

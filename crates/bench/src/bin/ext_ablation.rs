@@ -1,0 +1,12 @@
+//! Ablation: what each MIBS design decision contributes (DESIGN.md §5).
+use tracon_dcsim::experiments::ext_ablation;
+
+fn main() {
+    let opts = tracon_bench::parse_args();
+    let cfg = tracon_bench::config(opts);
+    let tb = tracon_bench::build_testbed(&cfg);
+    let fig = tracon_bench::timed("ext_ablation", || {
+        ext_ablation::run(&tb, cfg.repetitions * 3, cfg.seed)
+    });
+    fig.print();
+}

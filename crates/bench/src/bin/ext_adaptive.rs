@@ -1,0 +1,14 @@
+//! Extension: the full TRACON control loop — the monitor's realized
+//! observations retrain the prediction models while the data center runs.
+use tracon_dcsim::experiments::ext_adaptive;
+
+fn main() {
+    let opts = tracon_bench::parse_args();
+    let cfg = if opts.quick {
+        ext_adaptive::ExtAdaptiveConfig::small()
+    } else {
+        ext_adaptive::ExtAdaptiveConfig::full()
+    };
+    let fig = tracon_bench::timed("ext_adaptive", || ext_adaptive::run(&cfg));
+    fig.print();
+}

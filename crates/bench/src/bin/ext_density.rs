@@ -1,0 +1,10 @@
+//! Extension: consolidation density beyond two VMs per machine, and
+//! validation of the dominant-neighbour replay approximation.
+use tracon_dcsim::experiments::ext_density;
+
+fn main() {
+    let opts = tracon_bench::parse_args();
+    let time_scale = if opts.quick { 0.1 } else { 0.25 };
+    let fig = tracon_bench::timed("ext_density", || ext_density::run(time_scale, 7));
+    fig.print();
+}

@@ -1,0 +1,10 @@
+//! Extension: interference across storage device types (the paper's
+//! Section 5 future work — RAID, SSD, network storage).
+use tracon_dcsim::experiments::ext_storage;
+
+fn main() {
+    let opts = tracon_bench::parse_args();
+    let time_scale = if opts.quick { 0.1 } else { 0.25 };
+    let fig = tracon_bench::timed("ext_storage", || ext_storage::run(time_scale, 7));
+    fig.print();
+}

@@ -1,0 +1,22 @@
+//! Regenerates Fig 11: scheduler scalability across cluster sizes.
+use tracon_dcsim::experiments::fig11;
+
+fn main() {
+    let opts = tracon_bench::parse_args();
+    let cfg = tracon_bench::config(opts);
+    let tb = tracon_bench::build_testbed(&cfg);
+    let machines = tracon_bench::machine_counts(opts);
+    let reps = if opts.quick { 1 } else { 3 };
+    let fig = tracon_bench::timed("fig11", || {
+        fig11::run(&tb, &machines, fig11::LAMBDA, reps, cfg.seed)
+    });
+    fig.print();
+    if !opts.quick {
+        let point = tracon_bench::timed("fig11 (10k machines)", || fig11::run_10k(&tb, cfg.seed));
+        println!(
+            "10,000 machines at lambda x10: MIBS_8 normalized throughput {:.3}",
+            point.normalized_throughput.mean
+        );
+    }
+    println!("\npaper shape: MIBS_8 close to MIX_8, MIOS least improvement");
+}

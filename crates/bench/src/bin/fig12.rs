@@ -1,0 +1,15 @@
+//! Regenerates Fig 12: MIBS queue lengths across cluster sizes.
+use tracon_dcsim::experiments::{fig11, fig12};
+
+fn main() {
+    let opts = tracon_bench::parse_args();
+    let cfg = tracon_bench::config(opts);
+    let tb = tracon_bench::build_testbed(&cfg);
+    let machines = tracon_bench::machine_counts(opts);
+    let reps = if opts.quick { 1 } else { 3 };
+    let fig = tracon_bench::timed("fig12", || {
+        fig12::run(&tb, &machines, fig11::LAMBDA, reps, cfg.seed)
+    });
+    fig.print();
+    println!("\npaper shape: longer queue sustains higher normalized throughput across sizes");
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig 3: model prediction errors (runtime and IOPS).
+use tracon_dcsim::experiments::fig3;
+
+fn main() {
+    let opts = tracon_bench::parse_args();
+    let cfg = tracon_bench::config(opts);
+    let tb = tracon_bench::build_testbed(&cfg);
+    let fig = tracon_bench::timed("fig3", || fig3::run(&tb));
+    fig.print();
+    println!("\npaper shape: NLM ~10%, LM/WMM >= 20%, NLM w/o Dom0 ~2x NLM");
+}

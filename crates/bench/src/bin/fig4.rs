@@ -1,0 +1,11 @@
+//! Regenerates Fig 4: MIBS scheduling with WMM / LM / NLM models.
+use tracon_dcsim::experiments::fig4;
+
+fn main() {
+    let opts = tracon_bench::parse_args();
+    let cfg = tracon_bench::config(opts);
+    let tb = tracon_bench::build_testbed(&cfg);
+    let fig = tracon_bench::timed("fig4", || fig4::run(&tb, cfg.repetitions * 3, cfg.seed));
+    fig.print();
+    println!("\npaper shape: NLM best on both Speedup and IOBoost");
+}

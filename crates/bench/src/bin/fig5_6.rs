@@ -1,0 +1,12 @@
+//! Regenerates Figs 5 and 6: NLM predicted extremes vs measured.
+use tracon_dcsim::experiments::fig5_6;
+
+fn main() {
+    let opts = tracon_bench::parse_args();
+    let cfg = tracon_bench::config(opts);
+    let tb = tracon_bench::build_testbed(&cfg);
+    let fig = tracon_bench::timed("fig5_6", || fig5_6::run(&tb));
+    fig.print();
+    println!("\npaper shape: predicted min runtime ~ measured min, never above avg;");
+    println!("             predicted max IOPS close to measured max");
+}

@@ -1,0 +1,18 @@
+//! Regenerates Fig 7: online model learning across a storage change.
+use tracon_dcsim::experiments::fig7;
+
+fn main() {
+    let opts = tracon_bench::parse_args();
+    let cfg = if opts.quick {
+        fig7::Fig7Config {
+            initial_points: 200,
+            stream_points: 200,
+            ..fig7::Fig7Config::full()
+        }
+    } else {
+        fig7::Fig7Config::full()
+    };
+    let fig = tracon_bench::timed("fig7", || fig7::run(&cfg));
+    fig.print();
+    println!("\npaper: runtime error 12% -> 160%, IOPS 12% -> 83%, back to ~10% after rebuilds");
+}

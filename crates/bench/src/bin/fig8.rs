@@ -1,0 +1,14 @@
+//! Regenerates Fig 8: static-workload speedups across cluster sizes.
+use tracon_dcsim::experiments::fig8;
+
+fn main() {
+    let opts = tracon_bench::parse_args();
+    let cfg = tracon_bench::config(opts);
+    let tb = tracon_bench::build_testbed(&cfg);
+    let machines = tracon_bench::machine_counts(opts);
+    let fig = tracon_bench::timed("fig8", || {
+        fig8::run(&tb, &machines, cfg.repetitions, cfg.seed)
+    });
+    fig.print();
+    println!("\npaper shape: medium best (>40%), light ~30%, heavy limited");
+}

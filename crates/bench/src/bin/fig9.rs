@@ -1,0 +1,17 @@
+//! Regenerates Fig 9: dynamic normalized throughput vs arrival rate.
+use tracon_dcsim::experiments::fig9;
+
+fn main() {
+    let opts = tracon_bench::parse_args();
+    let cfg = tracon_bench::config(opts);
+    let tb = tracon_bench::build_testbed(&cfg);
+    let lambdas = tracon_bench::lambdas(opts);
+    let reps = if opts.quick { 2 } else { 3 };
+    let fig = tracon_bench::timed("fig9", || {
+        fig9::run(&tb, &lambdas, fig9::MACHINES, reps, cfg.seed)
+    });
+    fig.print();
+    println!(
+        "\npaper shape: ~1 at low lambda; MIX_8 >= MIBS_8 > MIOS as lambda grows; medium best"
+    );
+}

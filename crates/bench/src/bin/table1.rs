@@ -1,0 +1,11 @@
+//! Regenerates Table 1: normalized App1 runtime under App2 interference.
+use tracon_dcsim::experiments::table1;
+use tracon_vmsim::HostConfig;
+
+fn main() {
+    let _ = tracon_bench::parse_args();
+    let t = tracon_bench::timed("table1", || table1::run(HostConfig::testbed(), 1));
+    t.print();
+    println!("\npaper: Calc    1.96 / 1.26 / 1.77 / 2.52");
+    println!("paper: SeqRead 1.03 / 10.23 / 1.78 / 16.11");
+}

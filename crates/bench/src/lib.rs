@@ -1,0 +1,86 @@
+//! # tracon-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! TRACON paper. Each `src/bin/<experiment>.rs` binary builds the
+//! full-fidelity testbed (profiling campaign + model training + pair
+//! matrix), runs one experiment driver from `tracon_dcsim::experiments`,
+//! and prints the same rows/series the paper reports:
+//!
+//! ```text
+//! cargo run --release -p tracon-bench --bin table1
+//! cargo run --release -p tracon-bench --bin fig3
+//! ...
+//! cargo run --release -p tracon-bench --bin all      # everything
+//! ```
+//!
+//! Pass `--quick` to any binary for a reduced sweep (fewer repetitions
+//! and smaller machine counts). The `benches/` directory holds criterion
+//! microbenchmarks of the core algorithms (model training, prediction,
+//! scheduling) exercised by those experiments.
+
+use std::time::Instant;
+use tracon_dcsim::experiments::ExperimentConfig;
+use tracon_dcsim::Testbed;
+
+/// Command-line options shared by the experiment binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Reduced sweep for quick runs.
+    pub quick: bool,
+}
+
+/// Parses the (tiny) shared command line.
+pub fn parse_args() -> Options {
+    let quick = std::env::args().any(|a| a == "--quick" || a == "-q");
+    Options { quick }
+}
+
+/// The experiment configuration for the chosen mode.
+pub fn config(opts: Options) -> ExperimentConfig {
+    if opts.quick {
+        let mut cfg = ExperimentConfig::full();
+        cfg.repetitions = 3;
+        cfg.testbed.calibration_points = 45;
+        cfg
+    } else {
+        ExperimentConfig::full()
+    }
+}
+
+/// Builds the testbed, reporting the build time.
+pub fn build_testbed(cfg: &ExperimentConfig) -> Testbed {
+    eprintln!(
+        "building testbed: {} calibration workloads, time scale {} ...",
+        cfg.testbed.calibration_points, cfg.testbed.time_scale
+    );
+    let t0 = Instant::now();
+    let tb = Testbed::build(&cfg.testbed);
+    eprintln!("testbed ready in {:.1?}", t0.elapsed());
+    tb
+}
+
+/// Machine-count sweep for the scalability figures.
+pub fn machine_counts(opts: Options) -> Vec<usize> {
+    if opts.quick {
+        vec![8, 32, 128]
+    } else {
+        vec![8, 16, 32, 64, 128, 256, 512, 1024]
+    }
+}
+
+/// λ sweep for the dynamic figures (tasks/minute).
+pub fn lambdas(opts: Options) -> Vec<f64> {
+    if opts.quick {
+        vec![10.0, 40.0, 80.0]
+    } else {
+        vec![5.0, 10.0, 20.0, 40.0, 60.0, 80.0, 100.0]
+    }
+}
+
+/// Times a closure and prints the elapsed wall clock to stderr.
+pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
+    let t0 = Instant::now();
+    let out = f();
+    eprintln!("{label} finished in {:.1?}", t0.elapsed());
+    out
+}

@@ -1,0 +1,134 @@
+//! Minimal command-line argument parsing: `--key value` pairs and
+//! `--flag` switches after a subcommand. No external dependencies.
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus its options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first non-flag argument), if any.
+    pub command: Option<String>,
+    /// `--key value` options.
+    pub options: HashMap<String, String>,
+    /// Bare `--flag` switches.
+    pub flags: Vec<String>,
+}
+
+/// Parses an argument list (without the program name).
+///
+/// Grammar: the first bare word is the subcommand; `--key value` binds the
+/// next word unless it also starts with `--`, in which case `--key` is a
+/// flag. Later duplicates overwrite earlier ones.
+pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Args {
+    let mut args = Args::default();
+    let mut iter = argv.into_iter().peekable();
+    while let Some(a) = iter.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            match iter.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    let v = iter.next().expect("peeked");
+                    args.options.insert(key.to_string(), v);
+                }
+                _ => args.flags.push(key.to_string()),
+            }
+        } else if args.command.is_none() {
+            args.command = Some(a);
+        } else {
+            // Positional arguments beyond the subcommand are collected as
+            // a comma-joined "args" option for subcommands that want them.
+            args.options
+                .entry("args".to_string())
+                .and_modify(|e| {
+                    e.push(',');
+                    e.push_str(&a);
+                })
+                .or_insert(a);
+        }
+    }
+    args
+}
+
+impl Args {
+    /// String option with a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.options.get(key).map(|s| s.as_str()).unwrap_or(default)
+    }
+
+    /// Required string option.
+    ///
+    /// # Errors
+    /// Returns a usage message when missing.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.options
+            .get(key)
+            .map(|s| s.as_str())
+            .ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// Parsed numeric option with a default.
+    ///
+    /// # Errors
+    /// Returns a message when the value does not parse.
+    pub fn num_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse::<T>()
+                .map_err(|_| format!("option --{key}: cannot parse '{v}'")),
+        }
+    }
+
+    /// Whether a bare flag is present.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_str(s: &str) -> Args {
+        parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_subcommand_options_and_flags() {
+        let a = parse_str("simulate --machines 64 --lambda 40.5 --quick --mix medium");
+        assert_eq!(a.command.as_deref(), Some("simulate"));
+        assert_eq!(a.get_or("machines", "0"), "64");
+        assert_eq!(a.num_or::<f64>("lambda", 0.0).unwrap(), 40.5);
+        assert_eq!(a.get_or("mix", "light"), "medium");
+        assert!(a.flag("quick"));
+        assert!(!a.flag("nope"));
+    }
+
+    #[test]
+    fn flag_followed_by_flag() {
+        let a = parse_str("profile --quick --verbose");
+        assert!(a.flag("quick") && a.flag("verbose"));
+        assert!(a.options.is_empty());
+    }
+
+    #[test]
+    fn positional_args_collected() {
+        let a = parse_str("schedule video dedup email");
+        assert_eq!(a.command.as_deref(), Some("schedule"));
+        assert_eq!(a.get_or("args", ""), "video,dedup,email");
+    }
+
+    #[test]
+    fn require_and_defaults() {
+        let a = parse_str("predict --app dedup");
+        assert_eq!(a.require("app").unwrap(), "dedup");
+        assert!(a.require("neighbor").is_err());
+        assert_eq!(a.num_or::<usize>("machines", 16).unwrap(), 16);
+        assert!(a.num_or::<usize>("app", 1).is_err());
+    }
+
+    #[test]
+    fn empty_input() {
+        let a = parse_str("");
+        assert!(a.command.is_none());
+    }
+}

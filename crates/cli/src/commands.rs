@@ -1,0 +1,464 @@
+//! CLI subcommand implementations. Each returns `Ok(output)` to print or
+//! `Err(message)` for usage/runtime errors, so the logic is unit-testable
+//! without spawning processes.
+
+use crate::args::Args;
+use std::fmt::Write as _;
+use tracon_core::{Characteristics, ModelKind, Objective};
+use tracon_dcsim::arrival::{poisson_trace, WorkloadMix};
+use tracon_dcsim::{SchedulerKind, Simulation, Testbed, TestbedConfig};
+use tracon_vmsim::{Benchmark, HostConfig};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+tracon — interference-aware scheduling for data-intensive applications (SC'11)
+
+USAGE:
+  tracon <command> [options]
+
+COMMANDS:
+  profile    Run the profiling campaign and save a testbed snapshot
+             --out FILE [--points N=125] [--time-scale F=0.25] [--seed N]
+  inspect    Print a snapshot's pair-interference matrix and solo stats
+             --testbed FILE
+  predict    Predict runtime/IOPS of an app next to a neighbour
+             --testbed FILE --app NAME [--neighbor NAME] [--model wmm|lm|nlm]
+  schedule   Schedule a task list onto a cluster and show the placements
+             --testbed FILE --tasks a,b,c --machines N
+             [--scheduler fifo|mios|mibs|mix] [--objective rt|io]
+  simulate   Run a dynamic data-center simulation
+             --testbed FILE --machines N --lambda TASKS/MIN [--hours H=10]
+             [--mix light|medium|heavy|uniform] [--scheduler ...] [--seed N]
+  table1     Reproduce the paper's motivating interference table
+  apps       List the benchmark suite
+  help       Show this message
+";
+
+fn model_kind(name: &str) -> Result<ModelKind, String> {
+    match name {
+        "wmm" => Ok(ModelKind::Wmm),
+        "lm" => Ok(ModelKind::Linear),
+        "nlm" => Ok(ModelKind::Nonlinear),
+        other => Err(format!("unknown model '{other}' (wmm, lm, nlm)")),
+    }
+}
+
+fn scheduler_kind(name: &str, window: usize) -> Result<SchedulerKind, String> {
+    match name {
+        "fifo" => Ok(SchedulerKind::Fifo),
+        "mios" => Ok(SchedulerKind::Mios),
+        "mibs" => Ok(SchedulerKind::Mibs(window)),
+        "mix" => Ok(SchedulerKind::Mix(window)),
+        other => Err(format!(
+            "unknown scheduler '{other}' (fifo, mios, mibs, mix)"
+        )),
+    }
+}
+
+fn mix(name: &str) -> Result<WorkloadMix, String> {
+    match name {
+        "light" => Ok(WorkloadMix::Light),
+        "medium" => Ok(WorkloadMix::Medium),
+        "heavy" => Ok(WorkloadMix::Heavy),
+        "uniform" => Ok(WorkloadMix::Uniform),
+        other => Err(format!(
+            "unknown mix '{other}' (light, medium, heavy, uniform)"
+        )),
+    }
+}
+
+fn objective(name: &str) -> Result<Objective, String> {
+    match name {
+        "rt" => Ok(Objective::MinRuntime),
+        "io" => Ok(Objective::MaxIops),
+        other => Err(format!("unknown objective '{other}' (rt, io)")),
+    }
+}
+
+fn load_testbed(args: &Args) -> Result<Testbed, String> {
+    let path = args.require("testbed")?;
+    let json =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read testbed '{path}': {e}"))?;
+    let kind = model_kind(args.get_or("model", "nlm"))?;
+    Testbed::from_snapshot_json(&json, kind)
+}
+
+/// `tracon profile`
+pub fn profile(args: &Args) -> Result<String, String> {
+    let out_path = args.require("out")?;
+    let points: usize = args.num_or("points", 125)?;
+    let time_scale: f64 = args.num_or("time-scale", 0.25)?;
+    let seed: u64 = args.num_or("seed", 0x7EAC0)?;
+    if time_scale <= 0.0 {
+        return Err("--time-scale must be positive".into());
+    }
+    let cfg = TestbedConfig {
+        host: HostConfig::testbed(),
+        time_scale,
+        model_kind: ModelKind::Nonlinear,
+        calibration_points: points,
+        seed,
+    };
+    eprintln!("profiling 8 benchmarks against {points} calibration workloads ...");
+    let tb = Testbed::build(&cfg);
+    std::fs::write(out_path, tb.snapshot_json())
+        .map_err(|e| format!("cannot write '{out_path}': {e}"))?;
+    Ok(format!(
+        "saved testbed snapshot to {out_path} ({} apps, {} profile records)",
+        tb.perf.n_apps(),
+        tb.profiles.iter().map(|p| p.records.len()).sum::<usize>()
+    ))
+}
+
+/// `tracon inspect`
+pub fn inspect(args: &Args) -> Result<String, String> {
+    let tb = load_testbed(args)?;
+    let mut out = String::new();
+    writeln!(out, "applications ({}):", tb.perf.n_apps()).unwrap();
+    writeln!(
+        out,
+        "{:10} {:>10} {:>10} {:>8} {:>8} {:>8}",
+        "name", "runtime(s)", "IOPS", "reads/s", "writes/s", "cpu"
+    )
+    .unwrap();
+    for (i, name) in tb.perf.names.iter().enumerate() {
+        let c = tb.app_chars[name];
+        writeln!(
+            out,
+            "{:10} {:>10.1} {:>10.1} {:>8.1} {:>8.1} {:>8.2}",
+            name,
+            tb.perf.solo_runtime(i),
+            tb.perf.solo_iops(i),
+            c.read_rps,
+            c.write_rps,
+            c.cpu_util
+        )
+        .unwrap();
+    }
+    writeln!(out, "\npair slowdowns (row app next to column app):").unwrap();
+    write!(out, "{:10}", "").unwrap();
+    for name in &tb.perf.names {
+        write!(out, " {:>8}", &name[..name.len().min(8)]).unwrap();
+    }
+    writeln!(out).unwrap();
+    for (a, name) in tb.perf.names.iter().enumerate() {
+        write!(out, "{name:10}").unwrap();
+        for b in 0..tb.perf.n_apps() {
+            write!(out, " {:>8.2}", tb.perf.slowdown(a, b)).unwrap();
+        }
+        writeln!(out).unwrap();
+    }
+    Ok(out)
+}
+
+/// `tracon predict`
+pub fn predict(args: &Args) -> Result<String, String> {
+    let tb = load_testbed(args)?;
+    let app = args.require("app")?;
+    if !tb.predictor.knows(app) {
+        return Err(format!("unknown application '{app}' (see `tracon apps`)"));
+    }
+    let mut out = String::new();
+    match args.options.get("neighbor") {
+        Some(nb) => {
+            if !tb.predictor.knows(nb) {
+                return Err(format!("unknown neighbour '{nb}'"));
+            }
+            let rt = tb.predictor.predict_pair_runtime(app, nb);
+            let io = tb.predictor.predict_pair_iops(app, nb);
+            let solo_rt = tb.predictor.profile(app).solo_runtime;
+            writeln!(
+                out,
+                "{app} next to {nb}: runtime {rt:.1} s ({:.2}x solo), IOPS {io:.1}",
+                rt / solo_rt
+            )
+            .unwrap();
+        }
+        None => {
+            writeln!(out, "predicted runtime of {app} next to each neighbour:").unwrap();
+            let idle = Characteristics::idle();
+            writeln!(
+                out,
+                "  {:10} {:>10.1} s (idle)",
+                "-",
+                tb.predictor.predict_runtime(app, &idle)
+            )
+            .unwrap();
+            for nb in tb.perf.names.clone() {
+                let rt = tb.predictor.predict_pair_runtime(app, &nb);
+                writeln!(out, "  {nb:10} {rt:>10.1} s").unwrap();
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `tracon schedule`
+pub fn schedule(args: &Args) -> Result<String, String> {
+    let tb = load_testbed(args)?;
+    let machines: usize = args.num_or("machines", 4)?;
+    if machines == 0 {
+        return Err("--machines must be positive".into());
+    }
+    let tasks_arg = args
+        .options
+        .get("tasks")
+        .cloned()
+        .or_else(|| args.options.get("args").cloned())
+        .ok_or("missing --tasks a,b,c")?;
+    let names: Vec<&str> = tasks_arg.split(',').filter(|s| !s.is_empty()).collect();
+    if names.is_empty() {
+        return Err("empty task list".into());
+    }
+    for n in &names {
+        if !tb.predictor.knows(n) {
+            return Err(format!("unknown application '{n}' (see `tracon apps`)"));
+        }
+    }
+    let kind = scheduler_kind(args.get_or("scheduler", "mibs"), names.len())?;
+    let obj = objective(args.get_or("objective", "rt"))?;
+
+    use std::collections::VecDeque;
+    use tracon_core::{ClusterState, ScoringPolicy, Task};
+    let scoring = ScoringPolicy::new(&tb.predictor, obj);
+    let mut cluster = ClusterState::new(machines, 2, tb.app_chars.clone());
+    let mut queue: VecDeque<Task> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| Task::new(i as u64, n.to_string()))
+        .collect();
+    let mut scheduler = kind.build();
+    let assignments = scheduler.schedule(&mut queue, &mut cluster, &scoring);
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{} placed {} of {} tasks:",
+        scheduler.name(),
+        assignments.len(),
+        names.len()
+    )
+    .unwrap();
+    let mut per_machine: Vec<Vec<String>> = vec![Vec::new(); machines];
+    for a in &assignments {
+        per_machine[a.vm.machine].push(a.task.app.clone());
+    }
+    for (m, apps) in per_machine.iter().enumerate() {
+        if !apps.is_empty() {
+            writeln!(out, "  machine {m:3}: {}", apps.join(" + ")).unwrap();
+        }
+    }
+    if !queue.is_empty() {
+        let left: Vec<&str> = queue.iter().map(|t| t.app.as_str()).collect();
+        writeln!(out, "  queued (cluster full): {}", left.join(", ")).unwrap();
+    }
+    Ok(out)
+}
+
+/// `tracon simulate`
+pub fn simulate(args: &Args) -> Result<String, String> {
+    let tb = load_testbed(args)?;
+    let machines: usize = args.num_or("machines", 64)?;
+    let lambda: f64 = args.num_or("lambda", 40.0)?;
+    let hours: f64 = args.num_or("hours", 10.0)?;
+    let seed: u64 = args.num_or("seed", 42)?;
+    if machines == 0 || lambda <= 0.0 || hours <= 0.0 {
+        return Err("--machines, --lambda, and --hours must be positive".into());
+    }
+    let window: usize = args.num_or("window", 8)?;
+    let kind = scheduler_kind(args.get_or("scheduler", "mibs"), window)?;
+    let obj = objective(args.get_or("objective", "rt"))?;
+    let workload = mix(args.get_or("mix", "medium"))?;
+
+    let horizon = hours * 3600.0;
+    let trace = poisson_trace(lambda, horizon, workload, seed);
+    let fifo = Simulation::new(&tb, machines, SchedulerKind::Fifo).run(&trace, Some(horizon));
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{} machines, {} mix, lambda {lambda}/min, {hours} h, {} arrivals",
+        machines,
+        workload.name(),
+        trace.len()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  {:10} completed {:6}  mean wait {:7.0} s",
+        "FIFO", fifo.completed, fifo.mean_wait
+    )
+    .unwrap();
+    // `--compare` runs every scheduler; otherwise just the chosen one.
+    let kinds: Vec<SchedulerKind> = if args.flag("compare") {
+        vec![
+            SchedulerKind::Mios,
+            SchedulerKind::Mibs(window),
+            SchedulerKind::Mix(window),
+        ]
+    } else {
+        vec![kind]
+    };
+    for k in kinds {
+        let r = Simulation::new(&tb, machines, k)
+            .with_objective(obj)
+            .run(&trace, Some(horizon));
+        writeln!(
+            out,
+            "  {:10} completed {:6}  mean wait {:7.0} s  (normalized throughput {:.3})",
+            r.scheduler,
+            r.completed,
+            r.mean_wait,
+            r.completed as f64 / fifo.completed.max(1) as f64
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
+/// `tracon table1`
+pub fn table1(_args: &Args) -> Result<String, String> {
+    use tracon_dcsim::experiments::table1;
+    let t = table1::run(HostConfig::testbed(), 1);
+    let mut out = String::new();
+    writeln!(out, "normalized App1 runtime under App2 interference:").unwrap();
+    write!(out, "{:10}", "App1\\App2").unwrap();
+    for c in t.columns {
+        write!(out, " {c:>14}").unwrap();
+    }
+    writeln!(out).unwrap();
+    for row in &t.rows {
+        write!(out, "{:10}", row.app1).unwrap();
+        for v in row.cells {
+            write!(out, " {v:14.2}").unwrap();
+        }
+        writeln!(out).unwrap();
+    }
+    Ok(out)
+}
+
+/// `tracon apps`
+pub fn apps(_args: &Args) -> Result<String, String> {
+    let mut out = String::new();
+    writeln!(out, "benchmark suite (Table 3 of the paper):").unwrap();
+    for b in Benchmark::ALL {
+        let m = b.model();
+        writeln!(
+            out,
+            "  {:10} rank {}  nominal runtime {:>5.0} s  nominal IOPS {:>5.0}",
+            b.name(),
+            b.io_rank(),
+            m.nominal_runtime(),
+            m.nominal_iops()
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
+/// Dispatches a parsed command line.
+pub fn run(args: &Args) -> Result<String, String> {
+    match args.command.as_deref() {
+        Some("profile") => profile(args),
+        Some("inspect") => inspect(args),
+        Some("predict") => predict(args),
+        Some("schedule") => schedule(args),
+        Some("simulate") => simulate(args),
+        Some("table1") => table1(args),
+        Some("apps") => apps(args),
+        Some("help") | None => Ok(USAGE.to_string()),
+        Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn parse_str(s: &str) -> Args {
+        parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn help_and_unknown_command() {
+        assert!(run(&parse_str("help")).unwrap().contains("USAGE"));
+        assert!(run(&parse_str("")).unwrap().contains("USAGE"));
+        let err = run(&parse_str("frobnicate")).unwrap_err();
+        assert!(err.contains("unknown command"));
+    }
+
+    #[test]
+    fn apps_lists_all_eight() {
+        let out = apps(&parse_str("apps")).unwrap();
+        for b in Benchmark::ALL {
+            assert!(out.contains(b.name()), "missing {}", b.name());
+        }
+    }
+
+    #[test]
+    fn parser_helpers_reject_garbage() {
+        assert!(model_kind("nlm").is_ok());
+        assert!(model_kind("resnet").is_err());
+        assert!(scheduler_kind("mibs", 8).is_ok());
+        assert!(scheduler_kind("sjf", 8).is_err());
+        assert!(mix("heavy").is_ok());
+        assert!(mix("spicy").is_err());
+        assert!(objective("io").is_ok());
+        assert!(objective("latency").is_err());
+    }
+
+    #[test]
+    fn predict_requires_testbed() {
+        let err = predict(&parse_str("predict --app dedup")).unwrap_err();
+        assert!(err.contains("testbed"), "{err}");
+    }
+
+    #[test]
+    fn simulate_validates_numbers() {
+        let err =
+            simulate(&parse_str("simulate --testbed /nonexistent --machines 64")).unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
+    }
+
+    #[test]
+    fn table1_runs() {
+        let out = table1(&parse_str("table1")).unwrap();
+        assert!(out.contains("SeqRead"));
+        assert!(out.contains("Calc"));
+    }
+
+    #[test]
+    fn end_to_end_profile_inspect_predict_schedule() {
+        // A tiny campaign written to a temp file, then consumed by the
+        // other subcommands.
+        let dir = std::env::temp_dir().join(format!("tracon-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tb.json");
+        let path_s = path.to_str().unwrap().to_string();
+
+        let out = profile(&parse_str(&format!(
+            "profile --out {path_s} --points 6 --time-scale 0.05 --seed 1"
+        )))
+        .unwrap();
+        assert!(out.contains("saved testbed snapshot"), "{out}");
+
+        let out = inspect(&parse_str(&format!("inspect --testbed {path_s}"))).unwrap();
+        assert!(out.contains("pair slowdowns"));
+        assert!(out.contains("video"));
+
+        let out = predict(&parse_str(&format!(
+            "predict --testbed {path_s} --app dedup --neighbor video"
+        )))
+        .unwrap();
+        assert!(out.contains("dedup next to video"), "{out}");
+
+        let out = schedule(&parse_str(&format!(
+            "schedule --testbed {path_s} --tasks video,email,dedup,web --machines 2"
+        )))
+        .unwrap();
+        assert!(out.contains("placed 4 of 4"), "{out}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

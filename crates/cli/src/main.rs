@@ -1,0 +1,18 @@
+//! `tracon` — the command-line interface to the TRACON reproduction:
+//! profile a virtualized testbed, inspect the measured interference,
+//! query the prediction models, schedule task batches, and run dynamic
+//! data-center simulations. Run `tracon help` for usage.
+
+mod args;
+mod commands;
+
+fn main() {
+    let parsed = args::parse(std::env::args().skip(1));
+    match commands::run(&parsed) {
+        Ok(output) => print!("{output}"),
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    }
+}

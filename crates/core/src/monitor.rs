@@ -1,0 +1,312 @@
+//! The task & resource monitor's model-adaptation loop (paper Sections 3
+//! and 4.6).
+//!
+//! TRACON tracks the prediction error of the deployed interference model.
+//! When the environment changes (the paper's example: the same host
+//! switched from local disks to iSCSI storage), errors surge; the monitor
+//! detects the drift (mean shift / variance surge), gradually replaces
+//! the oldest training data with fresh observations, and rebuilds the
+//! model every `rebuild_every` new data points (160 in the paper).
+
+use crate::characteristics::N_JOINT;
+use crate::model::{
+    relative_error, training::train_model_scaled, InterferenceModel, ModelKind, ResponseScale,
+    TrainingData,
+};
+use std::collections::VecDeque;
+use tracon_stats::{DriftDetector, DriftKind, SlidingWindow};
+
+/// Configuration of the adaptive model.
+#[derive(Debug, Clone, Copy)]
+pub struct MonitorConfig {
+    /// Capacity of the rolling training window (paper: 500 initial points).
+    pub window_capacity: usize,
+    /// Rebuild the model after this many new observations (paper: 160).
+    pub rebuild_every: usize,
+    /// Size of the recent-error window the drift detector inspects.
+    pub drift_window: usize,
+    /// Mean-shift threshold in reference standard deviations.
+    pub mean_threshold: f64,
+    /// Variance-surge multiplier.
+    pub var_threshold: f64,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            window_capacity: 500,
+            rebuild_every: 160,
+            drift_window: 40,
+            mean_threshold: 3.0,
+            var_threshold: 6.0,
+        }
+    }
+}
+
+/// Outcome of feeding one observation to the adaptive model.
+#[derive(Debug, Clone, Copy)]
+pub struct ObserveOutcome {
+    /// The model's prediction for the observation.
+    pub predicted: f64,
+    /// Relative prediction error against the actual response.
+    pub error: f64,
+    /// Drift detected on the recent error window, if any.
+    pub drift: Option<DriftKind>,
+    /// Whether this observation triggered a model rebuild.
+    pub rebuilt: bool,
+}
+
+/// An interference model that adapts online as the monitor streams in new
+/// observations.
+pub struct AdaptiveModel {
+    kind: ModelKind,
+    scale: ResponseScale,
+    cfg: MonitorConfig,
+    window: VecDeque<([f64; N_JOINT], f64)>,
+    model: Box<dyn InterferenceModel>,
+    new_since_rebuild: usize,
+    rebuilds: usize,
+    recent_errors: SlidingWindow,
+    detector: DriftDetector,
+    error_history: Vec<f64>,
+    drift_events: Vec<(usize, DriftKind)>,
+}
+
+impl AdaptiveModel {
+    /// Trains the initial model on `initial` data and calibrates the
+    /// drift detector on the initial model's training-set errors.
+    ///
+    /// # Panics
+    /// Panics when `initial` is empty or the config is degenerate.
+    pub fn new(kind: ModelKind, initial: &TrainingData, cfg: MonitorConfig) -> Self {
+        Self::new_scaled(kind, ResponseScale::Linear, initial, cfg)
+    }
+
+    /// Like [`AdaptiveModel::new`] but fitting on the given response
+    /// scale (use [`ResponseScale::Reciprocal`] for IOPS models).
+    pub fn new_scaled(
+        kind: ModelKind,
+        scale: ResponseScale,
+        initial: &TrainingData,
+        cfg: MonitorConfig,
+    ) -> Self {
+        assert!(!initial.is_empty(), "adaptive model needs initial data");
+        assert!(cfg.rebuild_every >= 1 && cfg.window_capacity >= 1);
+        let model = train_model_scaled(kind, initial, scale);
+        let reference_errors: Vec<f64> = initial
+            .features
+            .iter()
+            .zip(&initial.responses)
+            .map(|(f, &y)| relative_error(model.predict(f), y))
+            .collect();
+        let detector =
+            DriftDetector::from_reference(&reference_errors, cfg.mean_threshold, cfg.var_threshold);
+        let mut window = VecDeque::with_capacity(cfg.window_capacity);
+        // Seed the rolling window with (the tail of) the initial data.
+        let skip = initial.len().saturating_sub(cfg.window_capacity);
+        for (f, &y) in initial.features.iter().zip(&initial.responses).skip(skip) {
+            window.push_back((*f, y));
+        }
+        AdaptiveModel {
+            kind,
+            scale,
+            cfg,
+            window,
+            model,
+            new_since_rebuild: 0,
+            rebuilds: 0,
+            recent_errors: SlidingWindow::new(cfg.drift_window),
+            detector,
+            error_history: Vec::new(),
+            drift_events: Vec::new(),
+        }
+    }
+
+    /// Predicts a response without recording anything.
+    pub fn predict(&self, features: &[f64; N_JOINT]) -> f64 {
+        self.model.predict(features)
+    }
+
+    /// Feeds one observation: records the prediction error, replaces the
+    /// oldest window entry, and rebuilds the model when `rebuild_every`
+    /// new observations have accumulated.
+    pub fn observe(&mut self, features: [f64; N_JOINT], actual: f64) -> ObserveOutcome {
+        let predicted = self.model.predict(&features);
+        let error = relative_error(predicted, actual);
+        self.error_history.push(error);
+        self.recent_errors.push(error);
+
+        let drift = if self.recent_errors.is_full() {
+            self.detector.check(&self.recent_errors.to_vec())
+        } else {
+            None
+        };
+        if let Some(kind) = drift {
+            self.drift_events.push((self.error_history.len() - 1, kind));
+        }
+
+        // Gradually replace the old training data with the new.
+        if self.window.len() >= self.cfg.window_capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back((features, actual));
+        self.new_since_rebuild += 1;
+
+        let mut rebuilt = false;
+        if self.new_since_rebuild >= self.cfg.rebuild_every {
+            self.rebuild();
+            rebuilt = true;
+        }
+
+        ObserveOutcome {
+            predicted,
+            error,
+            drift,
+            rebuilt,
+        }
+    }
+
+    /// Forces an immediate rebuild on the current window.
+    pub fn rebuild(&mut self) {
+        let mut data = TrainingData::default();
+        for (f, y) in &self.window {
+            data.push(*f, *y);
+        }
+        self.model = train_model_scaled(self.kind, &data, self.scale);
+        self.new_since_rebuild = 0;
+        self.rebuilds += 1;
+    }
+
+    /// Number of rebuilds performed so far.
+    pub fn rebuilds(&self) -> usize {
+        self.rebuilds
+    }
+
+    /// All recorded per-observation relative errors, oldest first.
+    pub fn error_history(&self) -> &[f64] {
+        &self.error_history
+    }
+
+    /// Recorded drift events as `(observation index, kind)`.
+    pub fn drift_events(&self) -> &[(usize, DriftKind)] {
+        &self.drift_events
+    }
+
+    /// Model family in use.
+    pub fn kind(&self) -> ModelKind {
+        self.kind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Environment A: y = 10 + 20 x0 x4. Environment B (drifted):
+    /// y = 40 + 60 x0 x4 — same structure, very different scale.
+    fn gen(rng: &mut StdRng, env_b: bool) -> ([f64; 8], f64) {
+        let f: [f64; 8] = std::array::from_fn(|_| rng.gen_range(0.0..1.0));
+        let y = if env_b {
+            40.0 + 60.0 * f[0] * f[4] + rng.gen_range(-0.5..0.5)
+        } else {
+            10.0 + 20.0 * f[0] * f[4] + rng.gen_range(-0.5..0.5)
+        };
+        (f, y)
+    }
+
+    fn initial_data(n: usize, seed: u64) -> TrainingData {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut d = TrainingData::default();
+        for _ in 0..n {
+            let (f, y) = gen(&mut rng, false);
+            d.push(f, y);
+        }
+        d
+    }
+
+    fn cfg() -> MonitorConfig {
+        MonitorConfig {
+            window_capacity: 300,
+            rebuild_every: 80,
+            ..MonitorConfig::default()
+        }
+    }
+
+    #[test]
+    fn stable_environment_keeps_low_error() {
+        let mut am = AdaptiveModel::new(ModelKind::Nonlinear, &initial_data(300, 1), cfg());
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut errors = Vec::new();
+        for _ in 0..100 {
+            let (f, y) = gen(&mut rng, false);
+            errors.push(am.observe(f, y).error);
+        }
+        let mean = tracon_stats::mean(&errors);
+        assert!(mean < 0.1, "mean error in stable env = {mean}");
+    }
+
+    #[test]
+    fn detects_drift_and_recovers() {
+        let mut am = AdaptiveModel::new(ModelKind::Nonlinear, &initial_data(300, 3), cfg());
+        let mut rng = StdRng::seed_from_u64(4);
+        // Switch the environment: errors surge.
+        let mut early = Vec::new();
+        for _ in 0..60 {
+            let (f, y) = gen(&mut rng, true);
+            early.push(am.observe(f, y).error);
+        }
+        assert!(
+            tracon_stats::mean(&early) > 0.3,
+            "no surge: {}",
+            tracon_stats::mean(&early)
+        );
+        assert!(!am.drift_events().is_empty(), "drift not detected");
+
+        // Keep streaming: after several rebuilds the window is mostly new
+        // data and the error returns to the pre-drift level.
+        for _ in 0..500 {
+            let (f, y) = gen(&mut rng, true);
+            am.observe(f, y);
+        }
+        assert!(am.rebuilds() >= 4, "rebuilds = {}", am.rebuilds());
+        let mut late = Vec::new();
+        for _ in 0..80 {
+            let (f, y) = gen(&mut rng, true);
+            late.push(am.observe(f, y).error);
+        }
+        let late_mean = tracon_stats::mean(&late);
+        assert!(
+            late_mean < 0.1,
+            "did not recover: late mean error = {late_mean}"
+        );
+    }
+
+    #[test]
+    fn rebuild_counter_follows_interval() {
+        let mut am = AdaptiveModel::new(ModelKind::Linear, &initial_data(200, 5), cfg());
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut rebuild_points = Vec::new();
+        for i in 0..240 {
+            let (f, y) = gen(&mut rng, false);
+            if am.observe(f, y).rebuilt {
+                rebuild_points.push(i);
+            }
+        }
+        assert_eq!(rebuild_points, vec![79, 159, 239]);
+        assert_eq!(am.rebuilds(), 3);
+    }
+
+    #[test]
+    fn error_history_grows_monotonically() {
+        let mut am = AdaptiveModel::new(ModelKind::Wmm, &initial_data(100, 7), cfg());
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..10 {
+            let (f, y) = gen(&mut rng, false);
+            am.observe(f, y);
+        }
+        assert_eq!(am.error_history().len(), 10);
+        assert_eq!(am.kind(), ModelKind::Wmm);
+    }
+}

@@ -1,0 +1,326 @@
+//! The prediction module the schedulers query (paper Fig 2): given a
+//! candidate task and the observed state of a VM's co-located neighbour,
+//! predict the task's runtime or IOPS from the per-application
+//! interference models.
+
+use crate::characteristics::{joint_features, Characteristics};
+use crate::model::InterferenceModel;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// The stored profile of an application (built by the profiling campaign).
+#[derive(Debug, Clone)]
+pub struct AppProfile {
+    /// Application name.
+    pub name: String,
+    /// Characteristics measured when running alone.
+    pub solo: Characteristics,
+    /// Runtime when running alone, seconds.
+    pub solo_runtime: f64,
+    /// IOPS when running alone.
+    pub solo_iops: f64,
+}
+
+/// Runtime and IOPS models for one application.
+pub struct AppModelSet {
+    /// Predicts the application's runtime from joint characteristics.
+    pub runtime: Box<dyn InterferenceModel>,
+    /// Predicts the application's IOPS from joint characteristics.
+    pub iops: Box<dyn InterferenceModel>,
+}
+
+/// The prediction module: per-application profiles and trained models.
+#[derive(Default)]
+pub struct Predictor {
+    profiles: HashMap<String, AppProfile>,
+    models: HashMap<String, AppModelSet>,
+}
+
+impl Predictor {
+    /// Creates an empty predictor.
+    pub fn new() -> Self {
+        Predictor::default()
+    }
+
+    /// Registers an application's profile and trained models.
+    pub fn add_app(&mut self, profile: AppProfile, models: AppModelSet) {
+        let name = profile.name.clone();
+        self.profiles.insert(name.clone(), profile);
+        self.models.insert(name, models);
+    }
+
+    /// Names of the registered applications.
+    pub fn app_names(&self) -> Vec<&str> {
+        self.profiles.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// The stored profile of an application.
+    ///
+    /// # Panics
+    /// Panics when the application is unknown.
+    pub fn profile(&self, app: &str) -> &AppProfile {
+        self.profiles
+            .get(app)
+            .unwrap_or_else(|| panic!("unknown application '{app}'"))
+    }
+
+    /// Whether an application has been registered.
+    pub fn knows(&self, app: &str) -> bool {
+        self.profiles.contains_key(app)
+    }
+
+    /// Predicted runtime of `app` when its VM's neighbour exhibits the
+    /// given characteristics. Predictions are clamped to
+    /// `[solo, 30 x solo]`: interference can only slow an application
+    /// down, and the clamp bounds the damage of extrapolation outside the
+    /// profiled region (the worst slowdown the paper measures is ~16x).
+    pub fn predict_runtime(&self, app: &str, background: &Characteristics) -> f64 {
+        let p = self.profile(app);
+        let m = &self.models[app];
+        let y = m.runtime.predict(&joint_features(&p.solo, background));
+        let floor = p.solo_runtime.max(1e-6);
+        y.clamp(floor, 30.0 * floor)
+    }
+
+    /// Predicted IOPS of `app` under the given neighbour characteristics,
+    /// clamped to `[0, solo_iops]`.
+    pub fn predict_iops(&self, app: &str, background: &Characteristics) -> f64 {
+        let p = self.profile(app);
+        let m = &self.models[app];
+        let y = m.iops.predict(&joint_features(&p.solo, background));
+        y.clamp(0.0, p.solo_iops.max(1e-6))
+    }
+
+    /// Predicted runtime of `app` when co-located with `other` (using the
+    /// other application's solo profile as the background) — the pairing
+    /// score MIBS uses to pick its second candidate.
+    pub fn predict_pair_runtime(&self, app: &str, other: &str) -> f64 {
+        let bg = self.profile(other).solo;
+        self.predict_runtime(app, &bg)
+    }
+
+    /// Predicted IOPS of `app` when co-located with `other`.
+    pub fn predict_pair_iops(&self, app: &str, other: &str) -> f64 {
+        let bg = self.profile(other).solo;
+        self.predict_iops(app, &bg)
+    }
+}
+
+/// The optimization goal of a scheduler (paper Section 4.4: MIBS_RT
+/// minimizes total runtime, MIBS_IO maximizes total IOPS).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Objective {
+    /// Minimize total runtime.
+    MinRuntime,
+    /// Maximize total I/O throughput.
+    MaxIops,
+}
+
+impl Objective {
+    /// Display suffix matching the paper (RT / IO).
+    pub fn suffix(&self) -> &'static str {
+        match self {
+            Objective::MinRuntime => "RT",
+            Objective::MaxIops => "IO",
+        }
+    }
+}
+
+/// A scoring facade over the predictor: lower scores are better under
+/// either objective. Scores are memoized by `(application, neighbour
+/// class)` so large-cluster scheduling stays cheap — with 8 applications
+/// and at most 9 neighbour classes there are only 72 distinct queries.
+pub struct ScoringPolicy<'a> {
+    predictor: &'a Predictor,
+    /// The goal this policy optimizes.
+    pub objective: Objective,
+    cache: RefCell<HashMap<(String, String), f64>>,
+}
+
+impl<'a> ScoringPolicy<'a> {
+    /// Creates a scoring policy for the given objective.
+    pub fn new(predictor: &'a Predictor, objective: Objective) -> Self {
+        ScoringPolicy {
+            predictor,
+            objective,
+            cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The underlying predictor.
+    pub fn predictor(&self) -> &Predictor {
+        self.predictor
+    }
+
+    /// Score of placing `app` on a VM whose neighbour class is
+    /// `neighbor_key` with the given observed characteristics. Lower is
+    /// better. `neighbor_key` must uniquely identify `background` (it is
+    /// the cache key); pass the neighbour application's name, or "" for
+    /// an idle neighbour.
+    pub fn score(&self, app: &str, neighbor_key: &str, background: &Characteristics) -> f64 {
+        let key = (app.to_string(), neighbor_key.to_string());
+        if let Some(&v) = self.cache.borrow().get(&key) {
+            return v;
+        }
+        let v = match self.objective {
+            Objective::MinRuntime => self.predictor.predict_runtime(app, background),
+            Objective::MaxIops => -self.predictor.predict_iops(app, background),
+        };
+        self.cache.borrow_mut().insert(key, v);
+        v
+    }
+
+    /// Pairwise *interference* score of co-locating `app` with `other`
+    /// (the first "Min" of the Min-Min heuristic): the predicted combined
+    /// cost of the pairing **in excess of running the two applications
+    /// apart** — predicted mutual runtime inflation under `MinRuntime`,
+    /// combined IOPS loss under `MaxIops`. Scoring the excess (rather
+    /// than the absolute runtime) is what "least interference with
+    /// candidate 1" means: a short task is not a good partner merely for
+    /// being short.
+    pub fn pair_score(&self, app: &str, other: &str) -> f64 {
+        match self.objective {
+            Objective::MinRuntime => {
+                let a = self.predictor.predict_pair_runtime(app, other)
+                    - self.predictor.profile(app).solo_runtime;
+                let b = self.predictor.predict_pair_runtime(other, app)
+                    - self.predictor.profile(other).solo_runtime;
+                a + b
+            }
+            Objective::MaxIops => {
+                let a = self.predictor.profile(app).solo_iops
+                    - self.predictor.predict_pair_iops(app, other);
+                let b = self.predictor.profile(other).solo_iops
+                    - self.predictor.predict_pair_iops(other, app);
+                a + b
+            }
+        }
+    }
+
+    /// Score of placing `app` on an idle machine (its best case).
+    pub fn solo_score(&self, app: &str) -> f64 {
+        self.score(app, "", &Characteristics::idle())
+    }
+
+    /// Interference *excess* of a placement: how much worse this slot is
+    /// for `app` than an idle machine (always >= 0 up to model noise).
+    /// This is the "score" the Min-Min pairing minimizes — using the
+    /// absolute score instead would make short tasks look like good fits
+    /// for every slot.
+    pub fn excess_score(&self, app: &str, neighbor_key: &str, background: &Characteristics) -> f64 {
+        self.score(app, neighbor_key, background) - self.solo_score(app)
+    }
+
+    /// Number of memoized scores (diagnostics).
+    pub fn cache_len(&self) -> usize {
+        self.cache.borrow().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characteristics::N_JOINT;
+    use crate::model::{InterferenceModel, ModelKind};
+
+    /// A stub model: runtime grows with the background's total request
+    /// rate; IOPS shrinks with it.
+    struct StubRuntime;
+    impl InterferenceModel for StubRuntime {
+        fn predict(&self, f: &[f64; N_JOINT]) -> f64 {
+            100.0 + f[4] + f[5]
+        }
+        fn kind(&self) -> ModelKind {
+            ModelKind::Linear
+        }
+        fn n_terms(&self) -> usize {
+            2
+        }
+    }
+    struct StubIops;
+    impl InterferenceModel for StubIops {
+        fn predict(&self, f: &[f64; N_JOINT]) -> f64 {
+            200.0 - 0.5 * (f[4] + f[5])
+        }
+        fn kind(&self) -> ModelKind {
+            ModelKind::Linear
+        }
+        fn n_terms(&self) -> usize {
+            2
+        }
+    }
+
+    fn predictor() -> Predictor {
+        let mut p = Predictor::new();
+        for (name, reads) in [("app_a", 50.0), ("app_b", 150.0)] {
+            p.add_app(
+                AppProfile {
+                    name: name.to_string(),
+                    solo: Characteristics::new(reads, 10.0, 0.5, 0.05),
+                    solo_runtime: 100.0,
+                    solo_iops: 200.0,
+                },
+                AppModelSet {
+                    runtime: Box::new(StubRuntime),
+                    iops: Box::new(StubIops),
+                },
+            );
+        }
+        p
+    }
+
+    #[test]
+    fn predictions_respond_to_background() {
+        let p = predictor();
+        let idle = Characteristics::idle();
+        let busy = Characteristics::new(300.0, 100.0, 0.9, 0.2);
+        assert!(p.predict_runtime("app_a", &busy) > p.predict_runtime("app_a", &idle));
+        assert!(p.predict_iops("app_a", &busy) < p.predict_iops("app_a", &idle));
+    }
+
+    #[test]
+    fn iops_clamped_to_solo() {
+        let p = predictor();
+        let idle = Characteristics::idle();
+        assert!(p.predict_iops("app_a", &idle) <= 200.0);
+    }
+
+    #[test]
+    fn pair_prediction_uses_other_profile() {
+        let p = predictor();
+        // app_b's profile has higher reads, so pairing with it predicts a
+        // longer runtime than pairing with app_a.
+        let with_a = p.predict_pair_runtime("app_a", "app_a");
+        let with_b = p.predict_pair_runtime("app_a", "app_b");
+        assert!(with_b > with_a);
+    }
+
+    #[test]
+    fn scoring_policy_objectives() {
+        let p = predictor();
+        let rt = ScoringPolicy::new(&p, Objective::MinRuntime);
+        let io = ScoringPolicy::new(&p, Objective::MaxIops);
+        let idle = Characteristics::idle();
+        let busy = Characteristics::new(300.0, 100.0, 0.9, 0.2);
+        // Lower is better under both objectives.
+        assert!(rt.score("app_a", "idle", &idle) < rt.score("app_a", "busy", &busy));
+        assert!(io.score("app_a", "idle", &idle) < io.score("app_a", "busy", &busy));
+    }
+
+    #[test]
+    fn scores_are_cached_by_key() {
+        let p = predictor();
+        let rt = ScoringPolicy::new(&p, Objective::MinRuntime);
+        let idle = Characteristics::idle();
+        rt.score("app_a", "idle", &idle);
+        rt.score("app_a", "idle", &idle);
+        rt.score("app_b", "idle", &idle);
+        assert_eq!(rt.cache_len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown application")]
+    fn unknown_app_panics() {
+        predictor().profile("nope");
+    }
+}

@@ -1,0 +1,480 @@
+//! The scheduler's view of the data center: machines with a fixed number
+//! of VM slots, each slot either free or holding a resident application.
+//!
+//! Free slots are indexed by their *neighbour class* — the (sorted) set of
+//! applications resident on the same machine. With 8 applications and two
+//! slots per machine there are only 9 classes (idle + one per app), so
+//! schedulers scan classes instead of individual VMs and scheduling cost
+//! is independent of cluster size.
+
+use crate::characteristics::Characteristics;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// A virtual machine slot: machine index and slot index within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VmRef {
+    /// Physical machine index.
+    pub machine: usize,
+    /// Slot index on the machine.
+    pub slot: usize,
+}
+
+/// A task resident in a slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resident {
+    /// The scheduler-visible task id.
+    pub task_id: u64,
+    /// The application the task runs.
+    pub app: String,
+}
+
+/// One free-slot class: slots whose machine hosts the same multiset of
+/// neighbour applications.
+#[derive(Debug, Clone)]
+pub struct FreeClass {
+    /// Class key: neighbour app names joined by `+`, or "" when the rest
+    /// of the machine is idle.
+    pub key: String,
+    /// Aggregate characteristics of the neighbours (idle = zeros).
+    pub background: Characteristics,
+    /// A representative free slot of this class.
+    pub example: VmRef,
+    /// How many free slots belong to the class.
+    pub count: usize,
+}
+
+/// The cluster state schedulers operate on.
+#[derive(Debug, Clone)]
+pub struct ClusterState {
+    slots_per_machine: usize,
+    machines: Vec<Vec<Option<Resident>>>,
+    /// Canonical observed characteristics per application (what the task &
+    /// resource monitor reports for a steadily-running instance).
+    app_chars: HashMap<String, Characteristics>,
+    /// Free slots grouped by neighbour-class key.
+    free: BTreeMap<String, BTreeSet<VmRef>>,
+}
+
+impl ClusterState {
+    /// Creates an empty cluster of `n_machines` with `slots_per_machine`
+    /// VMs each, using `app_chars` as the monitor's per-application
+    /// characteristics.
+    ///
+    /// # Panics
+    /// Panics when sizes are zero.
+    pub fn new(
+        n_machines: usize,
+        slots_per_machine: usize,
+        app_chars: HashMap<String, Characteristics>,
+    ) -> Self {
+        assert!(n_machines > 0 && slots_per_machine > 0, "empty cluster");
+        let machines = vec![vec![None; slots_per_machine]; n_machines];
+        let mut state = ClusterState {
+            slots_per_machine,
+            machines,
+            app_chars,
+            free: BTreeMap::new(),
+        };
+        for m in 0..n_machines {
+            for s in 0..slots_per_machine {
+                state.free.entry(String::new()).or_default().insert(VmRef {
+                    machine: m,
+                    slot: s,
+                });
+            }
+        }
+        state
+    }
+
+    /// Number of machines.
+    pub fn n_machines(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Slots per machine.
+    pub fn slots_per_machine(&self) -> usize {
+        self.slots_per_machine
+    }
+
+    /// Total number of VM slots.
+    pub fn n_slots(&self) -> usize {
+        self.machines.len() * self.slots_per_machine
+    }
+
+    /// Number of free slots.
+    pub fn n_free(&self) -> usize {
+        self.free.values().map(|s| s.len()).sum()
+    }
+
+    /// The resident of a slot, if any.
+    pub fn resident(&self, vm: VmRef) -> Option<&Resident> {
+        self.machines[vm.machine][vm.slot].as_ref()
+    }
+
+    /// The class key of a free slot on `machine`: neighbour apps sorted
+    /// and joined with `+` ("" when all neighbours are idle).
+    fn class_key(&self, machine: usize, slot: usize) -> String {
+        let mut names: Vec<&str> = self.machines[machine]
+            .iter()
+            .enumerate()
+            .filter(|(s, r)| *s != slot && r.is_some())
+            .map(|(_, r)| r.as_ref().unwrap().app.as_str())
+            .collect();
+        names.sort_unstable();
+        names.join("+")
+    }
+
+    /// Aggregate neighbour characteristics of a slot.
+    pub fn background_of(&self, vm: VmRef) -> Characteristics {
+        let mut bg = Characteristics::idle();
+        for (s, r) in self.machines[vm.machine].iter().enumerate() {
+            if s == vm.slot {
+                continue;
+            }
+            if let Some(res) = r {
+                let c = self
+                    .app_chars
+                    .get(&res.app)
+                    .copied()
+                    .unwrap_or_else(Characteristics::idle);
+                bg = bg.combine(&c);
+            }
+        }
+        bg
+    }
+
+    /// The free-slot classes currently available (deterministic order).
+    pub fn free_classes(&self) -> Vec<FreeClass> {
+        self.free
+            .iter()
+            .filter(|(_, slots)| !slots.is_empty())
+            .map(|(key, slots)| {
+                let example = *slots.iter().next().unwrap();
+                FreeClass {
+                    key: key.clone(),
+                    background: self.background_of(example),
+                    example,
+                    count: slots.len(),
+                }
+            })
+            .collect()
+    }
+
+    /// Whether any machine is entirely free (all slots idle). Cheap: the
+    /// idle neighbour class is keyed by the empty string.
+    pub fn has_idle_machine(&self) -> bool {
+        self.free.get("").is_some_and(|set| !set.is_empty())
+    }
+
+    /// First free slot in deterministic order, if any (FIFO placement).
+    pub fn first_free(&self) -> Option<VmRef> {
+        self.free.values().flat_map(|s| s.iter()).min().copied()
+    }
+
+    fn remove_free(&mut self, vm: VmRef) {
+        let key = self.class_key(vm.machine, vm.slot);
+        if let Some(set) = self.free.get_mut(&key) {
+            set.remove(&vm);
+            if set.is_empty() {
+                self.free.remove(&key);
+            }
+        }
+    }
+
+    fn add_free(&mut self, vm: VmRef) {
+        let key = self.class_key(vm.machine, vm.slot);
+        self.free.entry(key).or_default().insert(vm);
+    }
+
+    /// Re-indexes every free sibling slot of `machine` (their class keys
+    /// change when a resident arrives or departs).
+    fn reindex_machine(&mut self, machine: usize, changed_slot: usize) {
+        for s in 0..self.slots_per_machine {
+            if s == changed_slot {
+                continue;
+            }
+            let vm = VmRef { machine, slot: s };
+            if self.machines[machine][s].is_none() {
+                // Remove from whatever class set currently holds it, then
+                // re-add under the fresh key.
+                for set in self.free.values_mut() {
+                    set.remove(&vm);
+                }
+                self.free.retain(|_, set| !set.is_empty());
+                self.add_free(vm);
+            }
+        }
+    }
+
+    /// Places a resident into a free slot.
+    ///
+    /// # Panics
+    /// Panics when the slot is occupied.
+    pub fn place(&mut self, vm: VmRef, resident: Resident) {
+        assert!(
+            self.machines[vm.machine][vm.slot].is_none(),
+            "slot {vm:?} already occupied"
+        );
+        self.remove_free(vm);
+        self.machines[vm.machine][vm.slot] = Some(resident);
+        self.reindex_machine(vm.machine, vm.slot);
+    }
+
+    /// Clears a slot (task completion), returning the departing resident.
+    ///
+    /// # Panics
+    /// Panics when the slot is already free.
+    pub fn clear(&mut self, vm: VmRef) -> Resident {
+        let resident = self.machines[vm.machine][vm.slot]
+            .take()
+            .unwrap_or_else(|| panic!("slot {vm:?} already free"));
+        self.add_free(vm);
+        self.reindex_machine(vm.machine, vm.slot);
+        resident
+    }
+
+    /// Looks up the canonical characteristics of an application.
+    pub fn app_chars(&self, app: &str) -> Characteristics {
+        self.app_chars
+            .get(app)
+            .copied()
+            .unwrap_or_else(Characteristics::idle)
+    }
+
+    /// Iterates over all occupied slots.
+    pub fn occupied(&self) -> impl Iterator<Item = (VmRef, &Resident)> {
+        self.machines.iter().enumerate().flat_map(|(m, slots)| {
+            slots.iter().enumerate().filter_map(move |(s, r)| {
+                r.as_ref().map(|res| {
+                    (
+                        VmRef {
+                            machine: m,
+                            slot: s,
+                        },
+                        res,
+                    )
+                })
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chars(rps: f64) -> Characteristics {
+        Characteristics::new(rps, 0.0, 0.5, 0.05)
+    }
+
+    fn cluster() -> ClusterState {
+        let mut app_chars = HashMap::new();
+        app_chars.insert("a".to_string(), chars(100.0));
+        app_chars.insert("b".to_string(), chars(200.0));
+        ClusterState::new(3, 2, app_chars)
+    }
+
+    #[test]
+    fn fresh_cluster_is_all_idle_class() {
+        let c = cluster();
+        assert_eq!(c.n_free(), 6);
+        let classes = c.free_classes();
+        assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0].key, "");
+        assert_eq!(classes[0].count, 6);
+        assert_eq!(classes[0].background, Characteristics::idle());
+    }
+
+    #[test]
+    fn placing_creates_neighbour_class() {
+        let mut c = cluster();
+        c.place(
+            VmRef {
+                machine: 0,
+                slot: 0,
+            },
+            Resident {
+                task_id: 1,
+                app: "a".into(),
+            },
+        );
+        assert_eq!(c.n_free(), 5);
+        let classes = c.free_classes();
+        // Classes: idle (4 slots on machines 1,2) and "a" (slot 0.1).
+        assert_eq!(classes.len(), 2);
+        let a_class = classes.iter().find(|cl| cl.key == "a").unwrap();
+        assert_eq!(a_class.count, 1);
+        assert_eq!(
+            a_class.example,
+            VmRef {
+                machine: 0,
+                slot: 1
+            }
+        );
+        assert_eq!(a_class.background.read_rps, 100.0);
+    }
+
+    #[test]
+    fn clearing_restores_idle_class() {
+        let mut c = cluster();
+        let vm = VmRef {
+            machine: 0,
+            slot: 0,
+        };
+        c.place(
+            vm,
+            Resident {
+                task_id: 1,
+                app: "a".into(),
+            },
+        );
+        let departed = c.clear(vm);
+        assert_eq!(departed.app, "a");
+        assert_eq!(c.n_free(), 6);
+        assert_eq!(c.free_classes().len(), 1);
+    }
+
+    #[test]
+    fn sibling_placement_updates_class() {
+        let mut c = cluster();
+        c.place(
+            VmRef {
+                machine: 1,
+                slot: 0,
+            },
+            Resident {
+                task_id: 1,
+                app: "a".into(),
+            },
+        );
+        c.place(
+            VmRef {
+                machine: 1,
+                slot: 1,
+            },
+            Resident {
+                task_id: 2,
+                app: "b".into(),
+            },
+        );
+        // Machine 1 full; only idle slots remain.
+        let classes = c.free_classes();
+        assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0].key, "");
+        assert_eq!(classes[0].count, 4);
+        // Clearing slot 0 exposes a free slot whose neighbour is b.
+        c.clear(VmRef {
+            machine: 1,
+            slot: 0,
+        });
+        let classes = c.free_classes();
+        let b_class = classes.iter().find(|cl| cl.key == "b").unwrap();
+        assert_eq!(b_class.background.read_rps, 200.0);
+    }
+
+    #[test]
+    fn background_combines_multiple_neighbours() {
+        let mut app_chars = HashMap::new();
+        app_chars.insert("a".to_string(), chars(100.0));
+        let mut c = ClusterState::new(1, 3, app_chars);
+        c.place(
+            VmRef {
+                machine: 0,
+                slot: 0,
+            },
+            Resident {
+                task_id: 1,
+                app: "a".into(),
+            },
+        );
+        c.place(
+            VmRef {
+                machine: 0,
+                slot: 1,
+            },
+            Resident {
+                task_id: 2,
+                app: "a".into(),
+            },
+        );
+        let bg = c.background_of(VmRef {
+            machine: 0,
+            slot: 2,
+        });
+        assert_eq!(bg.read_rps, 200.0);
+        // Class key sorts and joins the neighbours.
+        let classes = c.free_classes();
+        assert_eq!(classes[0].key, "a+a");
+    }
+
+    #[test]
+    fn first_free_is_deterministic() {
+        let mut c = cluster();
+        assert_eq!(
+            c.first_free(),
+            Some(VmRef {
+                machine: 0,
+                slot: 0
+            })
+        );
+        c.place(
+            VmRef {
+                machine: 0,
+                slot: 0,
+            },
+            Resident {
+                task_id: 1,
+                app: "a".into(),
+            },
+        );
+        assert_eq!(
+            c.first_free(),
+            Some(VmRef {
+                machine: 0,
+                slot: 1
+            })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already occupied")]
+    fn double_place_panics() {
+        let mut c = cluster();
+        let vm = VmRef {
+            machine: 0,
+            slot: 0,
+        };
+        c.place(
+            vm,
+            Resident {
+                task_id: 1,
+                app: "a".into(),
+            },
+        );
+        c.place(
+            vm,
+            Resident {
+                task_id: 2,
+                app: "b".into(),
+            },
+        );
+    }
+
+    #[test]
+    fn occupied_iterates_residents() {
+        let mut c = cluster();
+        c.place(
+            VmRef {
+                machine: 2,
+                slot: 1,
+            },
+            Resident {
+                task_id: 9,
+                app: "b".into(),
+            },
+        );
+        let occ: Vec<_> = c.occupied().collect();
+        assert_eq!(occ.len(), 1);
+        assert_eq!(occ[0].1.task_id, 9);
+    }
+}

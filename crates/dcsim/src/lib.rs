@@ -1,0 +1,34 @@
+//! # tracon-dcsim
+//!
+//! The discrete-event data-center simulator that evaluates TRACON at
+//! scale (paper Section 4.2): 8 to 10,000 machines, two VMs each, static
+//! and dynamic (Poisson) workloads. Running tasks progress at rates taken
+//! from the *measured* pair-performance table produced by the
+//! `tracon-vmsim` testbed, with remaining-work rescaling whenever a
+//! neighbour changes.
+//!
+//! * [`setup`] — profiles the 8 benchmarks, trains the models, builds the
+//!   predictor and the measured pair table,
+//! * [`perf`] — the replayable pair-performance statistics,
+//! * [`arrival`] — light/medium/heavy Gaussian rank mixes and Poisson
+//!   arrival traces,
+//! * [`engine`] — the event-driven simulation and the paper's metrics
+//!   (Speedup, IOBoost, normalized throughput),
+//! * [`experiments`] — one driver per table/figure of the evaluation.
+
+#![warn(missing_docs)]
+
+pub mod arrival;
+pub mod engine;
+pub mod experiments;
+pub mod oracle;
+pub mod perf;
+pub mod setup;
+
+pub use arrival::{poisson_trace, static_batch, ArrivalEvent, WorkloadMix};
+pub use engine::{
+    io_boost, normalized_throughput, speedup, SchedulerKind, SimResult, Simulation, TaskObservation,
+};
+pub use oracle::oracle_predictor;
+pub use perf::{PerfTable, IDLE};
+pub use setup::{Testbed, TestbedConfig};

@@ -1,0 +1,147 @@
+//! An oracle prediction module backed directly by the measured pair
+//! table: it answers scheduler queries with the *actual* steady-state
+//! runtime/IOPS of an application next to the queried neighbour.
+//!
+//! The oracle is an analysis tool, not part of TRACON: it upper-bounds
+//! what any interference model could give the schedulers, separating
+//! "the heuristic is weak" from "the model is inaccurate" (an ablation
+//! called out in DESIGN.md).
+
+use crate::perf::{PerfTable, IDLE};
+use crate::setup::Testbed;
+use tracon_core::characteristics::N_JOINT;
+use tracon_core::{
+    AppModelSet, AppProfile, Characteristics, InterferenceModel, ModelKind, Predictor,
+};
+
+/// Which response the oracle model reports.
+#[derive(Debug, Clone, Copy)]
+enum OracleResponse {
+    Runtime,
+    Iops,
+}
+
+/// Oracle model for one application: matches the queried background
+/// characteristics to the nearest known application profile and returns
+/// the measured pair statistic.
+struct OracleModel {
+    app_idx: usize,
+    response: OracleResponse,
+    /// `(background profile features, background index)` for each known
+    /// application, plus the idle VM.
+    backgrounds: Vec<([f64; 4], usize)>,
+    perf: PerfTable,
+}
+
+impl OracleModel {
+    fn nearest_background(&self, query: &[f64]) -> usize {
+        let mut best = IDLE;
+        let mut best_d = f64::INFINITY;
+        for (profile, idx) in &self.backgrounds {
+            let d: f64 = profile
+                .iter()
+                .zip(query)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            if d < best_d {
+                best_d = d;
+                best = *idx;
+            }
+        }
+        best
+    }
+}
+
+impl InterferenceModel for OracleModel {
+    fn predict(&self, features: &[f64; N_JOINT]) -> f64 {
+        let bg = self.nearest_background(&features[4..8]);
+        match self.response {
+            OracleResponse::Runtime => self.perf.runtime(self.app_idx, bg),
+            OracleResponse::Iops => self.perf.iops(self.app_idx, bg),
+        }
+    }
+
+    fn kind(&self) -> ModelKind {
+        // Reported as NLM for display purposes; the oracle is a
+        // diagnostic stand-in, not a trained model.
+        ModelKind::Nonlinear
+    }
+
+    fn n_terms(&self) -> usize {
+        0
+    }
+}
+
+/// Builds an oracle predictor over the testbed's measured statistics.
+pub fn oracle_predictor(testbed: &Testbed) -> Predictor {
+    let perf = &testbed.perf;
+    let mut backgrounds: Vec<([f64; 4], usize)> = Vec::with_capacity(perf.n_apps() + 1);
+    for (i, name) in perf.names.iter().enumerate() {
+        let c = testbed.app_chars[name];
+        backgrounds.push((c.as_array(), i));
+    }
+    backgrounds.push((Characteristics::idle().as_array(), IDLE));
+
+    let mut predictor = Predictor::new();
+    for (i, name) in perf.names.iter().enumerate() {
+        let profile = AppProfile {
+            name: name.clone(),
+            solo: testbed.app_chars[name],
+            solo_runtime: perf.solo_runtime(i),
+            solo_iops: perf.solo_iops(i),
+        };
+        let runtime = Box::new(OracleModel {
+            app_idx: i,
+            response: OracleResponse::Runtime,
+            backgrounds: backgrounds.clone(),
+            perf: perf.clone(),
+        });
+        let iops = Box::new(OracleModel {
+            app_idx: i,
+            response: OracleResponse::Iops,
+            backgrounds: backgrounds.clone(),
+            perf: perf.clone(),
+        });
+        predictor.add_app(profile, AppModelSet { runtime, iops });
+    }
+    predictor
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::tests::shared;
+
+    #[test]
+    fn oracle_matches_pair_table_exactly() {
+        let tb = shared();
+        let p = oracle_predictor(tb);
+        for a in tb.perf.names.clone() {
+            let ai = tb.perf.index_of(&a);
+            for b in tb.perf.names.clone() {
+                let bi = tb.perf.index_of(&b);
+                let pred = p.predict_runtime(&a, &tb.app_chars[&b]);
+                let meas = tb.perf.runtime(ai, bi);
+                // The predictor clamps at the solo floor; benign pairs can
+                // measure slightly *below* solo due to jitter, so allow a
+                // modest tolerance.
+                assert!(
+                    (pred - meas).abs() / meas < 0.10,
+                    "{a} | {b}: pred {pred} vs meas {meas}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_idle_is_solo() {
+        let tb = shared();
+        let p = oracle_predictor(tb);
+        let idle = Characteristics::idle();
+        for name in tb.perf.names.clone() {
+            let i = tb.perf.index_of(&name);
+            let pred = p.predict_runtime(&name, &idle);
+            assert!((pred - tb.perf.solo_runtime(i)).abs() / tb.perf.solo_runtime(i) < 0.02);
+        }
+    }
+}

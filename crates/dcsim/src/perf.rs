@@ -1,0 +1,154 @@
+//! The measured pair-performance table the data-center simulator replays.
+//!
+//! The paper's simulator "calculates the performance by using the actual
+//! statistics that have been measured in the real systems". Here the
+//! statistics come from the `tracon-vmsim` testbed: for every ordered
+//! application pair we store the steady-state runtime and IOPS of the
+//! first application when co-located with the second, plus the solo
+//! values (idle neighbour).
+
+use tracon_vmsim::PairMatrix;
+
+/// Neighbour index meaning "the sibling VM is idle".
+pub const IDLE: usize = usize::MAX;
+
+/// Replayable pair-performance statistics.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct PerfTable {
+    /// Application names, index-aligned with the table axes.
+    pub names: Vec<String>,
+    solo_runtime: Vec<f64>,
+    solo_iops: Vec<f64>,
+    /// `runtime[a][b]`: steady-state runtime of `a` next to a continuously
+    /// running `b`.
+    runtime: Vec<Vec<f64>>,
+    /// `iops[a][b]`: steady-state IOPS of `a` next to `b`.
+    iops: Vec<Vec<f64>>,
+}
+
+impl PerfTable {
+    /// Builds the table from a measured [`PairMatrix`].
+    pub fn from_pair_matrix(m: &PairMatrix) -> Self {
+        PerfTable {
+            names: m.names.clone(),
+            solo_runtime: m.solo_runtime.clone(),
+            solo_iops: m.solo_iops.clone(),
+            runtime: m.runtime.clone(),
+            iops: m.iops.clone(),
+        }
+    }
+
+    /// Number of applications covered.
+    pub fn n_apps(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Index of an application by name.
+    ///
+    /// # Panics
+    /// Panics when the application is unknown.
+    pub fn index_of(&self, name: &str) -> usize {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .unwrap_or_else(|| panic!("unknown application '{name}'"))
+    }
+
+    /// Solo runtime of application `a`.
+    pub fn solo_runtime(&self, a: usize) -> f64 {
+        self.solo_runtime[a]
+    }
+
+    /// Solo IOPS of application `a`.
+    pub fn solo_iops(&self, a: usize) -> f64 {
+        self.solo_iops[a]
+    }
+
+    /// Steady-state runtime of `a` with neighbour `b` (or [`IDLE`]).
+    pub fn runtime(&self, a: usize, b: usize) -> f64 {
+        if b == IDLE {
+            self.solo_runtime[a]
+        } else {
+            self.runtime[a][b]
+        }
+    }
+
+    /// Steady-state IOPS of `a` with neighbour `b` (or [`IDLE`]).
+    pub fn iops(&self, a: usize, b: usize) -> f64 {
+        if b == IDLE {
+            self.solo_iops[a]
+        } else {
+            self.iops[a][b]
+        }
+    }
+
+    /// Progress rate (fraction of the task's work completed per second)
+    /// of `a` with neighbour `b`: `1 / runtime(a, b)`.
+    pub fn rate(&self, a: usize, b: usize) -> f64 {
+        1.0 / self.runtime(a, b).max(1e-9)
+    }
+
+    /// Slowdown of `a` under neighbour `b` relative to running alone.
+    pub fn slowdown(&self, a: usize, b: usize) -> f64 {
+        self.runtime(a, b) / self.solo_runtime[a].max(1e-9)
+    }
+
+    /// The worst pairwise slowdown in the table (diagnostics).
+    pub fn max_slowdown(&self) -> f64 {
+        let n = self.n_apps();
+        let mut worst = 1.0f64;
+        for a in 0..n {
+            for b in 0..n {
+                worst = worst.max(self.slowdown(a, b));
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic 2-app table: app 0 is I/O-heavy (bad with itself),
+    /// app 1 is CPU-ish (benign).
+    pub(crate) fn toy_table() -> PerfTable {
+        PerfTable {
+            names: vec!["io".into(), "cpu".into()],
+            solo_runtime: vec![100.0, 100.0],
+            solo_iops: vec![200.0, 10.0],
+            runtime: vec![vec![800.0, 120.0], vec![110.0, 200.0]],
+            iops: vec![vec![25.0, 170.0], vec![9.0, 5.0]],
+        }
+    }
+
+    #[test]
+    fn idle_neighbour_gives_solo_values() {
+        let t = toy_table();
+        assert_eq!(t.runtime(0, IDLE), 100.0);
+        assert_eq!(t.iops(0, IDLE), 200.0);
+        assert!((t.rate(0, IDLE) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_lookup() {
+        let t = toy_table();
+        assert_eq!(t.runtime(0, 0), 800.0);
+        assert_eq!(t.runtime(0, 1), 120.0);
+        assert_eq!(t.slowdown(0, 0), 8.0);
+        assert!((t.max_slowdown() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn index_of_names() {
+        let t = toy_table();
+        assert_eq!(t.index_of("io"), 0);
+        assert_eq!(t.index_of("cpu"), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown application")]
+    fn unknown_name_panics() {
+        toy_table().index_of("nope");
+    }
+}

@@ -1,0 +1,205 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! PCA (used by TRACON's weighted-mean model) only needs eigenpairs of small
+//! covariance matrices (8x8 for the two-VM characteristics space), for which
+//! Jacobi rotation is simple, robust, and accurate.
+
+use crate::matrix::Matrix;
+
+/// Result of a symmetric eigendecomposition: `a = V diag(values) V^T`.
+#[derive(Debug, Clone)]
+pub struct SymEigen {
+    /// Eigenvalues sorted in descending order.
+    pub values: Vec<f64>,
+    /// Eigenvectors as columns, matching `values` order.
+    pub vectors: Matrix,
+}
+
+/// Computes all eigenpairs of a symmetric matrix using cyclic Jacobi sweeps.
+///
+/// # Panics
+/// Panics if `a` is not square. Symmetry is assumed; only the upper triangle
+/// is trusted (the matrix is symmetrized internally).
+pub fn sym_eigen(a: &Matrix) -> SymEigen {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "sym_eigen requires a square matrix");
+    // Work on a symmetrized copy to be robust to tiny asymmetries from
+    // accumulated floating-point error in covariance computations.
+    let mut m = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            m[(i, j)] = 0.5 * (a[(i, j)] + a[(j, i)]);
+        }
+    }
+    let mut v = Matrix::identity(n);
+
+    let max_sweeps = 64;
+    for _ in 0..max_sweeps {
+        // Off-diagonal Frobenius norm.
+        let mut off = 0.0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        let scale = m.max_abs().max(1e-300);
+        if off.sqrt() <= 1e-14 * scale * n as f64 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                // Stable computation of tan(phi) for the rotation angle.
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Apply the rotation: A <- J^T A J for the (p, q) plane.
+                for k in 0..n {
+                    let akp = m[(k, p)];
+                    let akq = m[(k, q)];
+                    m[(k, p)] = c * akp - s * akq;
+                    m[(k, q)] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = m[(p, k)];
+                    let aqk = m[(q, k)];
+                    m[(p, k)] = c * apk - s * aqk;
+                    m[(q, k)] = s * apk + c * aqk;
+                }
+                // Accumulate eigenvectors: V <- V J.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Extract and sort descending by eigenvalue.
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m[(i, i)], i)).collect();
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let values: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_col, &(_, old_col)) in pairs.iter().enumerate() {
+        for r in 0..n {
+            vectors[(r, new_col)] = v[(r, old_col)];
+        }
+    }
+    SymEigen { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::dot;
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let a = Matrix::from_rows(&[
+            vec![3.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 2.0],
+        ]);
+        let e = sym_eigen(&a);
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 2.0).abs() < 1e-10);
+        assert!((e.values[2] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let e = sym_eigen(&a);
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+        // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+        let v0 = e.vectors.col(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-8);
+        assert!((v0[0] - v0[1]).abs() < 1e-8);
+    }
+
+    #[test]
+    fn reconstruction_and_orthonormality() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 1.0, -2.0, 0.5],
+            vec![1.0, 3.0, 0.0, 1.0],
+            vec![-2.0, 0.0, 5.0, -1.0],
+            vec![0.5, 1.0, -1.0, 2.0],
+        ]);
+        let e = sym_eigen(&a);
+        // V diag V^T == A
+        let n = 4;
+        let mut d = Matrix::zeros(n, n);
+        for i in 0..n {
+            d[(i, i)] = e.values[i];
+        }
+        let recon = e.vectors.matmul(&d).matmul(&e.vectors.transpose());
+        assert!(
+            recon.approx_eq(&a, 1e-8),
+            "reconstruction failed: {recon:?}"
+        );
+        // Columns orthonormal.
+        for i in 0..n {
+            for j in 0..n {
+                let ci = e.vectors.col(i);
+                let cj = e.vectors.col(j);
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((dot(&ci, &cj) - want).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvalues_sorted_descending() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.2, 0.1],
+            vec![0.2, 7.0, 0.3],
+            vec![0.1, 0.3, 4.0],
+        ]);
+        let e = sym_eigen(&a);
+        assert!(e.values[0] >= e.values[1] && e.values[1] >= e.values[2]);
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let a = Matrix::from_rows(&[
+            vec![2.5, -0.4, 0.9],
+            vec![-0.4, 1.5, 0.2],
+            vec![0.9, 0.2, 3.0],
+        ]);
+        let e = sym_eigen(&a);
+        let trace = 2.5 + 1.5 + 3.0;
+        let sum: f64 = e.values.iter().sum();
+        assert!((sum - trace).abs() < 1e-9);
+    }
+
+    #[test]
+    fn handles_rank_deficient() {
+        // Rank-1 outer product: one nonzero eigenvalue = |v|^2.
+        let v = [1.0, 2.0, 3.0];
+        let mut a = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                a[(i, j)] = v[i] * v[j];
+            }
+        }
+        let e = sym_eigen(&a);
+        assert!((e.values[0] - 14.0).abs() < 1e-9);
+        assert!(e.values[1].abs() < 1e-9);
+        assert!(e.values[2].abs() < 1e-9);
+    }
+}

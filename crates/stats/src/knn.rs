@@ -1,0 +1,161 @@
+//! k-nearest-neighbour inverse-distance regression.
+//!
+//! TRACON's weighted-mean model (WMM) predicts a response by finding the
+//! three nearest profiled data points in PCA space and averaging their
+//! responses weighted by the reciprocal of the Euclidean distance.
+
+use crate::matrix::euclidean_distance;
+
+/// A k-NN inverse-distance-weighted regressor over fixed training points.
+#[derive(Debug, Clone)]
+pub struct KnnRegressor {
+    points: Vec<Vec<f64>>,
+    responses: Vec<f64>,
+    k: usize,
+}
+
+impl KnnRegressor {
+    /// Builds a regressor over `points` (feature rows) and their `responses`.
+    ///
+    /// # Panics
+    /// Panics when inputs are empty, mismatched, ragged, or `k == 0`.
+    pub fn new(points: Vec<Vec<f64>>, responses: Vec<f64>, k: usize) -> Self {
+        assert!(!points.is_empty(), "knn with no training points");
+        assert_eq!(points.len(), responses.len(), "points/responses mismatch");
+        assert!(k >= 1, "k must be at least 1");
+        let d = points[0].len();
+        assert!(
+            points.iter().all(|p| p.len() == d),
+            "ragged training points"
+        );
+        KnnRegressor {
+            points,
+            responses,
+            k,
+        }
+    }
+
+    /// Number of training points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when there are no training points (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Predicts the response at `query` as the inverse-distance-weighted
+    /// mean of the `k` nearest training points. An exact match (distance 0)
+    /// returns that point's response directly.
+    pub fn predict(&self, query: &[f64]) -> f64 {
+        let k = self.k.min(self.points.len());
+        // Partial selection of the k smallest distances. n is small
+        // (hundreds of profile points) so a simple scan with a bounded
+        // insertion buffer is fastest in practice.
+        let mut nearest: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
+        for (i, p) in self.points.iter().enumerate() {
+            let d = euclidean_distance(query, p);
+            if nearest.len() < k {
+                nearest.push((d, i));
+                nearest.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            } else if d < nearest[k - 1].0 {
+                nearest[k - 1] = (d, i);
+                nearest.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            }
+        }
+        // Exact hits: avoid division by zero and return the mean response
+        // of *all* coincident training points (repeated observations of
+        // the same configuration must average, not pick one arbitrarily).
+        if nearest[0].0 < 1e-12 {
+            let mut sum = 0.0;
+            let mut count = 0usize;
+            for (i, p) in self.points.iter().enumerate() {
+                if euclidean_distance(query, p) < 1e-12 {
+                    sum += self.responses[i];
+                    count += 1;
+                }
+            }
+            return sum / count as f64;
+        }
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for &(d, i) in &nearest {
+            let w = 1.0 / d;
+            num += w * self.responses[i];
+            den += w;
+        }
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_returns_stored_response() {
+        let knn = KnnRegressor::new(
+            vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![2.0, 2.0]],
+            vec![10.0, 20.0, 30.0],
+            3,
+        );
+        assert_eq!(knn.predict(&[1.0, 1.0]), 20.0);
+    }
+
+    #[test]
+    fn duplicate_points_average_on_exact_match() {
+        let knn = KnnRegressor::new(
+            vec![vec![1.0], vec![1.0], vec![1.0], vec![5.0]],
+            vec![10.0, 20.0, 30.0, 99.0],
+            3,
+        );
+        assert!((knn.predict(&[1.0]) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interpolates_between_neighbours() {
+        let knn = KnnRegressor::new(vec![vec![0.0], vec![2.0]], vec![0.0, 2.0], 2);
+        // Midpoint: equal weights -> mean response.
+        let y = knn.predict(&[1.0]);
+        assert!((y - 1.0).abs() < 1e-12);
+        // Closer to the right point -> pulled toward 2.0.
+        let y = knn.predict(&[1.5]);
+        assert!(y > 1.0 && y < 2.0);
+    }
+
+    #[test]
+    fn k_larger_than_data_is_clamped() {
+        let knn = KnnRegressor::new(vec![vec![0.0], vec![1.0]], vec![4.0, 8.0], 10);
+        let y = knn.predict(&[0.5]);
+        assert!((y - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prediction_bounded_by_neighbour_responses() {
+        let pts: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let rs: Vec<f64> = (0..20).map(|i| (i * i) as f64).collect();
+        let knn = KnnRegressor::new(pts, rs, 3);
+        let y = knn.predict(&[7.3]);
+        // Neighbours are 7, 8, 6 -> responses 49, 64, 36.
+        assert!((36.0..=64.0).contains(&y), "y = {y}");
+    }
+
+    #[test]
+    fn weights_favor_nearest() {
+        let knn = KnnRegressor::new(
+            vec![vec![0.0], vec![10.0], vec![11.0]],
+            vec![100.0, 0.0, 0.0],
+            3,
+        );
+        // Query at 1.0 is far closer to the 100.0 point.
+        let y = knn.predict(&[1.0]);
+        assert!(y > 80.0, "y = {y}");
+    }
+
+    #[test]
+    #[should_panic(expected = "knn with no training points")]
+    fn empty_training_panics() {
+        KnnRegressor::new(vec![], vec![], 3);
+    }
+}

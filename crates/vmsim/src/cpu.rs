@@ -1,0 +1,191 @@
+//! Fluid-rate model of the Xen credit scheduler.
+//!
+//! The credit scheduler is, at steady state, a weighted max-min fair
+//! allocator: every runnable vCPU receives CPU time proportional to its
+//! weight, and capacity a domain does not use is redistributed to the
+//! others (work conservation). The classic progressive-filling algorithm
+//! computes exactly this allocation for a set of demands and weights.
+
+/// Computes the weighted max-min fair allocation of `capacity` among
+/// consumers with the given `demands` and `weights`.
+///
+/// Properties:
+/// * no consumer receives more than its demand,
+/// * total allocation never exceeds `capacity`,
+/// * when the system is overloaded, unsatisfied consumers receive shares
+///   proportional to their weights (work-conserving redistribution of the
+///   capacity left by satisfied consumers).
+///
+/// # Panics
+/// Panics when the slices differ in length, or any demand/weight is
+/// negative or non-finite.
+pub fn fair_share(capacity: f64, demands: &[f64], weights: &[f64]) -> Vec<f64> {
+    assert_eq!(
+        demands.len(),
+        weights.len(),
+        "demands/weights length mismatch"
+    );
+    assert!(
+        capacity >= 0.0 && capacity.is_finite(),
+        "bad capacity {capacity}"
+    );
+    for (&d, &w) in demands.iter().zip(weights) {
+        assert!(d >= 0.0 && d.is_finite(), "bad demand {d}");
+        assert!(w >= 0.0 && w.is_finite(), "bad weight {w}");
+    }
+    let n = demands.len();
+    let mut alloc = vec![0.0; n];
+    let mut satisfied = vec![false; n];
+    let mut remaining = capacity;
+
+    // Progressive filling: raise the fair level until either everyone is
+    // satisfied or the capacity runs out. At most n rounds.
+    for _ in 0..n {
+        let active_weight: f64 = (0..n)
+            .filter(|&i| !satisfied[i] && demands[i] > alloc[i])
+            .map(|i| weights[i])
+            .sum();
+        if active_weight <= 0.0 || remaining <= 1e-15 {
+            break;
+        }
+        // Tentatively hand each active consumer its weighted share of the
+        // remaining capacity; consumers whose demand is below the share
+        // are capped and their surplus is re-distributed next round.
+        let mut next_remaining = remaining;
+        let mut progressed = false;
+        for i in 0..n {
+            if satisfied[i] || demands[i] <= alloc[i] {
+                satisfied[i] = true;
+                continue;
+            }
+            let share = remaining * weights[i] / active_weight;
+            let need = demands[i] - alloc[i];
+            if need <= share {
+                alloc[i] = demands[i];
+                satisfied[i] = true;
+                next_remaining -= need;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            // Nobody was capped this round: distribute the remainder
+            // proportionally and finish.
+            for i in 0..n {
+                if !satisfied[i] {
+                    alloc[i] += remaining * weights[i] / active_weight;
+                }
+            }
+            next_remaining = 0.0;
+        }
+        remaining = next_remaining.max(0.0);
+        if remaining <= 1e-15 {
+            break;
+        }
+    }
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EQ: f64 = 1e-12;
+
+    fn total(a: &[f64]) -> f64 {
+        a.iter().sum()
+    }
+
+    #[test]
+    fn underloaded_everyone_satisfied() {
+        let a = fair_share(2.0, &[0.5, 0.3, 0.1], &[1.0, 1.0, 1.0]);
+        assert!((a[0] - 0.5).abs() < EQ);
+        assert!((a[1] - 0.3).abs() < EQ);
+        assert!((a[2] - 0.1).abs() < EQ);
+    }
+
+    #[test]
+    fn overloaded_equal_weights_split_evenly() {
+        let a = fair_share(1.0, &[1.0, 1.0], &[1.0, 1.0]);
+        assert!((a[0] - 0.5).abs() < EQ);
+        assert!((a[1] - 0.5).abs() < EQ);
+    }
+
+    #[test]
+    fn small_demand_surplus_redistributed() {
+        // Consumer 2 only wants 0.1; the other two split the rest evenly.
+        let a = fair_share(1.0, &[1.0, 1.0, 0.1], &[1.0, 1.0, 1.0]);
+        assert!((a[2] - 0.1).abs() < EQ);
+        assert!((a[0] - 0.45).abs() < EQ);
+        assert!((a[1] - 0.45).abs() < EQ);
+        assert!((total(&a) - 1.0).abs() < EQ);
+    }
+
+    #[test]
+    fn weighted_split() {
+        // Weight 2:1 -> allocation 2:1 when both are unsatisfied.
+        let a = fair_share(0.9, &[1.0, 1.0], &[2.0, 1.0]);
+        assert!((a[0] - 0.6).abs() < EQ);
+        assert!((a[1] - 0.3).abs() < EQ);
+    }
+
+    #[test]
+    fn weighted_with_cap() {
+        // Heavy-weight consumer only needs 0.2; light one takes the rest.
+        let a = fair_share(1.0, &[0.2, 5.0], &[10.0, 1.0]);
+        assert!((a[0] - 0.2).abs() < EQ);
+        assert!((a[1] - 0.8).abs() < EQ);
+    }
+
+    #[test]
+    fn never_exceeds_capacity_or_demand() {
+        let demands = [0.7, 0.4, 1.2, 0.0, 0.05];
+        let weights = [1.0, 2.0, 0.5, 1.0, 3.0];
+        for &cap in &[0.0, 0.3, 1.0, 2.0, 5.0] {
+            let a = fair_share(cap, &demands, &weights);
+            assert!(total(&a) <= cap + 1e-9, "cap={cap} total={}", total(&a));
+            for (x, d) in a.iter().zip(&demands) {
+                assert!(*x <= d + 1e-9);
+                assert!(*x >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_capacity_gives_zero() {
+        let a = fair_share(0.0, &[1.0, 2.0], &[1.0, 1.0]);
+        assert_eq!(a, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_weight_consumer_starves_under_load() {
+        let a = fair_share(1.0, &[1.0, 1.0], &[1.0, 0.0]);
+        assert!((a[0] - 1.0).abs() < EQ);
+        assert!(a[1].abs() < EQ);
+    }
+
+    #[test]
+    fn empty_input() {
+        let a = fair_share(1.0, &[], &[]);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn table1_cpu_doubling_scenario() {
+        // Two CPU-saturating guests plus a nearly idle Dom0 on one core:
+        // each guest gets ~0.5 -> runtime doubles (Table 1, Calc/CPU-high).
+        let a = fair_share(1.0, &[1.0, 1.0, 0.005], &[256.0, 256.0, 256.0]);
+        assert!((a[0] - a[1]).abs() < EQ);
+        assert!(a[0] > 0.49 && a[0] < 0.50);
+        assert!((a[2] - 0.005).abs() < EQ);
+    }
+
+    #[test]
+    fn work_conserving_when_one_idle() {
+        // Table 1, SeqRead/CPU-high: the reader's tiny CPU demand and Dom0's
+        // I/O handling are both satisfied; the burner gets the rest.
+        let a = fair_share(1.0, &[0.05, 1.0, 0.10], &[256.0, 256.0, 256.0]);
+        assert!((a[0] - 0.05).abs() < EQ);
+        assert!((a[2] - 0.10).abs() < EQ);
+        assert!((a[1] - 0.85).abs() < EQ);
+    }
+}

@@ -1,0 +1,67 @@
+//! Interference profiling on the virtualized testbed: reproduce the
+//! paper's motivating Table 1 measurement and inspect what the monitor
+//! observes while two data-intensive applications collide on one host.
+//!
+//! ```text
+//! cargo run --release --example interference_profiling
+//! ```
+
+use tracon::vmsim::{apps, Engine, HostConfig};
+
+fn main() {
+    let engine = Engine::new(HostConfig::testbed()).with_sampling(30.0);
+
+    // --- Table 1: Calc and SeqRead against the four synthetic neighbours.
+    println!("Table 1 reproduction (normalized runtime of App1):");
+    for (name, app1) in [("Calc", apps::calc()), ("SeqRead", apps::seq_read())] {
+        let solo = engine.solo_run(&app1, 1).runtime[0];
+        print!("  {name:8}");
+        for (bg_name, bg) in apps::table1_backgrounds() {
+            let out = engine.co_run(&app1, &bg, 2);
+            print!("  {bg_name}: {:5.2}x", out.runtime[0] / solo);
+        }
+        println!();
+    }
+
+    // --- Two real benchmarks colliding: watch the monitor's samples.
+    println!("\nvideo encoding vs dedup on one host (monitor samples):");
+    let video = apps::Benchmark::Video.model();
+    let dedup = apps::Benchmark::Dedup.model();
+    let solo_video = engine.solo_run(&video, 3);
+    let out = engine.co_run(&video, &dedup, 4);
+    println!(
+        "  video solo: {:.0} s at {:.0} IOPS; next to dedup: {:.0} s at {:.0} IOPS ({:.1}x slower)",
+        solo_video.runtime[0],
+        solo_video.iops[0],
+        out.runtime[0],
+        out.iops[0],
+        out.runtime[0] / solo_video.runtime[0]
+    );
+    println!("  first monitor samples (30 s interval):");
+    println!(
+        "  {:>6} {:>24} {:>24} {:>8}",
+        "t (s)", "video [r/s w/s cpu]", "dedup [r/s w/s cpu]", "dom0"
+    );
+    for s in out.samples.iter().take(6) {
+        println!(
+            "  {:6.0} [{:6.1} {:5.1} {:4.2}]      [{:6.1} {:5.1} {:4.2}]      {:6.3}",
+            s.time,
+            s.vms[0].read_rps,
+            s.vms[0].write_rps,
+            s.vms[0].cpu_util,
+            s.vms[1].read_rps,
+            s.vms[1].write_rps,
+            s.vms[1].cpu_util,
+            s.dom0_total,
+        );
+    }
+
+    // --- The same pair on a friendlier arrangement: video next to email.
+    let email = apps::Benchmark::Email.model();
+    let good = engine.co_run(&video, &email, 5);
+    println!(
+        "\n  video next to email instead: {:.0} s ({:.1}x) — the pairing the scheduler hunts for",
+        good.runtime[0],
+        good.runtime[0] / solo_video.runtime[0]
+    );
+}

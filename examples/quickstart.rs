@@ -1,0 +1,57 @@
+//! Quickstart: build the testbed, train TRACON's models, and schedule a
+//! batch of data-intensive tasks with MIBS versus FIFO.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use tracon::dcsim::arrival::{static_batch, WorkloadMix};
+use tracon::dcsim::{io_boost, speedup, SchedulerKind, Simulation, Testbed, TestbedConfig};
+
+fn main() {
+    // 1. Build the testbed: profile the eight benchmarks against the 125
+    //    synthetic calibration workloads, train the nonlinear interference
+    //    models, and measure the pairwise interference matrix.
+    println!("building testbed (profiling campaign + model training)...");
+    let testbed = Testbed::build(&TestbedConfig {
+        time_scale: 0.25,
+        ..TestbedConfig::full()
+    });
+
+    // 2. Inspect what the testbed learned: how badly does each benchmark
+    //    suffer next to the most I/O-intensive neighbour (video)?
+    println!("\nmeasured slowdown next to `video` (vs running alone):");
+    let video = testbed.perf.index_of("video");
+    for (i, name) in testbed.perf.names.iter().enumerate() {
+        println!("  {name:10} {:5.2}x", testbed.perf.slowdown(i, video));
+    }
+
+    // 3. Ask the prediction module the same question; it has never seen
+    //    these exact pairings — it generalizes from the synthetic profiles.
+    println!("\nNLM-predicted runtime of `dedup` next to each neighbour:");
+    for name in testbed.perf.names.clone() {
+        let predicted = testbed.predictor.predict_pair_runtime("dedup", &name);
+        println!("  next to {name:10} {predicted:7.1} s");
+    }
+
+    // 4. Schedule a batch of 32 mixed tasks onto 16 machines (two VMs
+    //    each) and compare MIBS against the FIFO baseline.
+    let trace = static_batch(32, WorkloadMix::Medium, 42);
+    let fifo = Simulation::new(&testbed, 16, SchedulerKind::Fifo).run(&trace, None);
+    let mibs = Simulation::new(&testbed, 16, SchedulerKind::Mibs(32)).run(&trace, None);
+
+    println!("\nscheduling 32 tasks on 16 machines (medium I/O mix):");
+    println!(
+        "  FIFO    total runtime {:8.0} s   total IOPS {:7.1}",
+        fifo.total_runtime, fifo.total_iops
+    );
+    println!(
+        "  MIBS    total runtime {:8.0} s   total IOPS {:7.1}",
+        mibs.total_runtime, mibs.total_iops
+    );
+    println!(
+        "  speedup {:.2}x, IOBoost {:.2}x",
+        speedup(&fifo, &mibs),
+        io_boost(&fifo, &mibs)
+    );
+}

@@ -1,0 +1,77 @@
+//! Reproducibility tests: every stochastic component is seed-driven, so
+//! identical seeds must give bit-identical results across the whole
+//! stack — the property that makes the experiment outputs in
+//! EXPERIMENTS.md regenerable.
+
+use tracon::vmsim::{apps, Engine, HostConfig, Profiler};
+
+#[test]
+fn engine_corun_is_deterministic() {
+    let engine = Engine::new(HostConfig::testbed());
+    let target = apps::Benchmark::Compile.model().time_scaled(0.1);
+    let bg = apps::synthetic(0.5, 0.75, 0.25);
+    let a = engine.co_run(&target, &bg, 99);
+    let b = engine.co_run(&target, &bg, 99);
+    assert_eq!(a.runtime[0].to_bits(), b.runtime[0].to_bits());
+    assert_eq!(a.iops[0].to_bits(), b.iops[0].to_bits());
+    assert_eq!(
+        a.observed[0].read_rps.to_bits(),
+        b.observed[0].read_rps.to_bits()
+    );
+}
+
+#[test]
+fn different_seeds_differ_for_jittered_apps() {
+    let engine = Engine::new(HostConfig::testbed());
+    let target = apps::Benchmark::Compile.model().time_scaled(0.1);
+    let a = engine.solo_run(&target, 1);
+    let b = engine.solo_run(&target, 2);
+    assert_ne!(a.runtime[0].to_bits(), b.runtime[0].to_bits());
+}
+
+#[test]
+fn profiling_is_deterministic() {
+    let profiler = Profiler::new(Engine::new(HostConfig::testbed()));
+    let target = apps::Benchmark::Email.model().time_scaled(0.1);
+    let backgrounds = vec![
+        apps::synthetic(0.5, 0.5, 0.0),
+        apps::synthetic(0.0, 1.0, 1.0),
+    ];
+    let a = profiler.profile(&target, &backgrounds, 7);
+    let b = profiler.profile(&target, &backgrounds, 7);
+    assert_eq!(a.records.len(), b.records.len());
+    for (ra, rb) in a.records.iter().zip(&b.records) {
+        assert_eq!(ra.runtime.to_bits(), rb.runtime.to_bits());
+        assert_eq!(ra.features, rb.features);
+    }
+}
+
+#[test]
+fn model_training_is_deterministic() {
+    use tracon::core::{train_model, ModelKind, TrainingData};
+    let mut data = TrainingData::default();
+    for i in 0..60 {
+        let x = i as f64 / 10.0;
+        let f = [x, 1.0, 0.5, 0.1, 3.0 - x * 0.3, 0.2, 0.4, 0.05];
+        data.push(f, 10.0 + 2.0 * x + 0.5 * x * x);
+    }
+    for kind in [ModelKind::Wmm, ModelKind::Linear, ModelKind::Nonlinear] {
+        let m1 = train_model(kind, &data);
+        let m2 = train_model(kind, &data);
+        let q = data.features[7];
+        assert_eq!(
+            m1.predict(&q).to_bits(),
+            m2.predict(&q).to_bits(),
+            "{} training not deterministic",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn arrival_traces_are_deterministic() {
+    use tracon::dcsim::arrival::{poisson_trace, WorkloadMix};
+    let a = poisson_trace(30.0, 1200.0, WorkloadMix::Heavy, 5);
+    let b = poisson_trace(30.0, 1200.0, WorkloadMix::Heavy, 5);
+    assert_eq!(a, b);
+}

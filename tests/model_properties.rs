@@ -1,0 +1,118 @@
+//! Property-based tests of the model layer: whatever the training data,
+//! the trained models and the predictor must satisfy the invariants the
+//! schedulers rely on.
+
+use proptest::prelude::*;
+use tracon::core::{
+    train_model_scaled, AppModelSet, AppProfile, Characteristics, ModelKind, Objective,
+    Predictor, ResponseScale, ScoringPolicy, TrainingData,
+};
+
+fn arbitrary_training_data() -> impl Strategy<Value = TrainingData> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(0.0f64..300.0, 8),
+            20.0f64..2000.0,
+        ),
+        12..60,
+    )
+    .prop_map(|rows| {
+        let mut d = TrainingData::default();
+        for (f, y) in rows {
+            let arr: [f64; 8] = std::array::from_fn(|i| f[i]);
+            d.push(arr, y);
+        }
+        d
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every model family trains on arbitrary (positive-response) data
+    /// and produces finite predictions on its own training rows.
+    #[test]
+    fn models_train_and_predict_finite(data in arbitrary_training_data()) {
+        for kind in [ModelKind::Wmm, ModelKind::Linear, ModelKind::Nonlinear] {
+            for scale in [ResponseScale::Linear, ResponseScale::Reciprocal] {
+                let m = train_model_scaled(kind, &data, scale);
+                for f in &data.features {
+                    let y = m.predict(f);
+                    prop_assert!(
+                        y.is_finite(),
+                        "{:?}/{:?} produced {y}",
+                        kind,
+                        scale
+                    );
+                    if scale == ResponseScale::Reciprocal {
+                        prop_assert!(y >= 0.0, "reciprocal-scale prediction negative: {y}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// The predictor's clamps hold for arbitrary neighbour
+    /// characteristics: runtime in [solo, 30 x solo], IOPS in
+    /// [0, solo_iops].
+    #[test]
+    fn predictor_clamps_hold(
+        data in arbitrary_training_data(),
+        bg in proptest::collection::vec(0.0f64..500.0, 4),
+        solo_runtime in 10.0f64..1000.0,
+        solo_iops in 1.0f64..500.0,
+    ) {
+        let mut p = Predictor::new();
+        let runtime = train_model_scaled(ModelKind::Nonlinear, &data, ResponseScale::Linear);
+        let iops = train_model_scaled(ModelKind::Nonlinear, &data, ResponseScale::Reciprocal);
+        p.add_app(
+            AppProfile {
+                name: "app".into(),
+                solo: Characteristics::new(50.0, 10.0, 0.5, 0.05),
+                solo_runtime,
+                solo_iops,
+            },
+            AppModelSet { runtime, iops },
+        );
+        let nb = Characteristics::new(bg[0], bg[1], (bg[2] / 500.0).min(1.0), (bg[3] / 500.0).min(1.0));
+        let rt = p.predict_runtime("app", &nb);
+        prop_assert!(rt >= solo_runtime - 1e-9);
+        prop_assert!(rt <= 30.0 * solo_runtime + 1e-9);
+        let io = p.predict_iops("app", &nb);
+        prop_assert!((0.0..=solo_iops + 1e-9).contains(&io));
+    }
+
+    /// Scoring-policy invariants: the excess is bounded by the clamp
+    /// window (with arbitrary, structure-free training data the model may
+    /// legitimately rank idle above a neighbour, so excess >= 0 is only a
+    /// property of monotone-interference models, not of the machinery),
+    /// and the memoized score equals the recomputed one.
+    #[test]
+    fn scoring_policy_invariants(
+        data in arbitrary_training_data(),
+        bg in proptest::collection::vec(0.0f64..300.0, 4),
+    ) {
+        let mut p = Predictor::new();
+        let runtime = train_model_scaled(ModelKind::Nonlinear, &data, ResponseScale::Linear);
+        let iops = train_model_scaled(ModelKind::Nonlinear, &data, ResponseScale::Reciprocal);
+        p.add_app(
+            AppProfile {
+                name: "app".into(),
+                solo: Characteristics::new(80.0, 20.0, 0.6, 0.08),
+                solo_runtime: 100.0,
+                solo_iops: 100.0,
+            },
+            AppModelSet { runtime, iops },
+        );
+        let scoring = ScoringPolicy::new(&p, Objective::MinRuntime);
+        let nb = Characteristics::new(bg[0], bg[1], (bg[2] / 300.0).min(1.0), (bg[3] / 300.0).min(1.0));
+        let excess = scoring.excess_score("app", "nb", &nb);
+        prop_assert!(excess.is_finite());
+        // Both scores live in [solo, 30 x solo], so the excess is bounded.
+        prop_assert!((-29.0 * 100.0 - 1e-6..=29.0 * 100.0 + 1e-6).contains(&excess));
+        // Memoization returns the same value.
+        let s1 = scoring.score("app", "nb", &nb);
+        let s2 = scoring.score("app", "nb", &nb);
+        prop_assert_eq!(s1.to_bits(), s2.to_bits());
+    }
+}
