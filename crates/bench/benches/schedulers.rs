@@ -8,8 +8,8 @@ use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, VecDeque};
 use tracon_core::characteristics::N_JOINT;
 use tracon_core::{
-    AppModelSet, AppProfile, Characteristics, ClusterState, Fifo, InterferenceModel, Mibs, Mios,
-    Mix, ModelKind, Objective, Predictor, Scheduler, ScoringPolicy, Task,
+    AppModelSet, AppProfile, AppRegistry, Characteristics, ClusterState, Fifo, InterferenceModel,
+    Mibs, Mios, Mix, ModelKind, Objective, Predictor, Scheduler, ScoringPolicy, Task,
 };
 
 /// A cheap synthetic model (product interference) so the benchmark
@@ -56,9 +56,14 @@ fn synthetic_world(n_apps: usize) -> (Predictor, HashMap<String, Characteristics
 }
 
 fn batch(n: usize, n_apps: usize, seed: u64) -> VecDeque<Task> {
+    // Same id assignment as the ClusterState registry (sorted app names).
+    let registry = AppRegistry::from_names((0..n_apps).map(|i| format!("app{i}")));
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n)
-        .map(|i| Task::new(i as u64, format!("app{}", rng.gen_range(0..n_apps))))
+        .map(|i| {
+            let name = format!("app{}", rng.gen_range(0..n_apps));
+            Task::new(i as u64, registry.expect_id(&name))
+        })
         .collect()
 }
 

@@ -1,0 +1,320 @@
+//! Machine-readable benchmark collector: times the scheduler hot path and
+//! the parallel experiment driver with `std::time::Instant` and writes a
+//! `BENCH_*.json` trajectory artifact (suite, metric, value, host
+//! metadata) so successive commits can be compared without parsing
+//! criterion's HTML output.
+//!
+//! ```text
+//! cargo run --release -p tracon-bench --bin collect -- --quick --out BENCH_1.json
+//! ```
+//!
+//! The micro suites mirror `benches/schedulers.rs` (batch scheduling of
+//! 32 tasks on 16 machines; MIBS_8 across cluster sizes) plus a warm
+//! score-lookup probe; the macro suite times a reduced Fig 9 dynamic
+//! sweep single-threaded versus multi-threaded and reports the speedup.
+
+use serde_json::json;
+use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
+use tracon_core::characteristics::N_JOINT;
+use tracon_core::{
+    par, AppModelSet, AppProfile, AppRegistry, Characteristics, ClusterState, Fifo,
+    InterferenceModel, Mibs, Mios, Mix, ModelKind, Objective, Predictor, Scheduler, ScoringPolicy,
+    Task,
+};
+use tracon_dcsim::experiments::fig9;
+use tracon_dcsim::{Testbed, TestbedConfig, WorkloadMix};
+
+/// A cheap synthetic model (product interference) so the collector
+/// measures scheduler logic rather than model evaluation — the same
+/// world as `benches/schedulers.rs`.
+struct ProductModel;
+impl InterferenceModel for ProductModel {
+    fn predict(&self, f: &[f64; N_JOINT]) -> f64 {
+        100.0 + 0.01 * f[0] * f[4] + 50.0 * f[2] * f[6]
+    }
+    fn kind(&self) -> ModelKind {
+        ModelKind::Nonlinear
+    }
+    fn n_terms(&self) -> usize {
+        2
+    }
+}
+
+fn synthetic_world(n_apps: usize) -> (Predictor, HashMap<String, Characteristics>) {
+    let mut predictor = Predictor::new();
+    let mut chars = HashMap::new();
+    for i in 0..n_apps {
+        let name = format!("app{i}");
+        let c = Characteristics::new(
+            30.0 * (i as f64 + 1.0),
+            5.0 * i as f64,
+            0.1 + 0.1 * i as f64,
+            0.01 * (i as f64 + 1.0),
+        );
+        predictor.add_app(
+            AppProfile {
+                name: name.clone(),
+                solo: c,
+                solo_runtime: 100.0,
+                solo_iops: c.total_rps(),
+            },
+            AppModelSet {
+                runtime: Box::new(ProductModel),
+                iops: Box::new(ProductModel),
+            },
+        );
+        chars.insert(name, c);
+    }
+    (predictor, chars)
+}
+
+fn batch(n: usize, n_apps: usize, seed: u64) -> VecDeque<Task> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let registry = AppRegistry::from_names((0..n_apps).map(|i| format!("app{i}")));
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let name = format!("app{}", rng.gen_range(0..n_apps));
+            Task::new(i as u64, registry.expect_id(&name))
+        })
+        .collect()
+}
+
+/// Times `iters` runs of `run`, each on a fresh state from `setup`
+/// (setup cost excluded). Returns mean nanoseconds per iteration.
+fn bench<S, T>(warmup: usize, iters: usize, mut setup: impl FnMut() -> S, mut run: T) -> f64
+where
+    T: FnMut(S),
+{
+    for _ in 0..warmup {
+        let s = setup();
+        run(s);
+    }
+    let mut total_ns = 0u128;
+    for _ in 0..iters {
+        let s = setup();
+        let t0 = Instant::now();
+        run(s);
+        total_ns += t0.elapsed().as_nanos();
+    }
+    total_ns as f64 / iters as f64
+}
+
+fn scheduler_by_name(name: &str, window: usize) -> Box<dyn Scheduler> {
+    match name {
+        "FIFO" => Box::new(Fifo),
+        "MIOS" => Box::new(Mios),
+        "MIBS" => Box::new(Mibs::new(window)),
+        "MIX" => Box::new(Mix::new(window)),
+        _ => unreachable!("unknown scheduler {name}"),
+    }
+}
+
+fn micro_suite(quick: bool, results: &mut Vec<serde_json::Value>) {
+    let (predictor, chars) = synthetic_world(8);
+    let (warmup, iters) = if quick { (3, 20) } else { (10, 200) };
+
+    // Batch scheduling: 32 tasks, 16 machines — one schedule() call.
+    for name in ["FIFO", "MIOS", "MIBS", "MIX"] {
+        let ns = bench(
+            warmup,
+            iters,
+            || {
+                (
+                    scheduler_by_name(name, 32),
+                    batch(32, 8, 5),
+                    ClusterState::new(16, 2, chars.clone()),
+                    ScoringPolicy::new(&predictor, Objective::MinRuntime),
+                )
+            },
+            |(mut s, mut q, mut cl, sc)| {
+                s.schedule(&mut q, &mut cl, &sc);
+            },
+        );
+        results.push(json!({
+            "suite": "schedulers",
+            "name": format!("{name}_batch32_machines16"),
+            "metric": "schedule_call",
+            "unit": "ns",
+            "value": ns,
+            "iters": iters,
+        }));
+        eprintln!("schedulers/{name}: {:.1} us per call", ns / 1e3);
+    }
+
+    // MIBS_8 across cluster sizes: cost must stay flat (class index).
+    let sizes: &[usize] = if quick { &[16, 128] } else { &[16, 128, 1024] };
+    for &machines in sizes {
+        let ns = bench(
+            warmup,
+            iters,
+            || {
+                (
+                    Mibs::new(8),
+                    batch(8, 8, 9),
+                    ClusterState::new(machines, 2, chars.clone()),
+                    ScoringPolicy::new(&predictor, Objective::MinRuntime),
+                )
+            },
+            |(mut s, mut q, mut cl, sc)| {
+                s.schedule(&mut q, &mut cl, &sc);
+            },
+        );
+        results.push(json!({
+            "suite": "cluster_scaling",
+            "name": format!("MIBS8_batch8_machines{machines}"),
+            "metric": "schedule_call",
+            "unit": "ns",
+            "value": ns,
+            "iters": iters,
+        }));
+        eprintln!("cluster_scaling/{machines}: {:.1} us per call", ns / 1e3);
+    }
+
+    // Warm score lookup: after the first pass every (app, class) score is
+    // a dense-table load — this probes the per-call hot-path cost.
+    let scoring = ScoringPolicy::new(&predictor, Objective::MinRuntime);
+    let mut cluster = ClusterState::new(8, 2, chars.clone());
+    let apps: Vec<_> = cluster.registry().ids().collect();
+    // One resident per machine creates eight single-neighbour classes.
+    for (m, &id) in apps.iter().enumerate() {
+        cluster.place(
+            tracon_core::VmRef {
+                machine: m,
+                slot: 0,
+            },
+            tracon_core::Resident {
+                task_id: m as u64,
+                app: id,
+            },
+        );
+    }
+    let classes = cluster.free_classes();
+    // Warm fill.
+    for &app in &apps {
+        for c in &classes {
+            scoring.score(app, c.key, &c.background);
+        }
+    }
+    let lookups = apps.len() * classes.len();
+    let rounds = if quick { 2_000 } else { 50_000 };
+    let t0 = Instant::now();
+    let mut acc = 0.0f64;
+    for _ in 0..rounds {
+        for &app in &apps {
+            for c in &classes {
+                acc += scoring.score(app, c.key, &c.background);
+            }
+        }
+    }
+    let per_lookup = t0.elapsed().as_nanos() as f64 / (rounds * lookups) as f64;
+    results.push(json!({
+        "suite": "scoring",
+        "name": "warm_score_lookup",
+        "metric": "table_load",
+        "unit": "ns",
+        "value": per_lookup,
+        "iters": rounds * lookups,
+        "checksum": acc,
+    }));
+    eprintln!("scoring/warm_score_lookup: {per_lookup:.1} ns");
+}
+
+fn macro_suite(quick: bool, results: &mut Vec<serde_json::Value>) {
+    eprintln!("building reduced testbed for the macro sweep ...");
+    let tb = Testbed::build(&TestbedConfig::small());
+    let lambdas: &[f64] = if quick { &[10.0] } else { &[10.0, 20.0] };
+    let mixes = [WorkloadMix::Light, WorkloadMix::Medium];
+    let horizon = if quick { 1800.0 } else { 3600.0 };
+    let reps = 2;
+    let run = || {
+        fig9::dynamic_sweep(
+            &tb,
+            16,
+            lambdas,
+            &mixes,
+            &fig9::SCHEDULERS,
+            horizon,
+            reps,
+            42,
+        )
+    };
+
+    par::override_threads(Some(1));
+    let t0 = Instant::now();
+    let serial_points = run();
+    let serial_s = t0.elapsed().as_secs_f64();
+
+    par::override_threads(None);
+    let t0 = Instant::now();
+    let parallel_points = run();
+    let parallel_s = t0.elapsed().as_secs_f64();
+
+    // Sanity: the parallel sweep must be bit-identical to the serial one.
+    assert_eq!(serial_points.len(), parallel_points.len());
+    for (a, b) in serial_points.iter().zip(&parallel_points) {
+        assert_eq!(
+            a.normalized_throughput.mean.to_bits(),
+            b.normalized_throughput.mean.to_bits(),
+            "parallel sweep diverged from serial"
+        );
+    }
+
+    let threads = par::max_threads();
+    let speedup = serial_s / parallel_s.max(1e-9);
+    for (name, value, unit) in [
+        ("fig9_reduced_sweep_serial", serial_s, "s"),
+        ("fig9_reduced_sweep_parallel", parallel_s, "s"),
+        ("fig9_reduced_sweep_speedup", speedup, "x"),
+    ] {
+        results.push(json!({
+            "suite": "experiment_driver",
+            "name": name,
+            "metric": "wall_clock",
+            "unit": unit,
+            "value": value,
+            "threads": threads,
+        }));
+    }
+    eprintln!(
+        "experiment_driver: serial {serial_s:.2} s, parallel {parallel_s:.2} s \
+         ({speedup:.2}x on {threads} threads)"
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_1.json".to_string());
+
+    let mut results = Vec::new();
+    micro_suite(quick, &mut results);
+    macro_suite(quick, &mut results);
+
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let doc = json!({
+        "schema_version": 1,
+        "suite": "tracon-bench/collect",
+        "mode": if quick { "quick" } else { "full" },
+        "unix_time": unix_time,
+        "host": {
+            "os": std::env::consts::OS,
+            "arch": std::env::consts::ARCH,
+            "cpus": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        },
+        "results": results,
+    });
+    let rendered = serde_json::to_string_pretty(&doc).expect("serialize benchmark document");
+    std::fs::write(&out, rendered + "\n").expect("write benchmark artifact");
+    eprintln!("wrote {out}");
+}

@@ -222,10 +222,11 @@ pub fn schedule(args: &Args) -> Result<String, String> {
     use tracon_core::{ClusterState, ScoringPolicy, Task};
     let scoring = ScoringPolicy::new(&tb.predictor, obj);
     let mut cluster = ClusterState::new(machines, 2, tb.app_chars.clone());
+    let registry = cluster.registry().clone();
     let mut queue: VecDeque<Task> = names
         .iter()
         .enumerate()
-        .map(|(i, n)| Task::new(i as u64, n.to_string()))
+        .map(|(i, n)| Task::new(i as u64, registry.expect_id(n)))
         .collect();
     let mut scheduler = kind.build();
     let assignments = scheduler.schedule(&mut queue, &mut cluster, &scoring);
@@ -241,7 +242,7 @@ pub fn schedule(args: &Args) -> Result<String, String> {
     .unwrap();
     let mut per_machine: Vec<Vec<String>> = vec![Vec::new(); machines];
     for a in &assignments {
-        per_machine[a.vm.machine].push(a.task.app.clone());
+        per_machine[a.vm.machine].push(registry.name(a.task.app).to_string());
     }
     for (m, apps) in per_machine.iter().enumerate() {
         if !apps.is_empty() {
@@ -249,7 +250,7 @@ pub fn schedule(args: &Args) -> Result<String, String> {
         }
     }
     if !queue.is_empty() {
-        let left: Vec<&str> = queue.iter().map(|t| t.app.as_str()).collect();
+        let left: Vec<&str> = queue.iter().map(|t| registry.name(t.app)).collect();
         writeln!(out, "  queued (cluster full): {}", left.join(", ")).unwrap();
     }
     Ok(out)

@@ -11,8 +11,14 @@
 //!   no-Dom0 ablation and evaluation utilities.
 //! * [`monitor`] — the task & resource monitor's online adaptation loop:
 //!   error tracking, drift detection, and periodic model rebuilds.
+//! * [`interner`] — the application-id interning layer (`AppId`,
+//!   `AppRegistry`, packed `ClassKey`) that keeps the scheduler hot path
+//!   allocation-free.
+//! * [`par`] — deterministic fork-join helpers (scoped threads) used by
+//!   MIX's head-candidate search and the dcsim experiment sweeps.
 //! * [`predictor`] — the prediction module that scores candidate task
-//!   placements for the schedulers, with per-(app, neighbour) memoization.
+//!   placements for the schedulers, backed by dense per-(app, class)
+//!   lookup tables.
 //! * [`sched`] — the FIFO baseline and the three interference-aware
 //!   schedulers: MIOS (Algorithm 1), MIBS (Algorithm 2), MIX
 //!   (Algorithm 3), over a neighbour-class-indexed cluster state that
@@ -27,12 +33,15 @@
 #![warn(missing_docs)]
 
 pub mod characteristics;
+pub mod interner;
 pub mod model;
 pub mod monitor;
+pub mod par;
 pub mod predictor;
 pub mod sched;
 
 pub use characteristics::{joint_features, Characteristics, N_CHARACTERISTICS, N_JOINT};
+pub use interner::{AppId, AppRegistry, ClassKey, MAX_NEIGHBOURS};
 pub use model::{
     evaluate,
     linear::LinearModel,

@@ -4,9 +4,11 @@
 //! interference models.
 
 use crate::characteristics::{joint_features, Characteristics};
+use crate::interner::{AppId, AppRegistry, ClassKey};
 use crate::model::InterferenceModel;
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 /// The stored profile of an application (built by the profiling campaign).
 #[derive(Debug, Clone)]
@@ -34,6 +36,7 @@ pub struct AppModelSet {
 pub struct Predictor {
     profiles: HashMap<String, AppProfile>,
     models: HashMap<String, AppModelSet>,
+    registry: Arc<AppRegistry>,
 }
 
 impl Predictor {
@@ -47,11 +50,19 @@ impl Predictor {
         let name = profile.name.clone();
         self.profiles.insert(name.clone(), profile);
         self.models.insert(name, models);
+        self.registry = Arc::new(AppRegistry::from_names(self.profiles.keys().cloned()));
     }
 
-    /// Names of the registered applications.
+    /// The interned id registry over the registered application names
+    /// (rebuilt on every [`Predictor::add_app`]; ids are assigned in
+    /// lexicographic name order).
+    pub fn registry(&self) -> &Arc<AppRegistry> {
+        &self.registry
+    }
+
+    /// Names of the registered applications, in id (lexicographic) order.
     pub fn app_names(&self) -> Vec<&str> {
-        self.profiles.keys().map(|s| s.as_str()).collect()
+        self.registry.names().iter().map(|s| s.as_str()).collect()
     }
 
     /// The stored profile of an application.
@@ -62,6 +73,11 @@ impl Predictor {
         self.profiles
             .get(app)
             .unwrap_or_else(|| panic!("unknown application '{app}'"))
+    }
+
+    /// The stored profile behind an interned id.
+    pub fn profile_of(&self, id: AppId) -> &AppProfile {
+        self.profile(self.registry.name(id))
     }
 
     /// Whether an application has been registered.
@@ -126,25 +142,68 @@ impl Objective {
     }
 }
 
+/// Sentinel bit pattern marking an unfilled dense-table entry. It decodes
+/// to a NaN, which no clamped prediction can produce.
+const EMPTY: u64 = u64::MAX;
+
 /// A scoring facade over the predictor: lower scores are better under
-/// either objective. Scores are memoized by `(application, neighbour
-/// class)` so large-cluster scheduling stays cheap — with 8 applications
-/// and at most 9 neighbour classes there are only 72 distinct queries.
+/// either objective.
+///
+/// Scores are keyed by `(AppId, ClassKey)`. Solo scores and pairwise
+/// interference scores are precomputed into dense `[n]` / `[n x n]`
+/// tables at construction; placement scores for single-neighbour classes
+/// fill a dense `[n x n]` atomic table on first use (the idle class is
+/// served from the solo table). Only classes with two or more neighbours
+/// — which exist only when machines host three or more VM slots — fall
+/// back to a locked hash map. After warm-up a score lookup is one array
+/// load and performs no heap allocation, and the policy is `Sync`, so
+/// parallel schedulers can share it.
 pub struct ScoringPolicy<'a> {
     predictor: &'a Predictor,
     /// The goal this policy optimizes.
     pub objective: Objective,
-    cache: RefCell<HashMap<(String, String), f64>>,
+    registry: Arc<AppRegistry>,
+    n_apps: usize,
+    /// `[n]` — score of each app on an idle machine.
+    solo: Vec<f64>,
+    /// `[n x n]` — mutual interference excess of each app pair.
+    pair: Vec<f64>,
+    /// `[n x n]` — lazily filled score of (app, single-neighbour class),
+    /// stored as `f64` bits; [`EMPTY`] marks an unfilled entry. Races are
+    /// benign: every filler computes the same deterministic value.
+    dense: Vec<AtomicU64>,
+    /// Fallback for classes with >= 2 neighbours (3+ slots per machine).
+    multi: RwLock<HashMap<(u16, u64), f64>>,
 }
 
 impl<'a> ScoringPolicy<'a> {
-    /// Creates a scoring policy for the given objective.
+    /// Creates a scoring policy for the given objective, precomputing the
+    /// solo and pair tables.
     pub fn new(predictor: &'a Predictor, objective: Objective) -> Self {
-        ScoringPolicy {
+        let registry = Arc::clone(predictor.registry());
+        let n = registry.len();
+        let mut policy = ScoringPolicy {
             predictor,
             objective,
-            cache: RefCell::new(HashMap::new()),
+            registry,
+            n_apps: n,
+            solo: Vec::with_capacity(n),
+            pair: Vec::with_capacity(n * n),
+            dense: (0..n * n).map(|_| AtomicU64::new(EMPTY)).collect(),
+            multi: RwLock::new(HashMap::new()),
+        };
+        let idle = Characteristics::idle();
+        for a in policy.registry.ids() {
+            let s = policy.raw_score(a, &idle);
+            policy.solo.push(s);
         }
+        for a in policy.registry.ids() {
+            for b in policy.registry.ids() {
+                let s = policy.raw_pair_score(a, b);
+                policy.pair.push(s);
+            }
+        }
+        policy
     }
 
     /// The underlying predictor.
@@ -152,21 +211,66 @@ impl<'a> ScoringPolicy<'a> {
         self.predictor
     }
 
-    /// Score of placing `app` on a VM whose neighbour class is
-    /// `neighbor_key` with the given observed characteristics. Lower is
-    /// better. `neighbor_key` must uniquely identify `background` (it is
-    /// the cache key); pass the neighbour application's name, or "" for
-    /// an idle neighbour.
-    pub fn score(&self, app: &str, neighbor_key: &str, background: &Characteristics) -> f64 {
-        let key = (app.to_string(), neighbor_key.to_string());
-        if let Some(&v) = self.cache.borrow().get(&key) {
+    /// The registry scores are keyed by.
+    pub fn registry(&self) -> &Arc<AppRegistry> {
+        &self.registry
+    }
+
+    fn raw_score(&self, app: AppId, background: &Characteristics) -> f64 {
+        let name = self.registry.name(app);
+        match self.objective {
+            Objective::MinRuntime => self.predictor.predict_runtime(name, background),
+            Objective::MaxIops => -self.predictor.predict_iops(name, background),
+        }
+    }
+
+    fn raw_pair_score(&self, app: AppId, other: AppId) -> f64 {
+        let a_name = self.registry.name(app);
+        let b_name = self.registry.name(other);
+        match self.objective {
+            Objective::MinRuntime => {
+                let a = self.predictor.predict_pair_runtime(a_name, b_name)
+                    - self.predictor.profile(a_name).solo_runtime;
+                let b = self.predictor.predict_pair_runtime(b_name, a_name)
+                    - self.predictor.profile(b_name).solo_runtime;
+                a + b
+            }
+            Objective::MaxIops => {
+                let a = self.predictor.profile(a_name).solo_iops
+                    - self.predictor.predict_pair_iops(a_name, b_name);
+                let b = self.predictor.profile(b_name).solo_iops
+                    - self.predictor.predict_pair_iops(b_name, a_name);
+                a + b
+            }
+        }
+    }
+
+    /// Score of placing `app` on a VM of neighbour class `key` with the
+    /// given observed characteristics. Lower is better. `key` must
+    /// uniquely identify `background` (it is the memoization key).
+    pub fn score(&self, app: AppId, key: ClassKey, background: &Characteristics) -> f64 {
+        if key.is_idle() {
+            return self.solo[app.index()];
+        }
+        if let Some(nb) = key.single() {
+            let slot = &self.dense[app.index() * self.n_apps + nb.index()];
+            let bits = slot.load(Ordering::Relaxed);
+            if bits != EMPTY {
+                return f64::from_bits(bits);
+            }
+            let v = self.raw_score(app, background);
+            slot.store(v.to_bits(), Ordering::Relaxed);
             return v;
         }
-        let v = match self.objective {
-            Objective::MinRuntime => self.predictor.predict_runtime(app, background),
-            Objective::MaxIops => -self.predictor.predict_iops(app, background),
-        };
-        self.cache.borrow_mut().insert(key, v);
+        let mkey = (app.0, key.bits());
+        if let Some(&v) = self.multi.read().expect("score cache poisoned").get(&mkey) {
+            return v;
+        }
+        let v = self.raw_score(app, background);
+        self.multi
+            .write()
+            .expect("score cache poisoned")
+            .insert(mkey, v);
         v
     }
 
@@ -178,28 +282,13 @@ impl<'a> ScoringPolicy<'a> {
     /// than the absolute runtime) is what "least interference with
     /// candidate 1" means: a short task is not a good partner merely for
     /// being short.
-    pub fn pair_score(&self, app: &str, other: &str) -> f64 {
-        match self.objective {
-            Objective::MinRuntime => {
-                let a = self.predictor.predict_pair_runtime(app, other)
-                    - self.predictor.profile(app).solo_runtime;
-                let b = self.predictor.predict_pair_runtime(other, app)
-                    - self.predictor.profile(other).solo_runtime;
-                a + b
-            }
-            Objective::MaxIops => {
-                let a = self.predictor.profile(app).solo_iops
-                    - self.predictor.predict_pair_iops(app, other);
-                let b = self.predictor.profile(other).solo_iops
-                    - self.predictor.predict_pair_iops(other, app);
-                a + b
-            }
-        }
+    pub fn pair_score(&self, app: AppId, other: AppId) -> f64 {
+        self.pair[app.index() * self.n_apps + other.index()]
     }
 
     /// Score of placing `app` on an idle machine (its best case).
-    pub fn solo_score(&self, app: &str) -> f64 {
-        self.score(app, "", &Characteristics::idle())
+    pub fn solo_score(&self, app: AppId) -> f64 {
+        self.solo[app.index()]
     }
 
     /// Interference *excess* of a placement: how much worse this slot is
@@ -207,13 +296,20 @@ impl<'a> ScoringPolicy<'a> {
     /// This is the "score" the Min-Min pairing minimizes — using the
     /// absolute score instead would make short tasks look like good fits
     /// for every slot.
-    pub fn excess_score(&self, app: &str, neighbor_key: &str, background: &Characteristics) -> f64 {
-        self.score(app, neighbor_key, background) - self.solo_score(app)
+    pub fn excess_score(&self, app: AppId, key: ClassKey, background: &Characteristics) -> f64 {
+        self.score(app, key, background) - self.solo[app.index()]
     }
 
-    /// Number of memoized scores (diagnostics).
+    /// Number of memoized placement scores (diagnostics): filled dense
+    /// entries plus multi-neighbour fallback entries. The precomputed
+    /// solo/pair tables are not counted.
     pub fn cache_len(&self) -> usize {
-        self.cache.borrow().len()
+        let dense = self
+            .dense
+            .iter()
+            .filter(|s| s.load(Ordering::Relaxed) != EMPTY)
+            .count();
+        dense + self.multi.read().expect("score cache poisoned").len()
     }
 }
 
@@ -296,26 +392,70 @@ mod tests {
     }
 
     #[test]
+    fn registry_assigns_sorted_ids() {
+        let p = predictor();
+        assert_eq!(p.app_names(), vec!["app_a", "app_b"]);
+        assert_eq!(p.registry().expect_id("app_a"), AppId(0));
+        assert_eq!(p.registry().expect_id("app_b"), AppId(1));
+        assert_eq!(p.profile_of(AppId(1)).name, "app_b");
+    }
+
+    #[test]
     fn scoring_policy_objectives() {
         let p = predictor();
         let rt = ScoringPolicy::new(&p, Objective::MinRuntime);
         let io = ScoringPolicy::new(&p, Objective::MaxIops);
-        let idle = Characteristics::idle();
-        let busy = Characteristics::new(300.0, 100.0, 0.9, 0.2);
+        let a = p.registry().expect_id("app_a");
+        let b = p.registry().expect_id("app_b");
+        let busy_key = ClassKey::from_neighbours([b]);
+        let busy = p.profile("app_b").solo;
         // Lower is better under both objectives.
-        assert!(rt.score("app_a", "idle", &idle) < rt.score("app_a", "busy", &busy));
-        assert!(io.score("app_a", "idle", &idle) < io.score("app_a", "busy", &busy));
+        assert!(
+            rt.score(a, ClassKey::IDLE, &Characteristics::idle()) < rt.score(a, busy_key, &busy)
+        );
+        assert!(
+            io.score(a, ClassKey::IDLE, &Characteristics::idle()) < io.score(a, busy_key, &busy)
+        );
     }
 
     #[test]
     fn scores_are_cached_by_key() {
         let p = predictor();
         let rt = ScoringPolicy::new(&p, Objective::MinRuntime);
-        let idle = Characteristics::idle();
-        rt.score("app_a", "idle", &idle);
-        rt.score("app_a", "idle", &idle);
-        rt.score("app_b", "idle", &idle);
+        let a = p.registry().expect_id("app_a");
+        let b = p.registry().expect_id("app_b");
+        let key_a = ClassKey::from_neighbours([a]);
+        let key_b = ClassKey::from_neighbours([b]);
+        let bg = Characteristics::new(300.0, 100.0, 0.9, 0.2);
+        assert_eq!(rt.cache_len(), 0);
+        rt.score(a, key_b, &bg);
+        rt.score(a, key_b, &bg);
+        rt.score(b, key_a, &bg);
         assert_eq!(rt.cache_len(), 2);
+        // Idle scores come from the precomputed solo table, not the cache.
+        rt.score(a, ClassKey::IDLE, &Characteristics::idle());
+        assert_eq!(rt.cache_len(), 2);
+    }
+
+    #[test]
+    fn excess_and_pair_scores_match_definitions() {
+        let p = predictor();
+        let rt = ScoringPolicy::new(&p, Objective::MinRuntime);
+        let a = p.registry().expect_id("app_a");
+        let b = p.registry().expect_id("app_b");
+        let key_b = ClassKey::from_neighbours([b]);
+        let bg = p.profile("app_b").solo;
+        let excess = rt.excess_score(a, key_b, &bg);
+        assert!((excess - (rt.score(a, key_b, &bg) - rt.solo_score(a))).abs() < 1e-12);
+        let expected_pair = (p.predict_pair_runtime("app_a", "app_b") - 100.0)
+            + (p.predict_pair_runtime("app_b", "app_a") - 100.0);
+        assert!((rt.pair_score(a, b) - expected_pair).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scoring_policy_is_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<ScoringPolicy<'_>>();
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! choice contributes; `HeadFirst` is the paper's Algorithm 2 listing
 //! taken literally.
 
-use super::{place_best, Assignment, ClusterState, Resident, Scheduler, Task};
+use super::{place_best, Assignment, ClusterState, FreeClass, Resident, Scheduler, Task};
 use crate::predictor::ScoringPolicy;
 use std::collections::VecDeque;
 
@@ -74,23 +74,24 @@ impl MibsAblation {
     ) -> Vec<Assignment> {
         let mut out = Vec::new();
         let mut window: Vec<Task> = queue.drain(..).collect();
+        let mut classes: Vec<FreeClass> = Vec::new();
         const TIE_EPS: f64 = 1e-9;
         while !window.is_empty() && cluster.n_free() > 0 {
-            let classes = cluster.free_classes();
+            cluster.free_classes_into(&mut classes);
             let mut best: Option<((f64, f64, usize), usize, usize)> = None;
             for (ti, t) in window.iter().enumerate() {
                 let fragility = if fragility_ties {
-                    scoring.pair_score(&t.app, &t.app)
+                    scoring.pair_score(t.app, t.app)
                 } else {
                     0.0
                 };
                 for (ci, c) in classes.iter().enumerate() {
                     let score = if use_excess {
-                        scoring.excess_score(&t.app, &c.key, &c.background)
+                        scoring.excess_score(t.app, c.key, &c.background)
                     } else {
-                        scoring.score(&t.app, &c.key, &c.background)
+                        scoring.score(t.app, c.key, &c.background)
                     };
-                    let tie = if fragility_ties && c.key.is_empty() {
+                    let tie = if fragility_ties && c.key.is_idle() {
                         -fragility
                     } else {
                         f64::INFINITY
@@ -112,13 +113,13 @@ impl MibsAblation {
             let Some((_, ti, ci)) = best else { break };
             let task = window.swap_remove(ti);
             let class = &classes[ci];
-            let score = scoring.score(&task.app, &class.key, &class.background);
+            let score = scoring.score(task.app, class.key, &class.background);
             let vm = class.example;
             cluster.place(
                 vm,
                 Resident {
                     task_id: task.id,
-                    app: task.app.clone(),
+                    app: task.app,
                 },
             );
             out.push(Assignment {
@@ -140,7 +141,7 @@ impl MibsAblation {
         let mut out = Vec::new();
         while !queue.is_empty() && cluster.n_free() > 0 {
             let candidate_1 = queue.pop_front().expect("non-empty");
-            let c1_app = candidate_1.app.clone();
+            let c1_app = candidate_1.app;
             match place_best(candidate_1, cluster, scoring) {
                 Some(a) => out.push(a),
                 None => break,
@@ -151,7 +152,7 @@ impl MibsAblation {
             let mut best_idx = 0usize;
             let mut best_score = f64::INFINITY;
             for (i, t) in queue.iter().enumerate() {
-                let s = scoring.pair_score(&t.app, &c1_app);
+                let s = scoring.pair_score(t.app, c1_app);
                 if s < best_score {
                     best_score = s;
                     best_idx = i;
@@ -174,19 +175,20 @@ impl MibsAblation {
     ) -> Vec<Assignment> {
         // Deterministic pseudo-random slot choice keyed by the task id.
         let mut out = Vec::new();
+        let mut classes: Vec<FreeClass> = Vec::new();
         while cluster.n_free() > 0 {
             let Some(task) = queue.pop_front() else { break };
-            let classes = cluster.free_classes();
+            cluster.free_classes_into(&mut classes);
             let pick = (task.id.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17) as usize)
                 % classes.len();
             let class = &classes[pick];
-            let score = scoring.score(&task.app, &class.key, &class.background);
+            let score = scoring.score(task.app, class.key, &class.background);
             let vm = class.example;
             cluster.place(
                 vm,
                 Resident {
                     task_id: task.id,
-                    app: task.app.clone(),
+                    app: task.app,
                 },
             );
             out.push(Assignment {
@@ -227,13 +229,13 @@ impl Scheduler for MibsAblation {
 mod tests {
     use super::*;
     use crate::predictor::{Objective, ScoringPolicy};
-    use crate::sched::test_support::{app_chars, predictor};
+    use crate::sched::test_support::{aid, app_chars, predictor, task};
 
     fn run_variant(variant: MibsVariant, tasks: &[(&str, u64)]) -> Vec<Assignment> {
         let p = predictor();
         let scoring = ScoringPolicy::new(&p, Objective::MinRuntime);
         let mut cluster = ClusterState::new(2, 2, app_chars());
-        let mut queue: VecDeque<Task> = tasks.iter().map(|(a, i)| Task::new(*i, *a)).collect();
+        let mut queue: VecDeque<Task> = tasks.iter().map(|(a, i)| task(*i, a)).collect();
         MibsAblation::new(variant).schedule(&mut queue, &mut cluster, &scoring)
     }
 
@@ -259,12 +261,13 @@ mod tests {
             MibsVariant::HeadFirst,
             &[("io", 0), ("cpu", 1), ("io", 2), ("cpu", 3)],
         );
+        let io = aid("io");
         for m in 0..2 {
-            let io = out
+            let io_count = out
                 .iter()
-                .filter(|a| a.vm.machine == m && a.task.app == "io")
+                .filter(|a| a.vm.machine == m && a.task.app == io)
                 .count();
-            assert!(io <= 1, "machine {m} has {io} io tasks");
+            assert!(io_count <= 1, "machine {m} has {io_count} io tasks");
         }
     }
 

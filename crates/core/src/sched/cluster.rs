@@ -1,14 +1,17 @@
 //! The scheduler's view of the data center: machines with a fixed number
 //! of VM slots, each slot either free or holding a resident application.
 //!
-//! Free slots are indexed by their *neighbour class* — the (sorted) set of
-//! applications resident on the same machine. With 8 applications and two
-//! slots per machine there are only 9 classes (idle + one per app), so
-//! schedulers scan classes instead of individual VMs and scheduling cost
-//! is independent of cluster size.
+//! Free slots are indexed by their *neighbour class* — the (sorted)
+//! multiset of applications resident on the same machine, packed into a
+//! [`ClassKey`]. With 8 applications and two slots per machine there are
+//! only 9 classes (idle + one per app), so schedulers scan classes
+//! instead of individual VMs and scheduling cost is independent of
+//! cluster size.
 
 use crate::characteristics::Characteristics;
+use crate::interner::{AppId, AppRegistry, ClassKey, MAX_NEIGHBOURS};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// A virtual machine slot: machine index and slot index within it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -20,21 +23,21 @@ pub struct VmRef {
 }
 
 /// A task resident in a slot.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Resident {
     /// The scheduler-visible task id.
     pub task_id: u64,
-    /// The application the task runs.
-    pub app: String,
+    /// The application the task runs (interned).
+    pub app: AppId,
 }
 
 /// One free-slot class: slots whose machine hosts the same multiset of
 /// neighbour applications.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct FreeClass {
-    /// Class key: neighbour app names joined by `+`, or "" when the rest
-    /// of the machine is idle.
-    pub key: String,
+    /// Packed neighbour-class key ([`ClassKey::IDLE`] when the rest of
+    /// the machine is idle).
+    pub key: ClassKey,
     /// Aggregate characteristics of the neighbours (idle = zeros).
     pub background: Characteristics,
     /// A representative free slot of this class.
@@ -48,42 +51,64 @@ pub struct FreeClass {
 pub struct ClusterState {
     slots_per_machine: usize,
     machines: Vec<Vec<Option<Resident>>>,
-    /// Canonical observed characteristics per application (what the task &
-    /// resource monitor reports for a steadily-running instance).
-    app_chars: HashMap<String, Characteristics>,
-    /// Free slots grouped by neighbour-class key.
-    free: BTreeMap<String, BTreeSet<VmRef>>,
+    /// Name ↔ id map over the applications the monitor knows.
+    registry: Arc<AppRegistry>,
+    /// Canonical observed characteristics per application id (what the
+    /// task & resource monitor reports for a steadily-running instance).
+    chars_by_id: Vec<Characteristics>,
+    /// Free slots grouped by neighbour-class key. `BTreeMap` iteration
+    /// order over packed keys equals the legacy joined-string order, so
+    /// first-minimum tie-breaks are unchanged.
+    free: BTreeMap<ClassKey, BTreeSet<VmRef>>,
 }
 
 impl ClusterState {
     /// Creates an empty cluster of `n_machines` with `slots_per_machine`
     /// VMs each, using `app_chars` as the monitor's per-application
-    /// characteristics.
+    /// characteristics. An [`AppRegistry`] is derived from the (sorted)
+    /// application names, so any cluster built from the same name set
+    /// agrees on ids.
     ///
     /// # Panics
-    /// Panics when sizes are zero.
+    /// Panics when sizes are zero or `slots_per_machine` exceeds
+    /// [`MAX_NEIGHBOURS`]` + 1`.
     pub fn new(
         n_machines: usize,
         slots_per_machine: usize,
         app_chars: HashMap<String, Characteristics>,
     ) -> Self {
         assert!(n_machines > 0 && slots_per_machine > 0, "empty cluster");
+        assert!(
+            slots_per_machine <= MAX_NEIGHBOURS + 1,
+            "at most {} slots per machine supported",
+            MAX_NEIGHBOURS + 1
+        );
+        let registry = Arc::new(AppRegistry::from_names(app_chars.keys().cloned()));
+        let chars_by_id = registry.names().iter().map(|n| app_chars[n]).collect();
         let machines = vec![vec![None; slots_per_machine]; n_machines];
         let mut state = ClusterState {
             slots_per_machine,
             machines,
-            app_chars,
+            registry,
+            chars_by_id,
             free: BTreeMap::new(),
         };
-        for m in 0..n_machines {
-            for s in 0..slots_per_machine {
-                state.free.entry(String::new()).or_default().insert(VmRef {
+        let all_idle: BTreeSet<VmRef> = (0..n_machines)
+            .flat_map(|m| {
+                (0..slots_per_machine).map(move |s| VmRef {
                     machine: m,
                     slot: s,
-                });
-            }
-        }
+                })
+            })
+            .collect();
+        state.free.insert(ClassKey::IDLE, all_idle);
         state
+    }
+
+    /// The registry mapping application names to the interned ids tasks
+    /// and residents carry.
+    pub fn registry(&self) -> &Arc<AppRegistry> {
+        &self.registry
     }
 
     /// Number of machines.
@@ -111,17 +136,16 @@ impl ClusterState {
         self.machines[vm.machine][vm.slot].as_ref()
     }
 
-    /// The class key of a free slot on `machine`: neighbour apps sorted
-    /// and joined with `+` ("" when all neighbours are idle).
-    fn class_key(&self, machine: usize, slot: usize) -> String {
-        let mut names: Vec<&str> = self.machines[machine]
-            .iter()
-            .enumerate()
-            .filter(|(s, r)| *s != slot && r.is_some())
-            .map(|(_, r)| r.as_ref().unwrap().app.as_str())
-            .collect();
-        names.sort_unstable();
-        names.join("+")
+    /// The class key of a slot on `machine`: the packed multiset of its
+    /// resident neighbours ([`ClassKey::IDLE`] when all are idle).
+    fn class_key(&self, machine: usize, slot: usize) -> ClassKey {
+        ClassKey::from_neighbours(
+            self.machines[machine]
+                .iter()
+                .enumerate()
+                .filter(|(s, r)| *s != slot && r.is_some())
+                .map(|(_, r)| r.as_ref().unwrap().app),
+        )
     }
 
     /// Aggregate neighbour characteristics of a slot.
@@ -133,8 +157,8 @@ impl ClusterState {
             }
             if let Some(res) = r {
                 let c = self
-                    .app_chars
-                    .get(&res.app)
+                    .chars_by_id
+                    .get(res.app.index())
                     .copied()
                     .unwrap_or_else(Characteristics::idle);
                 bg = bg.combine(&c);
@@ -143,27 +167,47 @@ impl ClusterState {
         bg
     }
 
-    /// The free-slot classes currently available (deterministic order).
-    pub fn free_classes(&self) -> Vec<FreeClass> {
+    /// The free-slot classes currently available, in deterministic
+    /// (packed-key) order, without allocating.
+    pub fn free_class_iter(&self) -> impl Iterator<Item = FreeClass> + '_ {
         self.free
             .iter()
             .filter(|(_, slots)| !slots.is_empty())
             .map(|(key, slots)| {
                 let example = *slots.iter().next().unwrap();
                 FreeClass {
-                    key: key.clone(),
+                    key: *key,
                     background: self.background_of(example),
                     example,
                     count: slots.len(),
                 }
             })
-            .collect()
+    }
+
+    /// The free-slot classes currently available (deterministic order).
+    pub fn free_classes(&self) -> Vec<FreeClass> {
+        self.free_class_iter().collect()
+    }
+
+    /// Collects the free-slot classes into a reusable buffer (cleared
+    /// first) so batch schedulers avoid a fresh allocation per round.
+    pub fn free_classes_into(&self, out: &mut Vec<FreeClass>) {
+        out.clear();
+        out.extend(self.free_class_iter());
+    }
+
+    /// The class key and neighbour characteristics of one specific free
+    /// slot (FIFO's diagnostic score needs the slot it already picked).
+    pub fn class_of(&self, vm: VmRef) -> (ClassKey, Characteristics) {
+        (self.class_key(vm.machine, vm.slot), self.background_of(vm))
     }
 
     /// Whether any machine is entirely free (all slots idle). Cheap: the
-    /// idle neighbour class is keyed by the empty string.
+    /// idle neighbour class is keyed by [`ClassKey::IDLE`].
     pub fn has_idle_machine(&self) -> bool {
-        self.free.get("").is_some_and(|set| !set.is_empty())
+        self.free
+            .get(&ClassKey::IDLE)
+            .is_some_and(|set| !set.is_empty())
     }
 
     /// First free slot in deterministic order, if any (FIFO placement).
@@ -186,22 +230,23 @@ impl ClusterState {
         self.free.entry(key).or_default().insert(vm);
     }
 
-    /// Re-indexes every free sibling slot of `machine` (their class keys
-    /// change when a resident arrives or departs).
-    fn reindex_machine(&mut self, machine: usize, changed_slot: usize) {
+    /// Removes every free sibling of `changed_slot` from the free index
+    /// under its *current* class key. Must run before the slot mutates;
+    /// [`ClusterState::attach_free_siblings`] re-adds them afterwards
+    /// under their fresh keys. This replaces the old scan over every
+    /// class set with two O(slots) passes.
+    fn detach_free_siblings(&mut self, machine: usize, changed_slot: usize) {
         for s in 0..self.slots_per_machine {
-            if s == changed_slot {
-                continue;
+            if s != changed_slot && self.machines[machine][s].is_none() {
+                self.remove_free(VmRef { machine, slot: s });
             }
-            let vm = VmRef { machine, slot: s };
-            if self.machines[machine][s].is_none() {
-                // Remove from whatever class set currently holds it, then
-                // re-add under the fresh key.
-                for set in self.free.values_mut() {
-                    set.remove(&vm);
-                }
-                self.free.retain(|_, set| !set.is_empty());
-                self.add_free(vm);
+        }
+    }
+
+    fn attach_free_siblings(&mut self, machine: usize, changed_slot: usize) {
+        for s in 0..self.slots_per_machine {
+            if s != changed_slot && self.machines[machine][s].is_none() {
+                self.add_free(VmRef { machine, slot: s });
             }
         }
     }
@@ -216,8 +261,9 @@ impl ClusterState {
             "slot {vm:?} already occupied"
         );
         self.remove_free(vm);
+        self.detach_free_siblings(vm.machine, vm.slot);
         self.machines[vm.machine][vm.slot] = Some(resident);
-        self.reindex_machine(vm.machine, vm.slot);
+        self.attach_free_siblings(vm.machine, vm.slot);
     }
 
     /// Clears a slot (task completion), returning the departing resident.
@@ -225,18 +271,29 @@ impl ClusterState {
     /// # Panics
     /// Panics when the slot is already free.
     pub fn clear(&mut self, vm: VmRef) -> Resident {
-        let resident = self.machines[vm.machine][vm.slot]
-            .take()
-            .unwrap_or_else(|| panic!("slot {vm:?} already free"));
+        assert!(
+            self.machines[vm.machine][vm.slot].is_some(),
+            "slot {vm:?} already free"
+        );
+        self.detach_free_siblings(vm.machine, vm.slot);
+        let resident = self.machines[vm.machine][vm.slot].take().unwrap();
         self.add_free(vm);
-        self.reindex_machine(vm.machine, vm.slot);
+        self.attach_free_siblings(vm.machine, vm.slot);
         resident
     }
 
-    /// Looks up the canonical characteristics of an application.
+    /// Looks up the canonical characteristics of an application by name.
     pub fn app_chars(&self, app: &str) -> Characteristics {
-        self.app_chars
-            .get(app)
+        self.registry
+            .id(app)
+            .map(|id| self.chars_by_id[id.index()])
+            .unwrap_or_else(Characteristics::idle)
+    }
+
+    /// Looks up the canonical characteristics of an interned application.
+    pub fn chars_of(&self, app: AppId) -> Characteristics {
+        self.chars_by_id
+            .get(app.index())
             .copied()
             .unwrap_or_else(Characteristics::idle)
     }
@@ -274,13 +331,24 @@ mod tests {
         ClusterState::new(3, 2, app_chars)
     }
 
+    fn key(c: &ClusterState, names: &[&str]) -> ClassKey {
+        ClassKey::from_neighbours(names.iter().map(|n| c.registry().expect_id(n)))
+    }
+
+    fn resident(c: &ClusterState, task_id: u64, name: &str) -> Resident {
+        Resident {
+            task_id,
+            app: c.registry().expect_id(name),
+        }
+    }
+
     #[test]
     fn fresh_cluster_is_all_idle_class() {
         let c = cluster();
         assert_eq!(c.n_free(), 6);
         let classes = c.free_classes();
         assert_eq!(classes.len(), 1);
-        assert_eq!(classes[0].key, "");
+        assert_eq!(classes[0].key, ClassKey::IDLE);
         assert_eq!(classes[0].count, 6);
         assert_eq!(classes[0].background, Characteristics::idle());
     }
@@ -288,21 +356,20 @@ mod tests {
     #[test]
     fn placing_creates_neighbour_class() {
         let mut c = cluster();
+        let r = resident(&c, 1, "a");
         c.place(
             VmRef {
                 machine: 0,
                 slot: 0,
             },
-            Resident {
-                task_id: 1,
-                app: "a".into(),
-            },
+            r,
         );
         assert_eq!(c.n_free(), 5);
         let classes = c.free_classes();
         // Classes: idle (4 slots on machines 1,2) and "a" (slot 0.1).
         assert_eq!(classes.len(), 2);
-        let a_class = classes.iter().find(|cl| cl.key == "a").unwrap();
+        let a_key = key(&c, &["a"]);
+        let a_class = classes.iter().find(|cl| cl.key == a_key).unwrap();
         assert_eq!(a_class.count, 1);
         assert_eq!(
             a_class.example,
@@ -321,15 +388,10 @@ mod tests {
             machine: 0,
             slot: 0,
         };
-        c.place(
-            vm,
-            Resident {
-                task_id: 1,
-                app: "a".into(),
-            },
-        );
+        let r = resident(&c, 1, "a");
+        c.place(vm, r);
         let departed = c.clear(vm);
-        assert_eq!(departed.app, "a");
+        assert_eq!(departed.app, c.registry().expect_id("a"));
         assert_eq!(c.n_free(), 6);
         assert_eq!(c.free_classes().len(), 1);
     }
@@ -337,30 +399,26 @@ mod tests {
     #[test]
     fn sibling_placement_updates_class() {
         let mut c = cluster();
+        let ra = resident(&c, 1, "a");
+        let rb = resident(&c, 2, "b");
         c.place(
             VmRef {
                 machine: 1,
                 slot: 0,
             },
-            Resident {
-                task_id: 1,
-                app: "a".into(),
-            },
+            ra,
         );
         c.place(
             VmRef {
                 machine: 1,
                 slot: 1,
             },
-            Resident {
-                task_id: 2,
-                app: "b".into(),
-            },
+            rb,
         );
         // Machine 1 full; only idle slots remain.
         let classes = c.free_classes();
         assert_eq!(classes.len(), 1);
-        assert_eq!(classes[0].key, "");
+        assert_eq!(classes[0].key, ClassKey::IDLE);
         assert_eq!(classes[0].count, 4);
         // Clearing slot 0 exposes a free slot whose neighbour is b.
         c.clear(VmRef {
@@ -368,7 +426,8 @@ mod tests {
             slot: 0,
         });
         let classes = c.free_classes();
-        let b_class = classes.iter().find(|cl| cl.key == "b").unwrap();
+        let b_key = key(&c, &["b"]);
+        let b_class = classes.iter().find(|cl| cl.key == b_key).unwrap();
         assert_eq!(b_class.background.read_rps, 200.0);
     }
 
@@ -377,34 +436,30 @@ mod tests {
         let mut app_chars = HashMap::new();
         app_chars.insert("a".to_string(), chars(100.0));
         let mut c = ClusterState::new(1, 3, app_chars);
+        let r1 = resident(&c, 1, "a");
+        let r2 = resident(&c, 2, "a");
         c.place(
             VmRef {
                 machine: 0,
                 slot: 0,
             },
-            Resident {
-                task_id: 1,
-                app: "a".into(),
-            },
+            r1,
         );
         c.place(
             VmRef {
                 machine: 0,
                 slot: 1,
             },
-            Resident {
-                task_id: 2,
-                app: "a".into(),
-            },
+            r2,
         );
         let bg = c.background_of(VmRef {
             machine: 0,
             slot: 2,
         });
         assert_eq!(bg.read_rps, 200.0);
-        // Class key sorts and joins the neighbours.
+        // Class key packs the sorted neighbour multiset.
         let classes = c.free_classes();
-        assert_eq!(classes[0].key, "a+a");
+        assert_eq!(classes[0].key, key(&c, &["a", "a"]));
     }
 
     #[test]
@@ -417,15 +472,13 @@ mod tests {
                 slot: 0
             })
         );
+        let r = resident(&c, 1, "a");
         c.place(
             VmRef {
                 machine: 0,
                 slot: 0,
             },
-            Resident {
-                task_id: 1,
-                app: "a".into(),
-            },
+            r,
         );
         assert_eq!(
             c.first_free(),
@@ -444,37 +497,47 @@ mod tests {
             machine: 0,
             slot: 0,
         };
-        c.place(
-            vm,
-            Resident {
-                task_id: 1,
-                app: "a".into(),
-            },
-        );
-        c.place(
-            vm,
-            Resident {
-                task_id: 2,
-                app: "b".into(),
-            },
-        );
+        let r1 = resident(&c, 1, "a");
+        let r2 = resident(&c, 2, "b");
+        c.place(vm, r1);
+        c.place(vm, r2);
     }
 
     #[test]
     fn occupied_iterates_residents() {
         let mut c = cluster();
+        let r = resident(&c, 9, "b");
         c.place(
             VmRef {
                 machine: 2,
                 slot: 1,
             },
-            Resident {
-                task_id: 9,
-                app: "b".into(),
-            },
+            r,
         );
         let occ: Vec<_> = c.occupied().collect();
         assert_eq!(occ.len(), 1);
         assert_eq!(occ[0].1.task_id, 9);
+    }
+
+    #[test]
+    fn class_of_matches_free_class_listing() {
+        let mut c = cluster();
+        let r = resident(&c, 1, "b");
+        c.place(
+            VmRef {
+                machine: 0,
+                slot: 0,
+            },
+            r,
+        );
+        let sibling = VmRef {
+            machine: 0,
+            slot: 1,
+        };
+        let (k, bg) = c.class_of(sibling);
+        let listed = c.free_classes();
+        let cl = listed.iter().find(|cl| cl.key == k).unwrap();
+        assert_eq!(cl.example, sibling);
+        assert_eq!(cl.background, bg);
     }
 }

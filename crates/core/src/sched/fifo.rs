@@ -25,22 +25,13 @@ impl Scheduler for Fifo {
             let Some(task) = queue.pop_front() else { break };
             // Record the score the policy would have predicted, purely for
             // diagnostics — FIFO does not use it.
-            let (key, bg) = {
-                let bg = cluster.background_of(vm);
-                let classes = cluster.free_classes();
-                let key = classes
-                    .iter()
-                    .find(|c| c.example == vm || c.background == bg)
-                    .map(|c| c.key.clone())
-                    .unwrap_or_default();
-                (key, bg)
-            };
-            let predicted_score = scoring.score(&task.app, &key, &bg);
+            let (key, bg) = cluster.class_of(vm);
+            let predicted_score = scoring.score(task.app, key, &bg);
             cluster.place(
                 vm,
                 Resident {
                     task_id: task.id,
-                    app: task.app.clone(),
+                    app: task.app,
                 },
             );
             out.push(Assignment {
@@ -57,7 +48,7 @@ impl Scheduler for Fifo {
 mod tests {
     use super::*;
     use crate::predictor::{Objective, ScoringPolicy};
-    use crate::sched::test_support::{app_chars, predictor};
+    use crate::sched::test_support::{app_chars, predictor, task};
     use crate::sched::VmRef;
 
     #[test]
@@ -66,7 +57,7 @@ mod tests {
         let scoring = ScoringPolicy::new(&p, Objective::MinRuntime);
         let mut cluster = ClusterState::new(2, 2, app_chars());
         let mut queue: VecDeque<Task> = (0..3)
-            .map(|i| Task::new(i, if i % 2 == 0 { "io" } else { "cpu" }))
+            .map(|i| task(i, if i % 2 == 0 { "io" } else { "cpu" }))
             .collect();
         let out = Fifo.schedule(&mut queue, &mut cluster, &scoring);
         assert_eq!(out.len(), 3);
@@ -100,7 +91,7 @@ mod tests {
         let p = predictor();
         let scoring = ScoringPolicy::new(&p, Objective::MinRuntime);
         let mut cluster = ClusterState::new(1, 2, app_chars());
-        let mut queue: VecDeque<Task> = (0..5).map(|i| Task::new(i, "io")).collect();
+        let mut queue: VecDeque<Task> = (0..5).map(|i| task(i, "io")).collect();
         let out = Fifo.schedule(&mut queue, &mut cluster, &scoring);
         assert_eq!(out.len(), 2);
         assert_eq!(queue.len(), 3);

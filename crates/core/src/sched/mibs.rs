@@ -24,7 +24,7 @@
 //! scenario, where slots free up one at a time: the whole value of the
 //! batch window is choosing *which* queued task fits the freed slot.
 
-use super::{Assignment, ClusterState, Resident, Scheduler, Task};
+use super::{Assignment, ClusterState, FreeClass, Resident, Scheduler, Task};
 use crate::predictor::ScoringPolicy;
 use std::collections::VecDeque;
 
@@ -66,9 +66,12 @@ impl Scheduler for Mibs {
     ) -> Vec<Assignment> {
         let mut out = Vec::new();
         let mut window: Vec<Task> = queue.drain(..).collect();
+        // Reused across rounds so each round's class listing costs no
+        // fresh allocation.
+        let mut classes: Vec<FreeClass> = Vec::new();
 
         while !window.is_empty() && cluster.n_free() > 0 {
-            let classes = cluster.free_classes();
+            cluster.free_classes_into(&mut classes);
             // The double Min: over every (task, slot-class) pair, find the
             // minimum interference excess. Tie-breaking matters because on
             // benign workloads almost everything ties at zero excess:
@@ -82,12 +85,12 @@ impl Scheduler for Mibs {
             //     throughput under overload.
             let mut best: Option<((f64, f64, usize), usize, usize)> = None;
             for (ti, t) in window.iter().enumerate() {
-                let fragility = scoring.pair_score(&t.app, &t.app);
+                let fragility = scoring.pair_score(t.app, t.app);
                 for (ci, c) in classes.iter().enumerate() {
-                    let excess = scoring.excess_score(&t.app, &c.key, &c.background);
+                    let excess = scoring.excess_score(t.app, c.key, &c.background);
                     // Lexicographic key: excess, then idle-with-fragility
                     // preference, then window age.
-                    let tie = if c.key.is_empty() {
+                    let tie = if c.key.is_idle() {
                         -fragility
                     } else {
                         f64::INFINITY
@@ -109,13 +112,13 @@ impl Scheduler for Mibs {
             let Some((_, ti, ci)) = best else { break };
             let task = window.swap_remove(ti);
             let class = &classes[ci];
-            let score = scoring.score(&task.app, &class.key, &class.background);
+            let score = scoring.score(task.app, class.key, &class.background);
             let vm = class.example;
             cluster.place(
                 vm,
                 Resident {
                     task_id: task.id,
-                    app: task.app.clone(),
+                    app: task.app,
                 },
             );
             out.push(Assignment {
@@ -134,7 +137,7 @@ impl Scheduler for Mibs {
 mod tests {
     use super::*;
     use crate::predictor::{Objective, ScoringPolicy};
-    use crate::sched::test_support::{app_chars, predictor};
+    use crate::sched::test_support::{aid, app_chars, predictor, resident, task};
 
     #[test]
     fn pairs_io_with_cpu_on_full_batch() {
@@ -142,17 +145,18 @@ mod tests {
         let scoring = ScoringPolicy::new(&p, Objective::MinRuntime);
         let mut cluster = ClusterState::new(2, 2, app_chars());
         let mut queue: VecDeque<Task> = VecDeque::from(vec![
-            Task::new(0, "io"),
-            Task::new(1, "io"),
-            Task::new(2, "cpu"),
-            Task::new(3, "cpu"),
+            task(0, "io"),
+            task(1, "io"),
+            task(2, "cpu"),
+            task(3, "cpu"),
         ]);
         let out = Mibs::new(4).schedule(&mut queue, &mut cluster, &scoring);
         assert_eq!(out.len(), 4);
+        let io = aid("io");
         for m in 0..2 {
             let io_count = out
                 .iter()
-                .filter(|a| a.vm.machine == m && a.task.app == "io")
+                .filter(|a| a.vm.machine == m && a.task.app == io)
                 .count();
             assert_eq!(io_count, 1, "machine {m} hosts {io_count} io tasks");
         }
@@ -166,20 +170,21 @@ mod tests {
         // Benign cpu tasks arrive first, but the io tasks must claim the
         // idle machines and receive the cpu tasks as partners.
         let mut queue: VecDeque<Task> = VecDeque::from(vec![
-            Task::new(0, "cpu"),
-            Task::new(1, "cpu"),
-            Task::new(2, "io"),
-            Task::new(3, "io"),
+            task(0, "cpu"),
+            task(1, "cpu"),
+            task(2, "io"),
+            task(3, "io"),
         ]);
         let out = Mibs::new(4).schedule(&mut queue, &mut cluster, &scoring);
+        let io = aid("io");
         assert_eq!(
-            out[0].task.app, "io",
+            out[0].task.app, io,
             "most fragile task must be placed first"
         );
         for m in 0..2 {
             let io_count = out
                 .iter()
-                .filter(|a| a.vm.machine == m && a.task.app == "io")
+                .filter(|a| a.vm.machine == m && a.task.app == io)
                 .count();
             assert_eq!(io_count, 1);
         }
@@ -198,18 +203,14 @@ mod tests {
                 machine: 0,
                 slot: 0,
             },
-            Resident {
-                task_id: 99,
-                app: "io".into(),
-            },
+            resident(99, "io"),
         );
-        let mut queue: VecDeque<Task> =
-            VecDeque::from(vec![Task::new(0, "io"), Task::new(1, "cpu")]);
+        let mut queue: VecDeque<Task> = VecDeque::from(vec![task(0, "io"), task(1, "cpu")]);
         let out = Mibs::new(2).schedule(&mut queue, &mut cluster, &scoring);
         assert_eq!(out.len(), 1);
-        assert_eq!(out[0].task.app, "cpu");
+        assert_eq!(out[0].task.app, aid("cpu"));
         assert_eq!(queue.len(), 1);
-        assert_eq!(queue[0].app, "io");
+        assert_eq!(queue[0].app, aid("io"));
     }
 
     #[test]
@@ -217,11 +218,8 @@ mod tests {
         let p = predictor();
         let scoring = ScoringPolicy::new(&p, Objective::MinRuntime);
         let mut cluster = ClusterState::new(2, 2, app_chars());
-        let mut queue: VecDeque<Task> = VecDeque::from(vec![
-            Task::new(0, "io"),
-            Task::new(1, "cpu"),
-            Task::new(2, "io"),
-        ]);
+        let mut queue: VecDeque<Task> =
+            VecDeque::from(vec![task(0, "io"), task(1, "cpu"), task(2, "io")]);
         let out = Mibs::new(3).schedule(&mut queue, &mut cluster, &scoring);
         assert_eq!(out.len(), 3);
         assert!(queue.is_empty());

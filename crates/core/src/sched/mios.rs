@@ -40,14 +40,14 @@ impl Scheduler for Mios {
 mod tests {
     use super::*;
     use crate::predictor::{Objective, ScoringPolicy};
-    use crate::sched::test_support::{app_chars, predictor};
+    use crate::sched::test_support::{app_chars, predictor, task};
 
     #[test]
     fn spreads_io_tasks_across_machines() {
         let p = predictor();
         let scoring = ScoringPolicy::new(&p, Objective::MinRuntime);
         let mut cluster = ClusterState::new(2, 2, app_chars());
-        let mut queue: VecDeque<Task> = (0..2).map(|i| Task::new(i, "io")).collect();
+        let mut queue: VecDeque<Task> = (0..2).map(|i| task(i, "io")).collect();
         let out = Mios.schedule(&mut queue, &mut cluster, &scoring);
         assert_eq!(out.len(), 2);
         assert_ne!(
@@ -66,10 +66,10 @@ mod tests {
         // but MIOS is greedy, so the third io task must co-locate with an
         // io task; the cpu task then joins the other io.
         let mut queue: VecDeque<Task> = VecDeque::from(vec![
-            Task::new(0, "io"),
-            Task::new(1, "io"),
-            Task::new(2, "io"),
-            Task::new(3, "cpu"),
+            task(0, "io"),
+            task(1, "io"),
+            task(2, "io"),
+            task(3, "cpu"),
         ]);
         let out = Mios.schedule(&mut queue, &mut cluster, &scoring);
         assert_eq!(out.len(), 4);
@@ -83,7 +83,7 @@ mod tests {
         let p = predictor();
         let io_scoring = ScoringPolicy::new(&p, Objective::MaxIops);
         let mut cluster = ClusterState::new(2, 2, app_chars());
-        let mut queue: VecDeque<Task> = (0..2).map(|i| Task::new(i, "io")).collect();
+        let mut queue: VecDeque<Task> = (0..2).map(|i| task(i, "io")).collect();
         let out = Mios.schedule(&mut queue, &mut cluster, &io_scoring);
         // Under MaxIops, io tasks also spread (their combined IOPS is
         // higher apart).
@@ -95,7 +95,7 @@ mod tests {
         let p = predictor();
         let scoring = ScoringPolicy::new(&p, Objective::MinRuntime);
         let mut cluster = ClusterState::new(1, 1, app_chars());
-        let mut queue: VecDeque<Task> = (0..3).map(|i| Task::new(i, "cpu")).collect();
+        let mut queue: VecDeque<Task> = (0..3).map(|i| task(i, "cpu")).collect();
         let out = Mios.schedule(&mut queue, &mut cluster, &scoring);
         assert_eq!(out.len(), 1);
         assert_eq!(queue.len(), 2);

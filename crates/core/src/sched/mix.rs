@@ -7,10 +7,21 @@
 //! score is executed. Quadratically more expensive than MIBS; the
 //! paper's point is that the small additional gain rarely justifies the
 //! overhead.
+//!
+//! Head candidates are independent, so on large clusters each one is
+//! evaluated on its own cluster clone across worker threads; candidates
+//! are reduced in head order, making the result bit-identical to the
+//! serial place/undo evaluation for any thread count.
 
 use super::{place_best, Assignment, ClusterState, Mibs, Scheduler, Task};
+use crate::par;
 use crate::predictor::ScoringPolicy;
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
+
+/// Minimum cluster size at which cloning the cluster per head candidate
+/// and fanning out to worker threads pays for the thread handoff; below
+/// it the serial place/undo evaluation is faster.
+const PAR_MACHINES_THRESHOLD: usize = 32;
 
 /// The mixed scheduler.
 #[derive(Debug, Clone)]
@@ -50,31 +61,49 @@ impl Scheduler for Mix {
         if queue.is_empty() || cluster.n_free() == 0 {
             return Vec::new();
         }
-        let tasks: Vec<Task> = queue.iter().cloned().collect();
-        let mut best: Option<(f64, Vec<Assignment>)> = None;
-
-        for head in 0..tasks.len() {
-            // Force task `head` to be placed first (by MIOS), then let
-            // MIBS schedule the remainder; evaluate on the live cluster
-            // and undo (place/clear are exact inverses, far cheaper than
-            // cloning the cluster at data-center scale).
-            let mut placed: Vec<Assignment> = Vec::new();
-            if let Some(a) = place_best(tasks[head].clone(), cluster, scoring) {
-                placed.push(a);
-            } else {
-                break; // no free slot at all
-            }
+        let tasks: Vec<Task> = queue.iter().copied().collect();
+        let queue_len = self.queue_len;
+        // Force task `head` to be placed first (by MIOS), then let MIBS
+        // schedule the remainder on the given cluster.
+        let evaluate = |head: usize, cluster: &mut ClusterState| -> Option<Vec<Assignment>> {
+            let mut placed = vec![place_best(tasks[head], cluster, scoring)?];
             let mut rest: VecDeque<Task> = tasks
                 .iter()
                 .enumerate()
                 .filter(|(i, _)| *i != head)
-                .map(|(_, t)| t.clone())
+                .map(|(_, t)| *t)
                 .collect();
-            let assignments = Mibs::new(self.queue_len).schedule(&mut rest, cluster, scoring);
-            placed.extend(assignments);
-            for a in placed.iter().rev() {
-                cluster.clear(a.vm);
-            }
+            placed.extend(Mibs::new(queue_len).schedule(&mut rest, cluster, scoring));
+            Some(placed)
+        };
+
+        let candidates: Vec<Option<Vec<Assignment>>> =
+            if cluster.n_machines() >= PAR_MACHINES_THRESHOLD && tasks.len() > 1 {
+                // Each head candidate gets its own cluster clone, so the
+                // evaluations can run on worker threads.
+                let shared: &ClusterState = cluster;
+                par::map((0..tasks.len()).collect(), |head| {
+                    let mut scratch = shared.clone();
+                    evaluate(head, &mut scratch)
+                })
+            } else {
+                // Evaluate on the live cluster and undo (place/clear are
+                // exact inverses, cheaper than cloning small clusters).
+                (0..tasks.len())
+                    .map(|head| {
+                        let placed = evaluate(head, cluster)?;
+                        for a in placed.iter().rev() {
+                            cluster.clear(a.vm);
+                        }
+                        Some(placed)
+                    })
+                    .collect()
+            };
+
+        // Reduce in head order: placement count first, then total score —
+        // the same better-than rule the serial loop applied.
+        let mut best: Option<(f64, Vec<Assignment>)> = None;
+        for placed in candidates.into_iter().flatten() {
             let score = total_score(&placed);
             let better = match &best {
                 None => true,
@@ -98,11 +127,11 @@ impl Scheduler for Mix {
                 a.vm,
                 super::Resident {
                     task_id: a.task.id,
-                    app: a.task.app.clone(),
+                    app: a.task.app,
                 },
             );
         }
-        let assigned_ids: Vec<u64> = assignments.iter().map(|a| a.task.id).collect();
+        let assigned_ids: HashSet<u64> = assignments.iter().map(|a| a.task.id).collect();
         queue.retain(|t| !assigned_ids.contains(&t.id));
         assignments
     }
@@ -112,18 +141,13 @@ impl Scheduler for Mix {
 mod tests {
     use super::*;
     use crate::predictor::{Objective, ScoringPolicy};
-    use crate::sched::test_support::{app_chars, predictor};
+    use crate::sched::test_support::{aid, app_chars, predictor, task};
 
     #[test]
     fn never_worse_than_mibs() {
         let p = predictor();
         let scoring = ScoringPolicy::new(&p, Objective::MinRuntime);
-        let tasks = vec![
-            Task::new(0, "io"),
-            Task::new(1, "io"),
-            Task::new(2, "cpu"),
-            Task::new(3, "cpu"),
-        ];
+        let tasks = vec![task(0, "io"), task(1, "io"), task(2, "cpu"), task(3, "cpu")];
 
         let mut c1 = ClusterState::new(2, 2, app_chars());
         let mut q1: VecDeque<Task> = tasks.clone().into();
@@ -142,14 +166,14 @@ mod tests {
         let p = predictor();
         let scoring = ScoringPolicy::new(&p, Objective::MinRuntime);
         let mut cluster = ClusterState::new(1, 2, app_chars());
-        let mut queue: VecDeque<Task> = VecDeque::from(vec![
-            Task::new(0, "io"),
-            Task::new(1, "io"),
-            Task::new(2, "cpu"),
-        ]);
+        let mut queue: VecDeque<Task> =
+            VecDeque::from(vec![task(0, "io"), task(1, "io"), task(2, "cpu")]);
         let out = Mix::new(3).schedule(&mut queue, &mut cluster, &scoring);
         assert_eq!(out.len(), 2);
-        let apps: Vec<&str> = out.iter().map(|a| a.task.app.as_str()).collect();
+        let apps: Vec<&str> = out
+            .iter()
+            .map(|a| cluster.registry().name(a.task.app))
+            .collect();
         assert!(
             apps.contains(&"cpu"),
             "MIX should schedule the cpu task: {apps:?}"
@@ -164,20 +188,48 @@ mod tests {
         let scoring = ScoringPolicy::new(&p, Objective::MaxIops);
         let mut cluster = ClusterState::new(4, 2, app_chars());
         let mut queue: VecDeque<Task> = (0..6)
-            .map(|i| Task::new(i, if i < 3 { "io" } else { "cpu" }))
+            .map(|i| task(i, if i < 3 { "io" } else { "cpu" }))
             .collect();
         let out = Mix::new(6).schedule(&mut queue, &mut cluster, &scoring);
         assert_eq!(out.len(), 6);
         assert!(queue.is_empty());
         // io tasks spread over distinct machines.
+        let io = aid("io");
         let mut io_machines: Vec<usize> = out
             .iter()
-            .filter(|a| a.task.app == "io")
+            .filter(|a| a.task.app == io)
             .map(|a| a.vm.machine)
             .collect();
         io_machines.sort_unstable();
         io_machines.dedup();
         assert_eq!(io_machines.len(), 3);
+    }
+
+    #[test]
+    fn parallel_head_search_matches_single_thread() {
+        let p = predictor();
+        let scoring = ScoringPolicy::new(&p, Objective::MinRuntime);
+        let tasks: Vec<Task> = (0..8)
+            .map(|i| task(i, if i % 2 == 0 { "io" } else { "cpu" }))
+            .collect();
+        // 64 machines crosses the parallel threshold, so both runs take
+        // the clone-per-head path; only the worker count differs.
+        let run = |threads: Option<usize>| {
+            crate::par::override_threads(threads);
+            let mut cluster = ClusterState::new(64, 2, app_chars());
+            let mut q: VecDeque<Task> = tasks.clone().into();
+            let out = Mix::new(8).schedule(&mut q, &mut cluster, &scoring);
+            crate::par::override_threads(None);
+            out
+        };
+        let single = run(Some(1));
+        let parallel = run(Some(4));
+        assert_eq!(single.len(), parallel.len());
+        for (a, b) in single.iter().zip(&parallel) {
+            assert_eq!(a.task, b.task);
+            assert_eq!(a.vm, b.vm);
+            assert_eq!(a.predicted_score.to_bits(), b.predicted_score.to_bits());
+        }
     }
 
     #[test]

@@ -17,30 +17,29 @@ pub use mibs::Mibs;
 pub use mios::Mios;
 pub use mix::Mix;
 
+use crate::interner::AppId;
 use crate::predictor::ScoringPolicy;
 use std::collections::VecDeque;
 
 /// A schedulable task.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Task {
     /// Unique task id.
     pub id: u64,
-    /// The application the task runs.
-    pub app: String,
+    /// The application the task runs (interned via the cluster's
+    /// [`crate::interner::AppRegistry`]).
+    pub app: AppId,
 }
 
 impl Task {
     /// Creates a task.
-    pub fn new(id: u64, app: impl Into<String>) -> Self {
-        Task {
-            id,
-            app: app.into(),
-        }
+    pub fn new(id: u64, app: AppId) -> Self {
+        Task { id, app }
     }
 }
 
 /// One scheduling decision.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct Assignment {
     /// The assigned task.
     pub task: Task,
@@ -68,19 +67,16 @@ pub trait Scheduler {
 
 /// Places a single task on the best free slot according to the scoring
 /// policy (the body of Algorithm 1, shared by MIOS, MIBS, and MIX).
-/// Returns `None` when the cluster is full.
+/// Returns `None` when the cluster is full. Allocation-free: classes are
+/// scanned straight off the free index.
 pub(crate) fn place_best(
     task: Task,
     cluster: &mut ClusterState,
     scoring: &ScoringPolicy<'_>,
 ) -> Option<Assignment> {
-    let classes = cluster.free_classes();
-    if classes.is_empty() {
-        return None;
-    }
     let mut best: Option<(f64, VmRef)> = None;
-    for class in &classes {
-        let score = scoring.score(&task.app, &class.key, &class.background);
+    for class in cluster.free_class_iter() {
+        let score = scoring.score(task.app, class.key, &class.background);
         if best.is_none_or(|(b, _)| score < b) {
             best = Some((score, class.example));
         }
@@ -90,7 +86,7 @@ pub(crate) fn place_best(
         vm,
         Resident {
             task_id: task.id,
-            app: task.app.clone(),
+            app: task.app,
         },
     );
     Some(Assignment {
@@ -108,9 +104,11 @@ pub(crate) mod test_support {
     //! have an unambiguous right answer to find.
 
     use crate::characteristics::{Characteristics, N_JOINT};
+    use crate::interner::{AppId, AppRegistry};
     use crate::model::{InterferenceModel, ModelKind};
     use crate::predictor::{AppModelSet, AppProfile, Predictor};
     use std::collections::HashMap;
+    use std::sync::Arc;
 
     /// Runtime model: base 100 s plus a penalty proportional to the
     /// product of the two VMs' read rates (mimicking disk-stream mixing).
@@ -147,6 +145,30 @@ pub(crate) mod test_support {
         m.insert("io".to_string(), Characteristics::new(200.0, 0.0, 0.3, 0.1));
         m.insert("cpu".to_string(), Characteristics::new(5.0, 0.0, 1.0, 0.01));
         m
+    }
+
+    /// The registry every fixture agrees on (built from the sorted app
+    /// names, exactly as `ClusterState::new` and `Predictor` derive it).
+    pub fn registry() -> Arc<AppRegistry> {
+        Arc::new(AppRegistry::from_names(app_chars().into_keys()))
+    }
+
+    /// The interned id of a fixture application.
+    pub fn aid(name: &str) -> AppId {
+        registry().expect_id(name)
+    }
+
+    /// A task running the named fixture application.
+    pub fn task(id: u64, name: &str) -> super::Task {
+        super::Task::new(id, aid(name))
+    }
+
+    /// A resident running the named fixture application.
+    pub fn resident(task_id: u64, name: &str) -> super::Resident {
+        super::Resident {
+            task_id,
+            app: aid(name),
+        }
     }
 
     /// A predictor over the two synthetic apps.
@@ -189,12 +211,9 @@ mod tests {
                 machine: 0,
                 slot: 0,
             },
-            Resident {
-                task_id: 1,
-                app: "io".into(),
-            },
+            resident(1, "io"),
         );
-        let a = place_best(Task::new(2, "io"), &mut cluster, &scoring).unwrap();
+        let a = place_best(task(2, "io"), &mut cluster, &scoring).unwrap();
         assert_eq!(
             a.vm.machine, 1,
             "io task should avoid the io-occupied machine"
@@ -211,13 +230,10 @@ mod tests {
                 machine: 0,
                 slot: 0,
             },
-            Resident {
-                task_id: 1,
-                app: "io".into(),
-            },
+            resident(1, "io"),
         );
         // A cpu task is indifferent-ish but must not fail; any free slot ok.
-        let a = place_best(Task::new(2, "cpu"), &mut cluster, &scoring).unwrap();
+        let a = place_best(task(2, "cpu"), &mut cluster, &scoring).unwrap();
         assert!(cluster.resident(a.vm).is_some());
     }
 
@@ -226,7 +242,7 @@ mod tests {
         let p = predictor();
         let scoring = ScoringPolicy::new(&p, Objective::MinRuntime);
         let mut cluster = ClusterState::new(1, 1, app_chars());
-        assert!(place_best(Task::new(1, "io"), &mut cluster, &scoring).is_some());
-        assert!(place_best(Task::new(2, "io"), &mut cluster, &scoring).is_none());
+        assert!(place_best(task(1, "io"), &mut cluster, &scoring).is_some());
+        assert!(place_best(task(2, "io"), &mut cluster, &scoring).is_none());
     }
 }

@@ -242,6 +242,13 @@ impl<'tb> Simulation<'tb> {
             self.testbed.app_chars.clone(),
         );
 
+        // Intern the perf-table app names once; every task constructed in
+        // the arrival loop reuses these ids (no per-arrival allocation).
+        let app_ids: Vec<tracon_core::AppId> = names
+            .iter()
+            .map(|n| cluster.registry().expect_id(n))
+            .collect();
+
         let n_slots = self.n_machines * self.slots_per_machine;
         let mut slots: Vec<Option<Running>> = vec![None; n_slots];
         let slot_index = |vm: VmRef| -> usize { vm.machine * self.slots_per_machine + vm.slot };
@@ -343,7 +350,7 @@ impl<'tb> Simulation<'tb> {
                         None => true,
                     };
                     if admitted {
-                        queue.push_back(Task::new(i as u64, names[a.app_idx].clone()));
+                        queue.push_back(Task::new(i as u64, app_ids[a.app_idx]));
                         schedule_needed = true;
                     } else {
                         refused += 1;

@@ -38,38 +38,45 @@ pub struct Fig8 {
 }
 
 /// Runs the Fig 8 sweep. `machine_counts` allows reduced sweeps in tests.
+///
+/// Each (mix, objective, machines) grid cell is self-contained (its
+/// repetition seeds depend only on the cell), so the cells are evaluated
+/// on worker threads ([`tracon_core::par`]); the point order and every
+/// statistic are identical to the serial sweep for any thread count.
 pub fn run(testbed: &Testbed, machine_counts: &[usize], repetitions: u64, seed: u64) -> Fig8 {
-    let mut points = Vec::new();
+    let mut jobs = Vec::new();
     for mix in WorkloadMix::INTENSITY_MIXES {
         for objective in [Objective::MinRuntime, Objective::MaxIops] {
             for &machines in machine_counts {
-                let batch = 2 * machines;
-                let mut speedups = Vec::new();
-                let mut boosts = Vec::new();
-                for rep in 0..repetitions {
-                    let s = seed
-                        .wrapping_add(rep)
-                        .wrapping_add(machines as u64 * 1000)
-                        .wrapping_add(mix as u64 * 101);
-                    let trace = static_batch(batch, mix, s);
-                    let fifo =
-                        Simulation::new(testbed, machines, SchedulerKind::Fifo).run(&trace, None);
-                    let mibs = Simulation::new(testbed, machines, SchedulerKind::Mibs(batch))
-                        .with_objective(objective)
-                        .run(&trace, None);
-                    speedups.push(speedup(&fifo, &mibs));
-                    boosts.push(io_boost(&fifo, &mibs));
-                }
-                points.push(Fig8Point {
-                    mix,
-                    objective,
-                    machines,
-                    speedup: tracon_stats::summarize(&speedups),
-                    io_boost: tracon_stats::summarize(&boosts),
-                });
+                jobs.push((mix, objective, machines));
             }
         }
     }
+    let points = tracon_core::par::map(jobs, |(mix, objective, machines)| {
+        let batch = 2 * machines;
+        let mut speedups = Vec::new();
+        let mut boosts = Vec::new();
+        for rep in 0..repetitions {
+            let s = seed
+                .wrapping_add(rep)
+                .wrapping_add(machines as u64 * 1000)
+                .wrapping_add(mix as u64 * 101);
+            let trace = static_batch(batch, mix, s);
+            let fifo = Simulation::new(testbed, machines, SchedulerKind::Fifo).run(&trace, None);
+            let mibs = Simulation::new(testbed, machines, SchedulerKind::Mibs(batch))
+                .with_objective(objective)
+                .run(&trace, None);
+            speedups.push(speedup(&fifo, &mibs));
+            boosts.push(io_boost(&fifo, &mibs));
+        }
+        Fig8Point {
+            mix,
+            objective,
+            machines,
+            speedup: tracon_stats::summarize(&speedups),
+            io_boost: tracon_stats::summarize(&boosts),
+        }
+    });
     Fig8 { points }
 }
 

@@ -55,6 +55,10 @@ pub const QUEUE_CAPACITY: usize = 8;
 /// makes long-run throughput insensitive to placement quality (every
 /// arrival is eventually served no matter how well it was paired), which
 /// is not the regime the paper's Figs 9-12 describe.
+///
+/// Grid cells — (mix, λ) pairs — are independent, so the sweep evaluates
+/// them on worker threads ([`tracon_core::par`]); results are identical
+/// to the serial sweep for any thread count.
 #[allow(clippy::too_many_arguments)] // a sweep is inherently a parameter grid
 pub fn dynamic_sweep(
     testbed: &Testbed,
@@ -66,49 +70,61 @@ pub fn dynamic_sweep(
     repetitions: u64,
     seed: u64,
 ) -> Vec<DynamicPoint> {
-    let mut points = Vec::new();
+    // One self-contained job per (mix, lambda) grid cell: the job
+    // regenerates its repetition traces (seeded by the cell, so the trace
+    // stream is independent of evaluation order), runs the FIFO baselines,
+    // and evaluates every scheduler against them. Cells share nothing
+    // mutable, so they fan out over worker threads; flattening in job
+    // order keeps the output ordering (mix-major, then lambda, then
+    // scheduler) bit-identical to the serial loop for any thread count.
+    let mut jobs = Vec::new();
     for &mix in mixes {
         for &lambda in lambdas {
-            // FIFO baselines per repetition.
-            let mut fifo_completed = Vec::new();
-            let mut traces = Vec::new();
-            for rep in 0..repetitions {
-                let s = seed
-                    .wrapping_add(rep * 7919)
-                    .wrapping_add((lambda * 10.0) as u64)
-                    .wrapping_add(mix as u64 * 65537);
-                let trace = poisson_trace(lambda, horizon_s, mix, s);
-                let fifo = Simulation::new(testbed, machines, SchedulerKind::Fifo)
-                    .with_queue_capacity(QUEUE_CAPACITY)
-                    .run(&trace, Some(horizon_s));
-                fifo_completed.push(fifo.completed.max(1) as f64);
-                traces.push(trace);
-            }
-            for &kind in schedulers {
-                let mut ratios = Vec::new();
-                let mut completed_sum = 0.0;
-                for (rep, trace) in traces.iter().enumerate() {
-                    // Every scheduler faces the same admission buffer; the
-                    // batch window is the scheduler's own parameter.
-                    let r = Simulation::new(testbed, machines, kind)
-                        .with_objective(Objective::MinRuntime)
-                        .with_queue_capacity(QUEUE_CAPACITY)
-                        .run(trace, Some(horizon_s));
-                    ratios.push(r.completed as f64 / fifo_completed[rep]);
-                    completed_sum += r.completed as f64;
-                }
-                points.push(DynamicPoint {
-                    mix,
-                    scheduler: kind,
-                    lambda,
-                    machines,
-                    normalized_throughput: tracon_stats::summarize(&ratios),
-                    completed: completed_sum / repetitions as f64,
-                });
-            }
+            jobs.push((mix, lambda));
         }
     }
-    points
+    let cells = tracon_core::par::map(jobs, |(mix, lambda)| {
+        // FIFO baselines per repetition.
+        let mut fifo_completed = Vec::new();
+        let mut traces = Vec::new();
+        for rep in 0..repetitions {
+            let s = seed
+                .wrapping_add(rep * 7919)
+                .wrapping_add((lambda * 10.0) as u64)
+                .wrapping_add(mix as u64 * 65537);
+            let trace = poisson_trace(lambda, horizon_s, mix, s);
+            let fifo = Simulation::new(testbed, machines, SchedulerKind::Fifo)
+                .with_queue_capacity(QUEUE_CAPACITY)
+                .run(&trace, Some(horizon_s));
+            fifo_completed.push(fifo.completed.max(1) as f64);
+            traces.push(trace);
+        }
+        let mut cell = Vec::with_capacity(schedulers.len());
+        for &kind in schedulers {
+            let mut ratios = Vec::new();
+            let mut completed_sum = 0.0;
+            for (rep, trace) in traces.iter().enumerate() {
+                // Every scheduler faces the same admission buffer; the
+                // batch window is the scheduler's own parameter.
+                let r = Simulation::new(testbed, machines, kind)
+                    .with_objective(Objective::MinRuntime)
+                    .with_queue_capacity(QUEUE_CAPACITY)
+                    .run(trace, Some(horizon_s));
+                ratios.push(r.completed as f64 / fifo_completed[rep]);
+                completed_sum += r.completed as f64;
+            }
+            cell.push(DynamicPoint {
+                mix,
+                scheduler: kind,
+                lambda,
+                machines,
+                normalized_throughput: tracon_stats::summarize(&ratios),
+                completed: completed_sum / repetitions as f64,
+            });
+        }
+        cell
+    });
+    cells.into_iter().flatten().collect()
 }
 
 /// The Fig 9 result.

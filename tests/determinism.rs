@@ -75,3 +75,50 @@ fn arrival_traces_are_deterministic() {
     let b = poisson_trace(30.0, 1200.0, WorkloadMix::Heavy, 5);
     assert_eq!(a, b);
 }
+
+#[test]
+fn dynamic_sweep_is_thread_count_invariant() {
+    // The parallel experiment driver fans (mix, lambda) cells out over
+    // worker threads; every statistic must be bit-identical to the
+    // single-threaded sweep regardless of worker count.
+    use tracon::core::par;
+    use tracon::dcsim::arrival::WorkloadMix;
+    use tracon::dcsim::engine::SchedulerKind;
+    use tracon::dcsim::experiments::fig9::dynamic_sweep;
+    use tracon::dcsim::{Testbed, TestbedConfig};
+
+    let tb = Testbed::build(&TestbedConfig::small());
+    let run = |threads: usize| {
+        par::override_threads(Some(threads));
+        let points = dynamic_sweep(
+            &tb,
+            4,
+            &[6.0, 12.0],
+            &[WorkloadMix::Light, WorkloadMix::Medium],
+            &[SchedulerKind::Mibs(4), SchedulerKind::Mix(4)],
+            1800.0,
+            2,
+            17,
+        );
+        par::override_threads(None);
+        points
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(serial.len(), parallel.len());
+    for (a, b) in serial.iter().zip(&parallel) {
+        assert_eq!(a.mix, b.mix);
+        assert_eq!(a.scheduler, b.scheduler);
+        assert_eq!(a.lambda.to_bits(), b.lambda.to_bits());
+        assert_eq!(a.machines, b.machines);
+        assert_eq!(
+            a.normalized_throughput.mean.to_bits(),
+            b.normalized_throughput.mean.to_bits()
+        );
+        assert_eq!(
+            a.normalized_throughput.std_dev.to_bits(),
+            b.normalized_throughput.std_dev.to_bits()
+        );
+        assert_eq!(a.completed.to_bits(), b.completed.to_bits());
+    }
+}

@@ -4,16 +4,13 @@
 
 use proptest::prelude::*;
 use tracon::core::{
-    train_model_scaled, AppModelSet, AppProfile, Characteristics, ModelKind, Objective,
-    Predictor, ResponseScale, ScoringPolicy, TrainingData,
+    train_model_scaled, AppModelSet, AppProfile, Characteristics, ModelKind, Objective, Predictor,
+    ResponseScale, ScoringPolicy, TrainingData,
 };
 
 fn arbitrary_training_data() -> impl Strategy<Value = TrainingData> {
     proptest::collection::vec(
-        (
-            proptest::collection::vec(0.0f64..300.0, 8),
-            20.0f64..2000.0,
-        ),
+        (proptest::collection::vec(0.0f64..300.0, 8), 20.0f64..2000.0),
         12..60,
     )
     .prop_map(|rows| {

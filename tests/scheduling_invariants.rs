@@ -6,8 +6,9 @@ use proptest::prelude::*;
 use std::collections::{HashMap, HashSet, VecDeque};
 use tracon::core::characteristics::N_JOINT;
 use tracon::core::{
-    AppModelSet, AppProfile, Characteristics, ClusterState, Fifo, InterferenceModel, Mibs, Mios,
-    Mix, ModelKind, Objective, Predictor, Resident, Scheduler, ScoringPolicy, Task, VmRef,
+    AppModelSet, AppProfile, AppRegistry, Characteristics, ClusterState, Fifo, InterferenceModel,
+    Mibs, Mios, Mix, ModelKind, Objective, Predictor, Resident, Scheduler, ScoringPolicy, Task,
+    VmRef,
 };
 
 /// Deterministic synthetic interference model.
@@ -88,11 +89,12 @@ proptest! {
             if objective_io { Objective::MaxIops } else { Objective::MinRuntime };
         let scoring = ScoringPolicy::new(&predictor, objective);
         let mut cluster = ClusterState::new(n_machines, 2, chars);
+        let registry = cluster.registry().clone();
         let free_before = cluster.n_free();
         let mut queue: VecDeque<Task> = (0..n_tasks)
             .map(|i| {
                 let app = app_picks.get(i).copied().unwrap_or(0) % n_apps;
-                Task::new(i as u64, format!("app{app}"))
+                Task::new(i as u64, registry.expect_id(&format!("app{app}")))
             })
             .collect();
         let submitted = queue.len();
@@ -133,12 +135,14 @@ proptest! {
     ) {
         let (_, chars) = world(4);
         let mut cluster = ClusterState::new(n_machines, 2, chars);
+        let registry = cluster.registry().clone();
         let n_slots = cluster.n_slots();
         for (raw, place, app) in ops {
             let slot_idx = raw % n_slots;
             let vm = VmRef { machine: slot_idx / 2, slot: slot_idx % 2 };
             if place && cluster.resident(vm).is_none() {
-                cluster.place(vm, Resident { task_id: raw as u64, app: format!("app{app}") });
+                let app_id = registry.expect_id(&format!("app{app}"));
+                cluster.place(vm, Resident { task_id: raw as u64, app: app_id });
             } else if !place && cluster.resident(vm).is_some() {
                 cluster.clear(vm);
             }
@@ -158,10 +162,11 @@ proptest! {
     ) {
         let (predictor, chars) = world(4);
         let scoring = ScoringPolicy::new(&predictor, Objective::MinRuntime);
+        let registry = AppRegistry::from_names(chars.keys().cloned());
         let tasks: Vec<Task> = picks
             .iter()
             .enumerate()
-            .map(|(i, &a)| Task::new(i as u64, format!("app{a}")))
+            .map(|(i, &a)| Task::new(i as u64, registry.expect_id(&format!("app{a}"))))
             .collect();
 
         let mut c1 = ClusterState::new(n_machines, 2, chars.clone());
