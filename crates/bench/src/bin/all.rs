@@ -1,71 +1,18 @@
-//! Runs every table/figure experiment in sequence (the full reproduction).
-use tracon_dcsim::experiments::*;
-use tracon_vmsim::HostConfig;
+//! Runs every registered experiment in sequence (the full reproduction),
+//! driven by the experiment registry — adding a driver to
+//! `tracon_dcsim::experiments::registry` is enough to include it here.
+use tracon_dcsim::experiments::registry::{TestbedCache, REGISTRY};
 
 fn main() {
     let opts = tracon_bench::parse_args();
     let cfg = tracon_bench::config(opts);
-
-    println!("==== Table 1 ====");
-    table1::run(HostConfig::testbed(), 1).print();
-
-    let tb = tracon_bench::build_testbed(&cfg);
-
-    println!("\n==== Fig 3 ====");
-    fig3::run(&tb).print();
-
-    println!("\n==== Fig 4 ====");
-    fig4::run(&tb, cfg.repetitions * 3, cfg.seed).print();
-
-    println!("\n==== Figs 5 & 6 ====");
-    fig5_6::run(&tb).print();
-
-    println!("\n==== Fig 7 ====");
-    let f7cfg = if opts.quick {
-        fig7::Fig7Config {
-            initial_points: 200,
-            stream_points: 200,
-            ..fig7::Fig7Config::full()
+    let cache = TestbedCache::new(&cfg);
+    for (i, exp) in REGISTRY.iter().enumerate() {
+        if i > 0 {
+            println!();
         }
-    } else {
-        fig7::Fig7Config::full()
-    };
-    fig7::run(&f7cfg).print();
-
-    let machines = tracon_bench::machine_counts(opts);
-    let lambdas = tracon_bench::lambdas(opts);
-    let reps = if opts.quick { 2 } else { 3 };
-
-    println!("\n==== Fig 8 ====");
-    fig8::run(&tb, &machines, cfg.repetitions, cfg.seed).print();
-
-    println!("\n==== Fig 9 ====");
-    fig9::run(&tb, &lambdas, fig9::MACHINES, reps, cfg.seed).print();
-
-    println!("\n==== Fig 10 ====");
-    fig10::run(&tb, &lambdas, fig9::MACHINES, reps, cfg.seed).print();
-
-    println!("\n==== Fig 11 ====");
-    fig11::run(&tb, &machines, fig11::LAMBDA, reps, cfg.seed).print();
-
-    println!("\n==== Fig 12 ====");
-    fig12::run(&tb, &machines, fig11::LAMBDA, reps, cfg.seed).print();
-
-    let ext_scale = if opts.quick { 0.1 } else { 0.25 };
-    println!("\n==== Extension: storage devices ====");
-    ext_storage::run(ext_scale, 7).print();
-
-    println!("\n==== Extension: consolidation density ====");
-    ext_density::run(ext_scale, 7).print();
-
-    println!("\n==== Extension: scheduler ablation ====");
-    ext_ablation::run(&tb, cfg.repetitions * 3, cfg.seed).print();
-
-    println!("\n==== Extension: adaptation in the loop ====");
-    let adaptive_cfg = if opts.quick {
-        ext_adaptive::ExtAdaptiveConfig::small()
-    } else {
-        ext_adaptive::ExtAdaptiveConfig::full()
-    };
-    ext_adaptive::run(&adaptive_cfg).print();
+        println!("==== {}: {} ====", exp.name(), exp.description());
+        let report = tracon_bench::timed(exp.name(), || exp.run(&cfg, &cache));
+        report.print();
+    }
 }

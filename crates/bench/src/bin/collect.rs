@@ -22,7 +22,8 @@ use tracon_core::{
     InterferenceModel, Mibs, Mios, Mix, ModelKind, Objective, Predictor, Scheduler, ScoringPolicy,
     Task,
 };
-use tracon_dcsim::experiments::fig9;
+use tracon_dcsim::experiments::registry::{find, TestbedCache, REGISTRY};
+use tracon_dcsim::experiments::{fig9, sweep, ExperimentConfig};
 use tracon_dcsim::{Testbed, TestbedConfig, WorkloadMix};
 
 /// A cheap synthetic model (product interference) so the collector
@@ -230,7 +231,7 @@ fn macro_suite(quick: bool, results: &mut Vec<serde_json::Value>) {
     let horizon = if quick { 1800.0 } else { 3600.0 };
     let reps = 2;
     let run = || {
-        fig9::dynamic_sweep(
+        sweep::dynamic_sweep(
             &tb,
             16,
             lambdas,
@@ -284,6 +285,35 @@ fn macro_suite(quick: bool, results: &mut Vec<serde_json::Value>) {
     );
 }
 
+/// Times registry experiments end-to-end at test fidelity, so the
+/// trajectory artifact tracks whole-driver wall clock per commit. Quick
+/// mode samples the cheap, testbed-light drivers; the full collector
+/// walks the whole registry.
+fn registry_suite(quick: bool, results: &mut Vec<serde_json::Value>) {
+    let cfg = ExperimentConfig::small();
+    let cache = TestbedCache::new(&cfg);
+    let names: Vec<&'static str> = if quick {
+        vec!["fig3", "fig5_6", "ext_storage"]
+    } else {
+        REGISTRY.iter().map(|e| e.name()).collect()
+    };
+    for name in names {
+        let exp = find(name).expect("registered experiment");
+        let t0 = Instant::now();
+        let report = exp.run(&cfg, &cache);
+        let secs = t0.elapsed().as_secs_f64();
+        results.push(json!({
+            "suite": "experiments",
+            "name": name,
+            "metric": "wall_clock",
+            "unit": "s",
+            "value": secs,
+            "rendered_bytes": report.rendered.len(),
+        }));
+        eprintln!("experiments/{name}: {secs:.2} s");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
@@ -297,6 +327,7 @@ fn main() {
     let mut results = Vec::new();
     micro_suite(quick, &mut results);
     macro_suite(quick, &mut results);
+    registry_suite(quick, &mut results);
 
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)

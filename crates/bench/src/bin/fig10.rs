@@ -1,14 +1,18 @@
 //! Regenerates Fig 10: MIBS queue lengths vs arrival rate.
-use tracon_dcsim::experiments::{fig10, fig9};
+use tracon_dcsim::experiments::fig10;
 
 fn main() {
     let opts = tracon_bench::parse_args();
     let cfg = tracon_bench::config(opts);
     let tb = tracon_bench::build_testbed(&cfg);
-    let lambdas = tracon_bench::lambdas(opts);
-    let reps = if opts.quick { 2 } else { 3 };
     let fig = tracon_bench::timed("fig10", || {
-        fig10::run(&tb, &lambdas, fig9::MACHINES, reps, cfg.seed)
+        fig10::run(
+            &tb,
+            &cfg.lambdas,
+            cfg.machines,
+            cfg.sweep_repetitions,
+            cfg.seed,
+        )
     });
     fig.print();
     println!("\npaper shape: longer queue sustains higher normalized throughput");

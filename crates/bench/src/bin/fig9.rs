@@ -5,10 +5,14 @@ fn main() {
     let opts = tracon_bench::parse_args();
     let cfg = tracon_bench::config(opts);
     let tb = tracon_bench::build_testbed(&cfg);
-    let lambdas = tracon_bench::lambdas(opts);
-    let reps = if opts.quick { 2 } else { 3 };
     let fig = tracon_bench::timed("fig9", || {
-        fig9::run(&tb, &lambdas, fig9::MACHINES, reps, cfg.seed)
+        fig9::run(
+            &tb,
+            &cfg.lambdas,
+            cfg.machines,
+            cfg.sweep_repetitions,
+            cfg.seed,
+        )
     });
     fig.print();
     println!(

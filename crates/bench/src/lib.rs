@@ -38,10 +38,7 @@ pub fn parse_args() -> Options {
 /// The experiment configuration for the chosen mode.
 pub fn config(opts: Options) -> ExperimentConfig {
     if opts.quick {
-        let mut cfg = ExperimentConfig::full();
-        cfg.repetitions = 3;
-        cfg.testbed.calibration_points = 45;
-        cfg
+        ExperimentConfig::quick()
     } else {
         ExperimentConfig::full()
     }
@@ -59,22 +56,16 @@ pub fn build_testbed(cfg: &ExperimentConfig) -> Testbed {
     tb
 }
 
-/// Machine-count sweep for the scalability figures.
+/// Machine-count sweep for the scalability figures (the mode's
+/// [`ExperimentConfig`] grid).
 pub fn machine_counts(opts: Options) -> Vec<usize> {
-    if opts.quick {
-        vec![8, 32, 128]
-    } else {
-        vec![8, 16, 32, 64, 128, 256, 512, 1024]
-    }
+    config(opts).machine_counts
 }
 
-/// λ sweep for the dynamic figures (tasks/minute).
+/// λ sweep for the dynamic figures, tasks/minute (the mode's
+/// [`ExperimentConfig`] grid).
 pub fn lambdas(opts: Options) -> Vec<f64> {
-    if opts.quick {
-        vec![10.0, 40.0, 80.0]
-    } else {
-        vec![5.0, 10.0, 20.0, 40.0, 60.0, 80.0, 100.0]
-    }
+    config(opts).lambdas
 }
 
 /// Times a closure and prints the elapsed wall clock to stderr.

@@ -29,6 +29,11 @@ COMMANDS:
   simulate   Run a dynamic data-center simulation
              --testbed FILE --machines N --lambda TASKS/MIN [--hours H=10]
              [--mix light|medium|heavy|uniform] [--scheduler ...] [--seed N]
+             [--compare]  (run MIOS, MIBS, and MIX side by side instead of
+                           the single --scheduler, normalized against FIFO)
+  experiment Run a registered paper experiment end to end
+             NAME... | --list   [--fidelity small|quick|full]  (default small;
+             full matches the paper-scale figures and can take hours)
   table1     Reproduce the paper's motivating interference table
   apps       List the benchmark suite
   help       Show this message
@@ -317,6 +322,48 @@ pub fn simulate(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+/// `tracon experiment`
+pub fn experiment(args: &Args) -> Result<String, String> {
+    use tracon_dcsim::experiments::registry::{find, TestbedCache, REGISTRY};
+    use tracon_dcsim::experiments::ExperimentConfig;
+
+    if args.flag("list") {
+        let mut out = String::new();
+        writeln!(out, "registered experiments ({}):", REGISTRY.len()).unwrap();
+        for exp in REGISTRY {
+            writeln!(out, "  {:12} {}", exp.name(), exp.description()).unwrap();
+        }
+        return Ok(out);
+    }
+
+    let cfg = match args.get_or("fidelity", "small") {
+        "small" => ExperimentConfig::small(),
+        "quick" => ExperimentConfig::quick(),
+        "full" => ExperimentConfig::full(),
+        other => return Err(format!("unknown fidelity '{other}' (small, quick, full)")),
+    };
+    let names = args
+        .options
+        .get("args")
+        .ok_or("missing experiment name (try `tracon experiment --list`)")?;
+
+    // One cache for the whole invocation: the profiled testbed is built at
+    // most once no matter how many experiments share it.
+    let cache = TestbedCache::new(&cfg);
+    let mut out = String::new();
+    for (i, name) in names.split(',').filter(|s| !s.is_empty()).enumerate() {
+        let exp = find(name).ok_or_else(|| {
+            format!("unknown experiment '{name}' (try `tracon experiment --list`)")
+        })?;
+        if i > 0 {
+            writeln!(out).unwrap();
+        }
+        writeln!(out, "==== {}: {} ====", exp.name(), exp.description()).unwrap();
+        out.push_str(&exp.run(&cfg, &cache).rendered);
+    }
+    Ok(out)
+}
+
 /// `tracon table1`
 pub fn table1(_args: &Args) -> Result<String, String> {
     use tracon_dcsim::experiments::table1;
@@ -365,6 +412,7 @@ pub fn run(args: &Args) -> Result<String, String> {
         Some("predict") => predict(args),
         Some("schedule") => schedule(args),
         Some("simulate") => simulate(args),
+        Some("experiment") => experiment(args),
         Some("table1") => table1(args),
         Some("apps") => apps(args),
         Some("help") | None => Ok(USAGE.to_string()),
@@ -420,6 +468,31 @@ mod tests {
         let err =
             simulate(&parse_str("simulate --testbed /nonexistent --machines 64")).unwrap_err();
         assert!(err.contains("cannot read"), "{err}");
+    }
+
+    #[test]
+    fn experiment_list_names_every_driver() {
+        let out = experiment(&parse_str("experiment --list")).unwrap();
+        for exp in tracon_dcsim::experiments::registry::REGISTRY {
+            assert!(out.contains(exp.name()), "missing {}", exp.name());
+        }
+    }
+
+    #[test]
+    fn experiment_rejects_unknowns() {
+        let err = experiment(&parse_str("experiment fig99")).unwrap_err();
+        assert!(err.contains("unknown experiment"), "{err}");
+        let err = experiment(&parse_str("experiment fig9 --fidelity huge")).unwrap_err();
+        assert!(err.contains("unknown fidelity"), "{err}");
+        let err = experiment(&parse_str("experiment")).unwrap_err();
+        assert!(err.contains("missing experiment name"), "{err}");
+    }
+
+    #[test]
+    fn experiment_runs_a_testbed_free_driver() {
+        let out = experiment(&parse_str("experiment ext_storage")).unwrap();
+        assert!(out.contains("==== ext_storage"), "{out}");
+        assert!(out.contains("SATA disk"), "{out}");
     }
 
     #[test]

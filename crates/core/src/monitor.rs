@@ -177,6 +177,18 @@ impl AdaptiveModel {
         self.rebuilds += 1;
     }
 
+    /// Trains a standalone snapshot of the model on the current window —
+    /// what [`AdaptiveModel::rebuild`] would deploy right now. Online
+    /// adaptation uses this to hand a freshly retrained model to a
+    /// [`crate::Predictor`] without giving up the monitor's window state.
+    pub fn export_model(&self) -> Box<dyn InterferenceModel> {
+        let mut data = TrainingData::default();
+        for (f, y) in &self.window {
+            data.push(*f, *y);
+        }
+        train_model_scaled(self.kind, &data, self.scale)
+    }
+
     /// Number of rebuilds performed so far.
     pub fn rebuilds(&self) -> usize {
         self.rebuilds
@@ -296,6 +308,20 @@ mod tests {
         }
         assert_eq!(rebuild_points, vec![79, 159, 239]);
         assert_eq!(am.rebuilds(), 3);
+    }
+
+    #[test]
+    fn export_model_matches_rebuild_snapshot() {
+        let mut am = AdaptiveModel::new(ModelKind::Linear, &initial_data(200, 9), cfg());
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..50 {
+            let (f, y) = gen(&mut rng, false);
+            am.observe(f, y);
+        }
+        let snap = am.export_model();
+        am.rebuild();
+        let f: [f64; 8] = std::array::from_fn(|i| 0.1 * (i as f64 + 1.0));
+        assert!((snap.predict(&f) - am.predict(&f)).abs() < 1e-9);
     }
 
     #[test]

@@ -146,6 +146,24 @@ impl Objective {
 /// to a NaN, which no clamped prediction can produce.
 const EMPTY: u64 = u64::MAX;
 
+/// The predictor a [`ScoringPolicy`] scores against: either borrowed from
+/// the caller (the common case — the testbed owns it) or owned by the
+/// policy itself (online adaptation swaps in freshly retrained predictors
+/// mid-simulation, where no longer-lived owner exists).
+enum PredictorSource<'a> {
+    Borrowed(&'a Predictor),
+    Owned(Box<Predictor>),
+}
+
+impl PredictorSource<'_> {
+    fn get(&self) -> &Predictor {
+        match self {
+            PredictorSource::Borrowed(p) => p,
+            PredictorSource::Owned(p) => p,
+        }
+    }
+}
+
 /// A scoring facade over the predictor: lower scores are better under
 /// either objective.
 ///
@@ -159,7 +177,7 @@ const EMPTY: u64 = u64::MAX;
 /// load and performs no heap allocation, and the policy is `Sync`, so
 /// parallel schedulers can share it.
 pub struct ScoringPolicy<'a> {
-    predictor: &'a Predictor,
+    predictor: PredictorSource<'a>,
     /// The goal this policy optimizes.
     pub objective: Objective,
     registry: Arc<AppRegistry>,
@@ -180,10 +198,22 @@ impl<'a> ScoringPolicy<'a> {
     /// Creates a scoring policy for the given objective, precomputing the
     /// solo and pair tables.
     pub fn new(predictor: &'a Predictor, objective: Objective) -> Self {
-        let registry = Arc::clone(predictor.registry());
+        Self::build(PredictorSource::Borrowed(predictor), objective)
+    }
+
+    /// Like [`ScoringPolicy::new`] but taking ownership of the predictor.
+    /// The returned policy has no outside borrow, so a simulation can
+    /// replace its scoring mid-run with a freshly retrained predictor
+    /// (online model adaptation). All score caches start cold.
+    pub fn new_owned(predictor: Predictor, objective: Objective) -> ScoringPolicy<'static> {
+        ScoringPolicy::build(PredictorSource::Owned(Box::new(predictor)), objective)
+    }
+
+    fn build(source: PredictorSource<'a>, objective: Objective) -> ScoringPolicy<'a> {
+        let registry = Arc::clone(source.get().registry());
         let n = registry.len();
         let mut policy = ScoringPolicy {
-            predictor,
+            predictor: source,
             objective,
             registry,
             n_apps: n,
@@ -208,7 +238,7 @@ impl<'a> ScoringPolicy<'a> {
 
     /// The underlying predictor.
     pub fn predictor(&self) -> &Predictor {
-        self.predictor
+        self.predictor.get()
     }
 
     /// The registry scores are keyed by.
@@ -219,8 +249,8 @@ impl<'a> ScoringPolicy<'a> {
     fn raw_score(&self, app: AppId, background: &Characteristics) -> f64 {
         let name = self.registry.name(app);
         match self.objective {
-            Objective::MinRuntime => self.predictor.predict_runtime(name, background),
-            Objective::MaxIops => -self.predictor.predict_iops(name, background),
+            Objective::MinRuntime => self.predictor().predict_runtime(name, background),
+            Objective::MaxIops => -self.predictor().predict_iops(name, background),
         }
     }
 
@@ -229,17 +259,17 @@ impl<'a> ScoringPolicy<'a> {
         let b_name = self.registry.name(other);
         match self.objective {
             Objective::MinRuntime => {
-                let a = self.predictor.predict_pair_runtime(a_name, b_name)
-                    - self.predictor.profile(a_name).solo_runtime;
-                let b = self.predictor.predict_pair_runtime(b_name, a_name)
-                    - self.predictor.profile(b_name).solo_runtime;
+                let a = self.predictor().predict_pair_runtime(a_name, b_name)
+                    - self.predictor().profile(a_name).solo_runtime;
+                let b = self.predictor().predict_pair_runtime(b_name, a_name)
+                    - self.predictor().profile(b_name).solo_runtime;
                 a + b
             }
             Objective::MaxIops => {
-                let a = self.predictor.profile(a_name).solo_iops
-                    - self.predictor.predict_pair_iops(a_name, b_name);
-                let b = self.predictor.profile(b_name).solo_iops
-                    - self.predictor.predict_pair_iops(b_name, a_name);
+                let a = self.predictor().profile(a_name).solo_iops
+                    - self.predictor().predict_pair_iops(a_name, b_name);
+                let b = self.predictor().profile(b_name).solo_iops
+                    - self.predictor().predict_pair_iops(b_name, a_name);
                 a + b
             }
         }

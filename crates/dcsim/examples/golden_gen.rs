@@ -1,0 +1,65 @@
+//! Regenerates the golden `SimResult` fingerprints pinned by the
+//! workspace test `tests/golden_engine.rs`.
+//!
+//! ```text
+//! cargo run --release -p tracon-dcsim --example golden_gen
+//! ```
+//!
+//! Paste the emitted array over `GOLDEN` in the test whenever the engine
+//! is *intentionally* changed in a behaviour-visible way. The fixtures
+//! cover a static batch and a Poisson trace, every [`SchedulerKind`], and
+//! both objectives, so any accidental change to event ordering, progress
+//! rescaling, or dispatch triggering shows up as a bit-level mismatch.
+
+use tracon_core::{MibsVariant, Objective};
+use tracon_dcsim::arrival::{poisson_trace, static_batch, WorkloadMix};
+use tracon_dcsim::{SchedulerKind, Simulation, Testbed, TestbedConfig};
+
+/// Every scheduler kind the simulator accepts (window 8 for the batchers).
+pub fn all_kinds() -> Vec<SchedulerKind> {
+    let mut kinds = vec![
+        SchedulerKind::Fifo,
+        SchedulerKind::Mios,
+        SchedulerKind::Mibs(8),
+        SchedulerKind::Mix(8),
+    ];
+    kinds.extend(MibsVariant::ALL.map(|v| SchedulerKind::Ablation(v, 8)));
+    kinds
+}
+
+fn main() {
+    let tb = Testbed::build(&TestbedConfig::small());
+    let mut rows = Vec::new();
+    for &(scenario, machines) in &[("static", 6usize), ("poisson", 4usize)] {
+        let (trace, horizon) = match scenario {
+            "static" => (static_batch(24, WorkloadMix::Medium, 7), None),
+            _ => (
+                poisson_trace(40.0, 1800.0, WorkloadMix::Uniform, 11),
+                Some(1800.0),
+            ),
+        };
+        for kind in all_kinds() {
+            for objective in [Objective::MinRuntime, Objective::MaxIops] {
+                let r = Simulation::new(&tb, machines, kind)
+                    .with_objective(objective)
+                    .run(&trace, horizon);
+                rows.push(format!(
+                    "    (\"{scenario}\", \"{}\", \"{}\", {}, {}, {:#018x}, {:#018x}, {:#018x}, {:#018x}),",
+                    r.scheduler,
+                    objective.suffix(),
+                    r.completed,
+                    r.refused,
+                    r.total_runtime.to_bits(),
+                    r.total_iops.to_bits(),
+                    r.makespan.to_bits(),
+                    r.mean_wait.to_bits(),
+                ));
+            }
+        }
+    }
+    println!("const GOLDEN: &[GoldenRow] = &[");
+    for row in rows {
+        println!("{row}");
+    }
+    println!("];");
+}

@@ -1,0 +1,86 @@
+//! When and how the scheduler is invoked: the batch-window trigger logic
+//! and the queue-window drain that limits what batch schedulers see.
+
+use super::event::EventQueue;
+use std::collections::VecDeque;
+use tracon_core::{Assignment, ClusterState, Scheduler, ScoringPolicy, Task};
+
+/// Encapsulates the dispatch-trigger policy around a scheduler's batch
+/// window (`None` for the online schedulers, which dispatch eagerly).
+///
+/// Batch schedulers wait until their queue window fills (the paper: "the
+/// scheduling process takes place when the queue that holds the incoming
+/// tasks is full") — the waiting both widens the pairing choice and lets
+/// free slots accumulate so pairs can land together on one machine. A
+/// batch scheduler also fires when the arrival trace is exhausted
+/// (drain), when an entirely idle machine is available (placing there is
+/// never regrettable), or when at least two slots are free (a pairing
+/// opportunity already exists, so waiting for more queue only burns
+/// utilization — measurably ~5% of throughput on benign workloads). A
+/// single free slot with a short queue waits for either more tasks
+/// (choice) or another slot (pairing).
+pub(crate) struct DispatchPolicy {
+    window: Option<usize>,
+}
+
+impl DispatchPolicy {
+    pub fn new(window: Option<usize>) -> Self {
+        DispatchPolicy { window }
+    }
+
+    /// Whether the batch window is satisfied (always true for online
+    /// schedulers).
+    fn window_ready(&self, queue_len: usize, events: &EventQueue, cluster: &ClusterState) -> bool {
+        match self.window {
+            Some(w) => {
+                queue_len >= w
+                    || events.is_empty()
+                    || cluster.has_idle_machine()
+                    || cluster.n_free() >= 2
+            }
+            None => true,
+        }
+    }
+
+    /// The full dispatch gate. Simultaneous events (a static batch
+    /// arriving at t = 0, or a machine's two slots completing together)
+    /// must all be processed before the scheduler runs, or a batch
+    /// scheduler would see its window one task at a time.
+    pub fn should_dispatch(
+        &self,
+        schedule_needed: bool,
+        now: f64,
+        events: &EventQueue,
+        queue: &VecDeque<Task>,
+        cluster: &ClusterState,
+    ) -> bool {
+        schedule_needed
+            && self.window_ready(queue.len(), events, cluster)
+            && !events.has_event_at(now)
+            && !queue.is_empty()
+            && cluster.n_free() > 0
+    }
+
+    /// Runs the scheduler over (at most) its queue window. Window tasks
+    /// the scheduler leaves unassigned return to the front of the queue
+    /// in their original order.
+    pub fn dispatch(
+        &self,
+        scheduler: &mut dyn Scheduler,
+        queue: &mut VecDeque<Task>,
+        cluster: &mut ClusterState,
+        scoring: &ScoringPolicy<'_>,
+    ) -> Vec<Assignment> {
+        match self.window {
+            Some(window) if queue.len() > window => {
+                let mut head: VecDeque<Task> = queue.drain(..window).collect();
+                let out = scheduler.schedule(&mut head, cluster, scoring);
+                while let Some(t) = head.pop_back() {
+                    queue.push_front(t);
+                }
+                out
+            }
+            _ => scheduler.schedule(queue, cluster, scoring),
+        }
+    }
+}

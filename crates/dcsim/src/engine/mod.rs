@@ -7,12 +7,48 @@
 //! task is placed beside it), the remaining work is rescaled — exactly
 //! the paper's "task A has finished 80% of its workload, the remaining
 //! 20% runs concurrently with task C" rule.
+//!
+//! The simulator is split into an event kernel and an observer layer:
+//!
+//! ```text
+//!            ┌─────────────────────────────────────────────┐
+//!            │                event kernel                 │
+//!            │  EventQueue ──► main loop ──► DispatchPolicy│
+//!            │      ▲             │               │        │
+//!            │      └── SlotState ┘          Scheduler     │
+//!            └──────────┬──────────────────────────────────┘
+//!                       │ hooks (arrival / dispatch /
+//!                       │        placement / completion)
+//!            ┌──────────▼──────────────────────────────────┐
+//!            │               observer layer                │
+//!            │  MetricsObserver · ObservationCollector ·   │
+//!            │  AdaptiveObserver · user SimObservers       │
+//!            └─────────────────────────────────────────────┘
+//! ```
+//!
+//! * [`event`](self) — the totally-ordered event queue,
+//! * [`slots`](self) — per-slot running state and remaining-work
+//!   rescaling,
+//! * [`dispatch`](self) — the batch-window trigger and queue-window
+//!   drain,
+//! * [`observer`] — the [`SimObserver`] trait and built-ins, including
+//!   online model adaptation via [`AdaptiveObserver`].
+
+mod dispatch;
+mod event;
+pub mod observer;
+mod slots;
+
+pub use observer::{AdaptiveObserver, ArrivalInfo, CompletionInfo, PlacementInfo, SimObserver};
 
 use crate::arrival::ArrivalEvent;
-use crate::perf::IDLE;
 use crate::setup::Testbed;
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
+use dispatch::DispatchPolicy;
+use event::{EventKind, EventQueue};
+use observer::{MetricsObserver, ObservationCollector};
+use slots::SlotState;
+use std::collections::VecDeque;
+use std::fmt;
 use tracon_core::{
     ClusterState, Fifo, Mibs, MibsAblation, MibsVariant, Mios, Mix, Objective, Scheduler,
     ScoringPolicy, Task, VmRef,
@@ -59,7 +95,19 @@ impl SchedulerKind {
 
     /// Display name.
     pub fn name(&self) -> String {
-        self.build().name()
+        self.to_string()
+    }
+}
+
+impl fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SchedulerKind::Fifo => f.write_str("FIFO"),
+            SchedulerKind::Mios => f.write_str("MIOS"),
+            SchedulerKind::Mibs(l) => write!(f, "MIBS_{l}"),
+            SchedulerKind::Mix(l) => write!(f, "MIX_{l}"),
+            SchedulerKind::Ablation(v, _) => f.write_str(v.name()),
+        }
     }
 }
 
@@ -111,60 +159,6 @@ impl SimResult {
     pub fn throughput_per_hour(&self, horizon_s: f64) -> f64 {
         self.completed as f64 / (horizon_s / 3600.0)
     }
-}
-
-#[derive(Debug, Clone, Copy)]
-enum EventKind {
-    Arrival(usize),
-    Completion { vm: VmRef, version: u64 },
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Event {
-    time: f64,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed for the max-heap: earliest time (then lowest seq) first.
-        other
-            .time
-            .partial_cmp(&self.time)
-            .unwrap_or(Ordering::Equal)
-            .then(other.seq.cmp(&self.seq))
-    }
-}
-
-#[derive(Debug, Clone)]
-struct Running {
-    app_idx: usize,
-    /// Neighbour app index at placement time (IDLE if the sibling slot was
-    /// free) — the state the prediction was made against.
-    neighbor_at_start: usize,
-    start_time: f64,
-    /// Completed fraction of the task's work.
-    progress: f64,
-    /// Work fraction per second under the current neighbour.
-    rate: f64,
-    /// Served I/O rate under the current neighbour.
-    iops_rate: f64,
-    /// Accumulated I/O operations.
-    io_ops: f64,
-    last_update: f64,
-    version: u64,
 }
 
 /// The simulator.
@@ -229,18 +223,35 @@ impl<'tb> Simulation<'tb> {
     }
 
     /// Runs the simulation over an arrival trace. `horizon_s` bounds the
-    /// simulated time for dynamic scenarios (`None` runs to completion).
+    /// simulated time for dynamic scenarios (`None` runs to completion);
+    /// an event at exactly `t == horizon_s` is still processed.
     pub fn run(&self, trace: &[ArrivalEvent], horizon_s: Option<f64>) -> SimResult {
+        self.run_with_observer(trace, horizon_s, &mut ())
+    }
+
+    /// Like [`Simulation::run`], additionally streaming kernel events to
+    /// `observer`. If the observer hands back an updated predictor (see
+    /// [`SimObserver::updated_predictor`]), the scheduler's scoring
+    /// policy is swapped mid-run — this is how online model adaptation
+    /// ([`AdaptiveObserver`]) changes scheduling decisions while the
+    /// simulation is in flight.
+    pub fn run_with_observer(
+        &self,
+        trace: &[ArrivalEvent],
+        horizon_s: Option<f64>,
+        observer: &mut dyn SimObserver,
+    ) -> SimResult {
         let perf = &self.testbed.perf;
         let names = &perf.names;
         let mut scheduler = self.scheduler.build();
         let predictor = self.predictor_override.unwrap_or(&self.testbed.predictor);
-        let scoring = ScoringPolicy::new(predictor, self.objective);
+        let mut scoring = ScoringPolicy::new(predictor, self.objective);
         let mut cluster = ClusterState::new(
             self.n_machines,
             self.slots_per_machine,
             self.testbed.app_chars.clone(),
         );
+        let dispatch = DispatchPolicy::new(self.scheduler.batch_window());
 
         // Intern the perf-table app names once; every task constructed in
         // the arrival loop reuses these ids (no per-arrival allocation).
@@ -250,87 +261,26 @@ impl<'tb> Simulation<'tb> {
             .collect();
 
         let n_slots = self.n_machines * self.slots_per_machine;
-        let mut slots: Vec<Option<Running>> = vec![None; n_slots];
-        let slot_index = |vm: VmRef| -> usize { vm.machine * self.slots_per_machine + vm.slot };
+        let mut slots = SlotState::new(self.n_machines, self.slots_per_machine, perf);
 
-        let mut events = BinaryHeap::with_capacity(trace.len() + n_slots);
-        let mut seq = 0u64;
+        let mut events = EventQueue::with_capacity(trace.len() + n_slots);
         for (i, a) in trace.iter().enumerate() {
-            events.push(Event {
-                time: a.time,
-                seq,
-                kind: EventKind::Arrival(i),
-            });
-            seq += 1;
+            events.push(a.time, EventKind::Arrival(i));
         }
 
         let mut queue: VecDeque<Task> = VecDeque::new();
         // Arrival times by task id, for wait-time accounting.
         let arrival_time: Vec<f64> = trace.iter().map(|a| a.time).collect();
 
-        let mut completed = 0usize;
-        let mut total_runtime = 0.0f64;
-        let mut total_iops = 0.0f64;
-        let mut makespan = 0.0f64;
-        let mut wait_sum = 0.0f64;
-        let mut wait_count = 0usize;
-        let mut refused = 0usize;
-        let mut observations: Vec<TaskObservation> = Vec::new();
-        // Profile features per app index, for observation records.
-        let app_features: Vec<[f64; 4]> = names
-            .iter()
-            .map(|n| self.testbed.app_chars[n].as_array())
-            .collect();
-
-        // --- helpers --------------------------------------------------
-        let neighbor_app = |slots: &[Option<Running>], vm: VmRef| -> usize {
-            // With two slots per machine there is at most one neighbour;
-            // with more, the most I/O-intensive one dominates (documented
-            // approximation for >2-slot extensions).
-            let mut best = IDLE;
-            let mut best_iops = -1.0f64;
-            for s in 0..self.slots_per_machine {
-                if s == vm.slot {
-                    continue;
-                }
-                if let Some(r) = &slots[vm.machine * self.slots_per_machine + s] {
-                    let io = perf.solo_iops(r.app_idx);
-                    if io > best_iops {
-                        best_iops = io;
-                        best = r.app_idx;
-                    }
-                }
-            }
-            best
-        };
-
-        macro_rules! refresh_slot {
-            ($vm:expr, $now:expr, $events:expr, $seq:expr, $slots:expr) => {{
-                let vm: VmRef = $vm;
-                let nb = neighbor_app(&$slots, vm);
-                let idx = slot_index(vm);
-                if let Some(r) = &mut $slots[idx] {
-                    let dt = $now - r.last_update;
-                    r.progress += r.rate * dt;
-                    r.io_ops += r.iops_rate * dt;
-                    r.last_update = $now;
-                    r.rate = perf.rate(r.app_idx, nb);
-                    r.iops_rate = perf.iops(r.app_idx, nb);
-                    r.version += 1;
-                    let remaining = (1.0 - r.progress).max(0.0);
-                    let eta = $now + remaining / r.rate.max(1e-12);
-                    $events.push(Event {
-                        time: eta,
-                        seq: $seq,
-                        kind: EventKind::Completion {
-                            vm,
-                            version: r.version,
-                        },
-                    });
-                    $seq += 1;
-                }
-            }};
-        }
+        let mut metrics = MetricsObserver::default();
+        let mut collector = self.collect_observations.then(|| {
+            // Profile features per app index, for observation records.
+            let app_features: Vec<[f64; 4]> = names
+                .iter()
+                .map(|n| self.testbed.app_chars[n].as_array())
+                .collect();
+            ObservationCollector::new(app_features)
+        });
 
         // --- main loop ------------------------------------------------
         while let Some(ev) = events.pop() {
@@ -340,11 +290,15 @@ impl<'tb> Simulation<'tb> {
                     break;
                 }
             }
-            #[allow(unused_assignments)]
             let mut schedule_needed = false;
             match ev.kind {
                 EventKind::Arrival(i) => {
                     let a = &trace[i];
+                    let info = ArrivalInfo {
+                        time: now,
+                        trace_idx: i,
+                        app_idx: a.app_idx,
+                    };
                     let admitted = match self.queue_capacity {
                         Some(cap) => queue.len() < cap,
                         None => true,
@@ -352,51 +306,41 @@ impl<'tb> Simulation<'tb> {
                     if admitted {
                         queue.push_back(Task::new(i as u64, app_ids[a.app_idx]));
                         schedule_needed = true;
+                        observer.on_arrival(&info);
                     } else {
-                        refused += 1;
+                        metrics.on_refusal(&info);
+                        observer.on_refusal(&info);
                     }
                 }
                 EventKind::Completion { vm, version } => {
-                    let idx = slot_index(vm);
-                    let valid = matches!(&slots[idx], Some(r) if r.version == version);
-                    if !valid {
+                    let Some(done) = slots.complete(vm, version, now) else {
                         continue; // stale event from before a neighbour change
+                    };
+                    let info = CompletionInfo {
+                        time: now,
+                        vm,
+                        app_idx: done.app_idx,
+                        neighbor_at_start: done.neighbor_at_start,
+                        runtime: done.runtime,
+                        avg_iops: done.avg_iops,
+                    };
+                    metrics.on_completion(&info);
+                    if let Some(c) = &mut collector {
+                        c.on_completion(&info);
                     }
-                    let r = slots[idx].take().expect("validated above");
-                    let runtime = now - r.start_time;
-                    completed += 1;
-                    total_runtime += runtime;
-                    let final_ops = r.io_ops + r.iops_rate * (now - r.last_update);
-                    let avg_iops = final_ops / runtime.max(1e-9);
-                    total_iops += avg_iops;
-                    if self.collect_observations {
-                        let t = app_features[r.app_idx];
-                        let nb = if r.neighbor_at_start == IDLE {
-                            [0.0; 4]
-                        } else {
-                            app_features[r.neighbor_at_start]
-                        };
-                        observations.push(TaskObservation {
-                            features: [t[0], t[1], t[2], t[3], nb[0], nb[1], nb[2], nb[3]],
-                            runtime,
-                            iops: avg_iops,
-                        });
-                    }
-                    makespan = makespan.max(now);
+                    observer.on_completion(&info);
                     cluster.clear(vm);
                     // The surviving sibling speeds up (or a later placement
                     // slows it down again).
                     for s in 0..self.slots_per_machine {
                         if s != vm.slot {
-                            refresh_slot!(
+                            slots.refresh(
                                 VmRef {
                                     machine: vm.machine,
-                                    slot: s
+                                    slot: s,
                                 },
                                 now,
-                                events,
-                                seq,
-                                slots
+                                &mut events,
                             );
                         }
                     }
@@ -404,77 +348,24 @@ impl<'tb> Simulation<'tb> {
                 }
             }
 
-            // Batch schedulers wait until their queue window fills (the
-            // paper: "the scheduling process takes place when the queue
-            // that holds the incoming tasks is full") — the waiting both
-            // widens the pairing choice and lets free slots accumulate so
-            // pairs can land together on one machine. Once the arrival
-            // trace is exhausted the remaining tasks drain regardless.
-            // A batch scheduler fires when its window is full, when the
-            // arrival trace is exhausted (drain), when an entirely idle
-            // machine is available (placing there is never regrettable),
-            // or when at least two slots are free (a pairing opportunity
-            // already exists, so waiting for more queue only burns
-            // utilization — measurably ~5% of throughput on benign
-            // workloads). A single free slot with a short queue waits for
-            // either more tasks (choice) or another slot (pairing).
-            let window_ready = match self.scheduler.batch_window() {
-                Some(w) => {
-                    queue.len() >= w
-                        || events.is_empty()
-                        || cluster.has_idle_machine()
-                        || cluster.n_free() >= 2
-                }
-                None => true,
-            };
-            // Simultaneous events (a static batch arriving at t = 0, or a
-            // machine's two slots completing together) must all be
-            // processed before the scheduler runs, or a batch scheduler
-            // would see its window one task at a time.
-            let more_now = events
-                .peek()
-                .map(|e| (e.time - now).abs() < 1e-12)
-                .unwrap_or(false);
-            if schedule_needed
-                && window_ready
-                && !more_now
-                && !queue.is_empty()
-                && cluster.n_free() > 0
-            {
+            // Online adaptation: swap in a freshly retrained predictor
+            // when the observer's monitor has rebuilt its models.
+            if let Some(p) = observer.updated_predictor() {
+                scoring = ScoringPolicy::new_owned(p, self.objective);
+            }
+
+            if dispatch.should_dispatch(schedule_needed, now, &events, &queue, &cluster) {
                 // Batch schedulers only see their queue window.
-                let assignments = match self.scheduler.batch_window() {
-                    Some(window) if queue.len() > window => {
-                        let mut head: VecDeque<Task> = queue.drain(..window).collect();
-                        let out = scheduler.schedule(&mut head, &mut cluster, &scoring);
-                        // Unscheduled window tasks return to the front.
-                        while let Some(t) = head.pop_back() {
-                            queue.push_front(t);
-                        }
-                        out
-                    }
-                    _ => scheduler.schedule(&mut queue, &mut cluster, &scoring),
-                };
+                let assignments =
+                    dispatch.dispatch(scheduler.as_mut(), &mut queue, &mut cluster, &scoring);
+                observer.on_dispatch(now, assignments.len());
                 for a in assignments {
                     let task_idx = a.task.id as usize;
                     let app_idx = trace[task_idx].app_idx;
-                    let arr = arrival_time[task_idx];
-                    wait_sum += now - arr;
-                    wait_count += 1;
-                    let idx = slot_index(a.vm);
-                    debug_assert!(slots[idx].is_none(), "scheduler placed onto occupied slot");
-                    let nb_at_start = neighbor_app(&slots, a.vm);
-                    slots[idx] = Some(Running {
-                        app_idx,
-                        neighbor_at_start: nb_at_start,
-                        start_time: now,
-                        progress: 0.0,
-                        rate: 1.0, // placeholder; refresh_slot sets it
-                        iops_rate: 0.0,
-                        io_ops: 0.0,
-                        last_update: now,
-                        version: 0,
-                    });
-                    refresh_slot!(a.vm, now, events, seq, slots);
+                    let wait = now - arrival_time[task_idx];
+                    let nb_at_start = slots.neighbor_app(a.vm);
+                    slots.place(a.vm, app_idx, nb_at_start, now);
+                    slots.refresh(a.vm, now, &mut events);
                     // Existing neighbours now run against a new workload.
                     for s in 0..self.slots_per_machine {
                         if s != a.vm.slot {
@@ -482,11 +373,21 @@ impl<'tb> Simulation<'tb> {
                                 machine: a.vm.machine,
                                 slot: s,
                             };
-                            if slots[slot_index(nvm)].is_some() {
-                                refresh_slot!(nvm, now, events, seq, slots);
+                            if slots.is_occupied(nvm) {
+                                slots.refresh(nvm, now, &mut events);
                             }
                         }
                     }
+                    let info = PlacementInfo {
+                        time: now,
+                        vm: a.vm,
+                        task_id: a.task.id,
+                        app_idx,
+                        neighbor_at_start: nb_at_start,
+                        wait,
+                    };
+                    metrics.on_placement(&info);
+                    observer.on_placement(&info);
                 }
             }
         }
@@ -494,17 +395,15 @@ impl<'tb> Simulation<'tb> {
         SimResult {
             scheduler: self.scheduler.name(),
             arrived: trace.len(),
-            completed,
-            refused,
-            total_runtime,
-            total_iops,
-            makespan,
-            mean_wait: if wait_count > 0 {
-                wait_sum / wait_count as f64
-            } else {
-                0.0
-            },
-            observations,
+            completed: metrics.completed,
+            refused: metrics.refused,
+            total_runtime: metrics.total_runtime,
+            total_iops: metrics.total_iops,
+            makespan: metrics.makespan,
+            mean_wait: metrics.mean_wait(),
+            observations: collector
+                .map(ObservationCollector::into_observations)
+                .unwrap_or_default(),
         }
     }
 }
@@ -712,5 +611,94 @@ mod tests {
         assert_eq!(SchedulerKind::Mix(4).name(), "MIX_4");
         assert_eq!(SchedulerKind::Mios.batch_window(), None);
         assert_eq!(SchedulerKind::Mibs(8).batch_window(), Some(8));
+    }
+
+    #[test]
+    fn display_name_matches_built_scheduler_name() {
+        // The allocation-free Display-based name must agree with what the
+        // boxed scheduler reports about itself, for every kind.
+        let mut kinds = vec![
+            SchedulerKind::Fifo,
+            SchedulerKind::Mios,
+            SchedulerKind::Mibs(8),
+            SchedulerKind::Mix(4),
+        ];
+        for v in MibsVariant::ALL {
+            kinds.push(SchedulerKind::Ablation(v, 8));
+        }
+        for kind in kinds {
+            assert_eq!(kind.name(), kind.build().name(), "{kind:?}");
+        }
+    }
+
+    #[derive(Default)]
+    struct Counting {
+        arrivals: usize,
+        refusals: usize,
+        placements: usize,
+        completions: usize,
+        dispatches: usize,
+    }
+
+    impl SimObserver for Counting {
+        fn on_arrival(&mut self, _info: &ArrivalInfo) {
+            self.arrivals += 1;
+        }
+        fn on_refusal(&mut self, _info: &ArrivalInfo) {
+            self.refusals += 1;
+        }
+        fn on_dispatch(&mut self, _time: f64, _n: usize) {
+            self.dispatches += 1;
+        }
+        fn on_placement(&mut self, _info: &PlacementInfo) {
+            self.placements += 1;
+        }
+        fn on_completion(&mut self, _info: &CompletionInfo) {
+            self.completions += 1;
+        }
+    }
+
+    #[test]
+    fn observer_hooks_agree_with_result_totals() {
+        let tb = shared();
+        let trace = static_batch(12, WorkloadMix::Medium, 13);
+        let mut obs = Counting::default();
+        let r = Simulation::new(tb, 4, SchedulerKind::Mibs(8)).run_with_observer(
+            &trace,
+            None,
+            &mut obs,
+        );
+        assert_eq!(obs.arrivals, r.arrived);
+        assert_eq!(obs.completions, r.completed);
+        assert_eq!(obs.placements, r.completed, "static run places all tasks");
+        assert_eq!(obs.refusals, r.refused);
+        assert!(obs.dispatches > 0);
+    }
+
+    #[test]
+    fn event_at_exact_horizon_is_processed() {
+        // The kernel breaks on `now > horizon`: an event at exactly
+        // t == horizon is processed, one epsilon later is not.
+        let tb = shared();
+        let h = 100.0;
+        let trace = vec![
+            ArrivalEvent {
+                time: h,
+                app_idx: 0,
+            },
+            ArrivalEvent {
+                time: h + 1e-3,
+                app_idx: 0,
+            },
+        ];
+        let mut obs = Counting::default();
+        let r = Simulation::new(tb, 2, SchedulerKind::Fifo).run_with_observer(
+            &trace,
+            Some(h),
+            &mut obs,
+        );
+        assert_eq!(obs.arrivals, 1, "arrival at t == horizon must be admitted");
+        assert_eq!(r.arrived, 2, "arrived counts the whole trace");
+        assert_eq!(r.completed, 0, "its completion falls past the horizon");
     }
 }

@@ -1,0 +1,154 @@
+//! Per-slot running-task state and the remaining-work rescaling rule
+//! (paper Section 4.2): when a task's neighbour changes, accrued progress
+//! is banked at the old rate and the remainder continues at the new
+//! pair rate, with a fresh completion event superseding the stale one.
+
+use super::event::{EventKind, EventQueue};
+use crate::perf::{PerfTable, IDLE};
+use tracon_core::VmRef;
+
+/// A task in flight on a VM slot.
+#[derive(Debug, Clone)]
+pub(crate) struct Running {
+    pub app_idx: usize,
+    /// Neighbour app index at placement time (IDLE if the sibling slot was
+    /// free) — the state the prediction was made against.
+    pub neighbor_at_start: usize,
+    pub start_time: f64,
+    /// Completed fraction of the task's work.
+    pub progress: f64,
+    /// Work fraction per second under the current neighbour.
+    pub rate: f64,
+    /// Served I/O rate under the current neighbour.
+    pub iops_rate: f64,
+    /// Accumulated I/O operations.
+    pub io_ops: f64,
+    pub last_update: f64,
+    pub version: u64,
+}
+
+/// A validated task completion, with the realized measurements the
+/// observers consume.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Completed {
+    pub app_idx: usize,
+    pub neighbor_at_start: usize,
+    pub runtime: f64,
+    pub avg_iops: f64,
+}
+
+/// The slot table: owns every [`Running`] entry and applies the
+/// progress-rescaling rule whenever a slot's neighbourhood changes.
+pub(crate) struct SlotState<'p> {
+    slots: Vec<Option<Running>>,
+    slots_per_machine: usize,
+    perf: &'p PerfTable,
+}
+
+impl<'p> SlotState<'p> {
+    pub fn new(n_machines: usize, slots_per_machine: usize, perf: &'p PerfTable) -> Self {
+        SlotState {
+            slots: vec![None; n_machines * slots_per_machine],
+            slots_per_machine,
+            perf,
+        }
+    }
+
+    fn index(&self, vm: VmRef) -> usize {
+        vm.machine * self.slots_per_machine + vm.slot
+    }
+
+    /// The app index of `vm`'s most I/O-intensive sibling, or [`IDLE`].
+    /// With two slots per machine there is at most one neighbour; with
+    /// more, the most I/O-intensive one dominates (documented
+    /// approximation for >2-slot extensions).
+    pub fn neighbor_app(&self, vm: VmRef) -> usize {
+        let mut best = IDLE;
+        let mut best_iops = -1.0f64;
+        for s in 0..self.slots_per_machine {
+            if s == vm.slot {
+                continue;
+            }
+            if let Some(r) = &self.slots[vm.machine * self.slots_per_machine + s] {
+                let io = self.perf.solo_iops(r.app_idx);
+                if io > best_iops {
+                    best_iops = io;
+                    best = r.app_idx;
+                }
+            }
+        }
+        best
+    }
+
+    /// Whether a slot currently hosts a task.
+    pub fn is_occupied(&self, vm: VmRef) -> bool {
+        self.slots[self.index(vm)].is_some()
+    }
+
+    /// Starts a task on a free slot. The rate fields are placeholders
+    /// until the caller refreshes the slot.
+    pub fn place(&mut self, vm: VmRef, app_idx: usize, neighbor_at_start: usize, now: f64) {
+        let idx = self.index(vm);
+        debug_assert!(self.slots[idx].is_none(), "scheduler placed onto occupied slot");
+        self.slots[idx] = Some(Running {
+            app_idx,
+            neighbor_at_start,
+            start_time: now,
+            progress: 0.0,
+            rate: 1.0, // placeholder; refresh sets it
+            iops_rate: 0.0,
+            io_ops: 0.0,
+            last_update: now,
+            version: 0,
+        });
+    }
+
+    /// Re-rates a slot against its current neighbour: banks the progress
+    /// and I/O accrued at the old rate, switches to the new pair rate,
+    /// bumps the version (invalidating the outstanding completion event),
+    /// and schedules a new completion at the rescaled ETA. No-op on an
+    /// empty slot.
+    pub fn refresh(&mut self, vm: VmRef, now: f64, events: &mut EventQueue) {
+        let nb = self.neighbor_app(vm);
+        let idx = self.index(vm);
+        if let Some(r) = &mut self.slots[idx] {
+            let dt = now - r.last_update;
+            r.progress += r.rate * dt;
+            r.io_ops += r.iops_rate * dt;
+            r.last_update = now;
+            r.rate = self.perf.rate(r.app_idx, nb);
+            r.iops_rate = self.perf.iops(r.app_idx, nb);
+            r.version += 1;
+            let remaining = (1.0 - r.progress).max(0.0);
+            let eta = now + remaining / r.rate.max(1e-12);
+            events.push(
+                eta,
+                EventKind::Completion {
+                    vm,
+                    version: r.version,
+                },
+            );
+        }
+    }
+
+    /// Processes a completion event: returns `None` for a stale event
+    /// (version mismatch from before a neighbour change), otherwise frees
+    /// the slot and returns the realized measurements.
+    pub fn complete(&mut self, vm: VmRef, version: u64, now: f64) -> Option<Completed> {
+        let idx = self.index(vm);
+        let valid = matches!(&self.slots[idx], Some(r) if r.version == version);
+        if !valid {
+            return None;
+        }
+        let r = self.slots[idx].take().expect("validated above");
+        let runtime = now - r.start_time;
+        let final_ops = r.io_ops + r.iops_rate * (now - r.last_update);
+        let avg_iops = final_ops / runtime.max(1e-9);
+        Some(Completed {
+            app_idx: r.app_idx,
+            neighbor_at_start: r.neighbor_at_start,
+            runtime,
+            avg_iops,
+        })
+    }
+}

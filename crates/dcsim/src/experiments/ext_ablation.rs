@@ -76,23 +76,34 @@ impl ExtAblation {
         self.rows.iter().find(|r| r.scheduler == label)
     }
 
-    /// Prints the table.
-    pub fn print(&self) {
-        println!(
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
             "MIBS design-decision ablation: speedup over FIFO ({BATCH} tasks, {MACHINES} machines)"
         );
-        println!(
+        let _ = writeln!(
+            out,
             "{:>20} {:>22} {:>22}",
             "scheduler", "uniform mix", "medium mix"
         );
         for r in &self.rows {
-            println!(
+            let _ = writeln!(
+                out,
                 "{:>20} {:>22} {:>22}",
                 r.scheduler,
                 super::fmt_pm(r.uniform.mean, r.uniform.std_dev),
                 super::fmt_pm(r.medium.mean, r.medium.std_dev),
             );
         }
+        out
+    }
+
+    /// Prints the table.
+    pub fn print(&self) {
+        print!("{}", self.render());
     }
 }
 

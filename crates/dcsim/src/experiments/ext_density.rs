@@ -93,26 +93,46 @@ pub fn run(time_scale: f64, seed: u64) -> ExtDensity {
 }
 
 impl ExtDensity {
-    /// Prints the sweep.
-    pub fn print(&self) {
-        println!(
+    /// Renders the sweep.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
             "Consolidation-density extension: slowdown of `{}` vs neighbour set",
             self.target
         );
-        println!(
+        let _ = writeln!(
+            out,
             "{:>8} {:>20} {:>12} {:>20}",
             "guests", "neighbours", "measured", "dominant-approx"
         );
         for r in &self.rows {
-            println!(
+            let _ = writeln!(
+                out,
                 "{:>8} {:>20} {:>11.2}x {:>19.2}x",
                 r.guests, r.neighbours, r.measured, r.dominant_approx
             );
         }
-        println!("\n'dominant-approx' is what the data-center simulator replays when a");
-        println!("machine hosts more than two VMs: the pairwise slowdown against the most");
-        println!("I/O-intensive co-resident. It is exact at two guests and a lower bound");
-        println!("beyond that; the gap quantifies the approximation error.");
+        let _ = writeln!(
+            out,
+            "\n'dominant-approx' is what the data-center simulator replays when a"
+        );
+        let _ = writeln!(
+            out,
+            "machine hosts more than two VMs: the pairwise slowdown against the most"
+        );
+        let _ = writeln!(
+            out,
+            "I/O-intensive co-resident. It is exact at two guests and a lower bound"
+        );
+        let _ = writeln!(out, "beyond that; the gap quantifies the approximation error.");
+        out
+    }
+
+    /// Prints the sweep.
+    pub fn print(&self) {
+        print!("{}", self.render());
     }
 }
 

@@ -83,21 +83,37 @@ impl ExtStorage {
         self.rows.iter().find(|r| r.device == device)
     }
 
-    /// Prints the sweep.
-    pub fn print(&self) {
-        println!("Storage extension: interference across device types");
-        println!(
+    /// Renders the sweep.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "Storage extension: interference across device types");
+        let _ = writeln!(
+            out,
             "{:>10} {:>18} {:>16} {:>16} {:>12}",
             "device", "SeqRead|IO-high", "video|dedup", "video|email", "sched. room"
         );
         for r in &self.rows {
-            println!(
+            let _ = writeln!(
+                out,
                 "{:>10} {:>17.2}x {:>15.2}x {:>15.2}x {:>11.2}x",
                 r.device, r.seqread_io_high, r.video_vs_dedup, r.video_vs_email, r.room
             );
         }
-        println!("\n'sched. room' = worst/best pairing slowdown for the most I/O-intensive app:");
-        println!("the spread an interference-aware scheduler can exploit on that device.");
+        let _ = writeln!(
+            out,
+            "\n'sched. room' = worst/best pairing slowdown for the most I/O-intensive app:"
+        );
+        let _ = writeln!(
+            out,
+            "the spread an interference-aware scheduler can exploit on that device."
+        );
+        out
+    }
+
+    /// Prints the sweep.
+    pub fn print(&self) {
+        print!("{}", self.render());
     }
 }
 

@@ -5,7 +5,7 @@
 //! queue beats a shorter one (at λ = 100, MIBS_8 is ~10% above MIBS_4 and
 //! MIBS_2); the medium mix benefits most.
 
-use super::fig9::{dynamic_sweep, print_points, DynamicPoint, HORIZON_S, MACHINES};
+use super::sweep::{dynamic_sweep, render_points, DynamicPoint, HORIZON_S, MACHINES};
 use crate::arrival::WorkloadMix;
 use crate::engine::SchedulerKind;
 use crate::setup::Testbed;
@@ -48,12 +48,17 @@ pub fn run(
 }
 
 impl Fig10 {
-    /// Prints the figure's series.
-    pub fn print(&self) {
-        print_points(
+    /// Renders the figure's series.
+    pub fn render(&self) -> String {
+        render_points(
             &format!("Fig 10: MIBS queue lengths vs lambda ({MACHINES} machines, medium mix)"),
             &self.points,
-        );
+        )
+    }
+
+    /// Prints the figure's series.
+    pub fn print(&self) {
+        print!("{}", self.render());
     }
 
     /// Mean normalized throughput of a queue length across the sweep.

@@ -7,7 +7,8 @@
 //! machines and proportionally scaled λ, MIBS_8 keeps a ~40% improvement
 //! on the medium mix.
 
-use super::fig9::{dynamic_sweep, print_points, DynamicPoint, HORIZON_S, SCHEDULERS};
+use super::fig9::SCHEDULERS;
+use super::sweep::{dynamic_sweep, render_points, DynamicPoint, HORIZON_S};
 use crate::arrival::WorkloadMix;
 use crate::engine::SchedulerKind;
 use crate::setup::Testbed;
@@ -69,14 +70,19 @@ pub fn run_10k(testbed: &Testbed, seed: u64) -> DynamicPoint {
 }
 
 impl Fig11 {
-    /// Prints the figure's series.
-    pub fn print(&self) {
-        print_points(
+    /// Renders the figure's series.
+    pub fn render(&self) -> String {
+        render_points(
             &format!(
                 "Fig 11: normalized throughput vs machines (lambda = {LAMBDA}/min, medium mix)"
             ),
             &self.points,
-        );
+        )
+    }
+
+    /// Prints the figure's series.
+    pub fn print(&self) {
+        print!("{}", self.render());
     }
 
     /// Normalized throughput for a (scheduler, machines) pair.

@@ -6,7 +6,7 @@
 
 use super::fig10::QUEUE_LENGTHS;
 use super::fig11::LAMBDA;
-use super::fig9::{dynamic_sweep, print_points, DynamicPoint, HORIZON_S};
+use super::sweep::{dynamic_sweep, render_points, DynamicPoint, HORIZON_S};
 use crate::arrival::WorkloadMix;
 use crate::engine::SchedulerKind;
 use crate::setup::Testbed;
@@ -47,12 +47,17 @@ pub fn run(
 }
 
 impl Fig12 {
-    /// Prints the figure's series.
-    pub fn print(&self) {
-        print_points(
+    /// Renders the figure's series.
+    pub fn render(&self) -> String {
+        render_points(
             &format!("Fig 12: MIBS queue lengths vs machines (lambda = {LAMBDA}/min, medium mix)"),
             &self.points,
-        );
+        )
+    }
+
+    /// Prints the figure's series.
+    pub fn print(&self) {
+        print!("{}", self.render());
     }
 
     /// Mean normalized throughput of a queue length across sizes.

@@ -93,8 +93,13 @@ impl Fig3 {
         cells.iter().find(|c| c.app == app && c.kind == kind)
     }
 
-    fn print_panel(&self, label: &str, cells: &[ErrorCell]) {
-        println!("Fig 3{label}: prediction error (mean +- std of |pred-actual|/actual)");
+    fn render_panel(&self, label: &str, cells: &[ErrorCell]) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Fig 3{label}: prediction error (mean +- std of |pred-actual|/actual)"
+        );
         let apps: Vec<&str> = {
             let mut seen = Vec::new();
             for c in cells {
@@ -104,35 +109,48 @@ impl Fig3 {
             }
             seen
         };
-        print!("{:10}", "benchmark");
+        let _ = write!(out, "{:10}", "benchmark");
         for kind in ModelKind::ALL {
-            print!(" {:>22}", kind.name());
+            let _ = write!(out, " {:>22}", kind.name());
         }
-        println!();
+        let _ = writeln!(out);
         for app in apps {
-            print!("{app:10}");
+            let _ = write!(out, "{app:10}");
             for kind in ModelKind::ALL {
                 match self.cell(cells, app, kind) {
-                    Some(c) => print!(" {:>22}", super::fmt_pm(c.error.mean, c.error.std_dev)),
-                    None => print!(" {:>22}", "-"),
+                    Some(c) => {
+                        let _ = write!(out, " {:>22}", super::fmt_pm(c.error.mean, c.error.std_dev));
+                    }
+                    None => {
+                        let _ = write!(out, " {:>22}", "-");
+                    }
                 }
             }
-            println!();
+            let _ = writeln!(out);
         }
         for kind in ModelKind::ALL {
-            println!(
+            let _ = writeln!(
+                out,
                 "  overall {:12}: {:.3}",
                 kind.name(),
                 self.mean_error(cells, kind)
             );
         }
+        out
+    }
+
+    /// Renders both panels.
+    pub fn render(&self) -> String {
+        format!(
+            "{}\n{}",
+            self.render_panel("a (runtime)", &self.runtime),
+            self.render_panel("b (IOPS)", &self.iops)
+        )
     }
 
     /// Prints both panels.
     pub fn print(&self) {
-        self.print_panel("a (runtime)", &self.runtime);
-        println!();
-        self.print_panel("b (IOPS)", &self.iops);
+        print!("{}", self.render());
     }
 }
 

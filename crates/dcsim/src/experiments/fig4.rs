@@ -79,17 +79,22 @@ impl Fig4 {
             .find(|b| b.model == model && b.objective == objective)
     }
 
-    /// Prints the figure's series.
-    pub fn print(&self) {
-        println!(
+    /// Renders the figure's series.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
             "Fig 4: MIBS with different models, {BATCH} tasks on {MACHINES} machines x 2 VMs (vs FIFO)"
         );
-        println!(
+        let _ = writeln!(
+            out,
             "{:14} {:>10} {:>22} {:>22}",
             "scheduler", "model", "Speedup", "IOBoost"
         );
         for b in &self.bars {
-            println!(
+            let _ = writeln!(
+                out,
                 "MIBS_{:9} {:>10} {:>22} {:>22}",
                 b.objective.suffix(),
                 b.model.name(),
@@ -97,6 +102,12 @@ impl Fig4 {
                 super::fmt_pm(b.io_boost.mean, b.io_boost.std_dev),
             );
         }
+        out
+    }
+
+    /// Prints the figure's series.
+    pub fn print(&self) {
+        print!("{}", self.render());
     }
 }
 

@@ -94,35 +94,50 @@ pub fn run(testbed: &Testbed) -> Fig5And6 {
 }
 
 impl Fig5And6 {
-    fn print_panel(header: &str, rows: &[ExtremeRow]) {
-        println!("{header}");
-        println!(
+    fn render_panel(header: &str, rows: &[ExtremeRow]) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{header}");
+        let _ = writeln!(
+            out,
             "{:10} {:>10} {:>10} {:>10} {:>10}",
             "benchmark", "predicted", "meas min", "meas avg", "meas max"
         );
         for r in rows {
-            println!(
+            let _ = writeln!(
+                out,
                 "{:10} {:10.1} {:10.1} {:10.1} {:10.1}",
                 r.app, r.predicted, r.measured_min, r.measured_avg, r.measured_max
             );
         }
+        out
+    }
+
+    /// Renders both figures' series.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = Self::render_panel(
+            "Fig 5: NLM predicted minimum runtime vs measured min/avg/max (s)",
+            &self.runtime,
+        );
+        let _ = writeln!(out);
+        out.push_str(&Self::render_panel(
+            "Fig 6: NLM predicted maximum IOPS vs measured min/avg/max",
+            &self.iops,
+        ));
+        let _ = writeln!(
+            out,
+            "\nneighbour-ranking quality (Spearman rho, predicted vs measured runtimes):"
+        );
+        for (app, rho) in &self.rank_correlation {
+            let _ = writeln!(out, "  {app:10} {rho:+.3}");
+        }
+        out
     }
 
     /// Prints both figures' series.
     pub fn print(&self) {
-        Self::print_panel(
-            "Fig 5: NLM predicted minimum runtime vs measured min/avg/max (s)",
-            &self.runtime,
-        );
-        println!();
-        Self::print_panel(
-            "Fig 6: NLM predicted maximum IOPS vs measured min/avg/max",
-            &self.iops,
-        );
-        println!("\nneighbour-ranking quality (Spearman rho, predicted vs measured runtimes):");
-        for (app, rho) in &self.rank_correlation {
-            println!("  {app:10} {rho:+.3}");
-        }
+        print!("{}", self.render());
     }
 }
 

@@ -221,23 +221,37 @@ impl Fig7 {
             .unwrap_or((0.0, 0.0))
     }
 
-    /// Prints the trajectory series.
-    pub fn print(&self) {
-        println!("Fig 7: online model learning (blastn, local -> iSCSI storage)");
-        println!(
+    /// Renders the trajectory series.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Fig 7: online model learning (blastn, local -> iSCSI storage)"
+        );
+        let _ = writeln!(
+            out,
             "initial training error: runtime {:.3}, IOPS {:.3}; rebuilds every window of new data: {}",
             self.initial_runtime_error, self.initial_iops_error, self.rebuilds
         );
-        println!(
+        let _ = writeln!(
+            out,
             "{:>8} {:>16} {:>16} {:>16} {:>16}",
             "obs", "adapt rt err", "adapt io err", "ctrl rt err", "ctrl io err"
         );
         for (a, c) in self.adapted.iter().zip(&self.control) {
-            println!(
+            let _ = writeln!(
+                out,
                 "{:8} {:16.3} {:16.3} {:16.3} {:16.3}",
                 a.index, a.runtime_error, a.iops_error, c.runtime_error, c.iops_error
             );
         }
+        out
+    }
+
+    /// Prints the trajectory series.
+    pub fn print(&self) {
+        print!("{}", self.render());
     }
 }
 

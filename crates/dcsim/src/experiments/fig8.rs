@@ -92,15 +92,19 @@ impl Fig8 {
         tracon_stats::mean(&xs)
     }
 
-    /// Prints the figure's series.
-    pub fn print(&self) {
-        println!("Fig 8: static-workload Speedup / IOBoost of MIBS over FIFO");
-        println!(
+    /// Renders the figure's series.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "Fig 8: static-workload Speedup / IOBoost of MIBS over FIFO");
+        let _ = writeln!(
+            out,
             "{:>8} {:>12} {:>10} {:>22} {:>22}",
             "mix", "scheduler", "machines", "Speedup", "IOBoost"
         );
         for p in &self.points {
-            println!(
+            let _ = writeln!(
+                out,
                 "{:>8} {:>12} {:>10} {:>22} {:>22}",
                 p.mix.name(),
                 format!("MIBS_{}", p.objective.suffix()),
@@ -109,6 +113,12 @@ impl Fig8 {
                 super::fmt_pm(p.io_boost.mean, p.io_boost.std_dev),
             );
         }
+        out
+    }
+
+    /// Prints the figure's series.
+    pub fn print(&self) {
+        print!("{}", self.render());
     }
 }
 

@@ -1,9 +1,10 @@
 //! Experiment drivers: one per table and figure of the paper's
 //! evaluation (Section 4). Each driver is a pure function from a built
-//! [`Testbed`] (plus experiment parameters) to a
-//! structured result with a `print` method that emits the same
-//! rows/series the paper reports. The `tracon-bench` crate wraps each
-//! driver in a binary and a criterion bench.
+//! [`Testbed`] (plus experiment parameters) to a structured result with
+//! `render`/`print` methods that emit the same rows/series the paper
+//! reports. The [`registry`] module unifies all drivers behind the
+//! [`registry::Experiment`] trait so the CLI and the `tracon-bench`
+//! harness can enumerate and run them by name.
 
 pub mod ext_ablation;
 pub mod ext_adaptive;
@@ -18,12 +19,15 @@ pub mod fig5_6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod registry;
+pub mod sweep;
 pub mod table1;
 
 use crate::setup::{Testbed, TestbedConfig};
 use tracon_core::ModelKind;
 
-/// Configuration shared by the experiment drivers.
+/// Configuration shared by the experiment drivers: testbed parameters
+/// plus the sweep grids the registry-run experiments consume.
 #[derive(Debug, Clone)]
 pub struct ExperimentConfig {
     /// Testbed construction parameters.
@@ -33,6 +37,19 @@ pub struct ExperimentConfig {
     pub repetitions: u64,
     /// Base seed for workload sampling.
     pub seed: u64,
+    /// λ sweep (tasks/minute) for the dynamic figures (9, 10).
+    pub lambdas: Vec<f64>,
+    /// Machine-count sweep for the scalability figures (8, 11, 12).
+    pub machine_counts: Vec<usize>,
+    /// Cluster size for the fixed-size dynamic figures (9, 10).
+    pub machines: usize,
+    /// Repetitions for the long dynamic sweeps (cheaper than
+    /// `repetitions` because each run covers a 10-hour horizon).
+    pub sweep_repetitions: u64,
+    /// Benchmark time scale for the vmsim-level extension experiments
+    /// (storage, density), which run real simulated benchmarks rather
+    /// than the replayed pair table.
+    pub ext_time_scale: f64,
 }
 
 impl ExperimentConfig {
@@ -50,6 +67,29 @@ impl ExperimentConfig {
             },
             repetitions: 10,
             seed: 0xF1605,
+            lambdas: vec![5.0, 10.0, 20.0, 40.0, 60.0, 80.0, 100.0],
+            machine_counts: vec![8, 16, 32, 64, 128, 256, 512, 1024],
+            machines: sweep::MACHINES,
+            sweep_repetitions: 3,
+            ext_time_scale: 0.25,
+        }
+    }
+
+    /// Reduced-grid configuration for quick full-pipeline passes (the
+    /// bench harness's `--quick` flag): a coarser calibration, fewer
+    /// repetitions, and thinned sweep grids.
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            testbed: TestbedConfig {
+                calibration_points: 45,
+                ..Self::full().testbed
+            },
+            repetitions: 3,
+            lambdas: vec![10.0, 40.0, 80.0],
+            machine_counts: vec![8, 32, 128],
+            sweep_repetitions: 2,
+            ext_time_scale: 0.1,
+            ..Self::full()
         }
     }
 
@@ -59,6 +99,11 @@ impl ExperimentConfig {
             testbed: TestbedConfig::small(),
             repetitions: 3,
             seed: 0xF1605,
+            lambdas: vec![10.0, 40.0],
+            machine_counts: vec![8, 16],
+            machines: 8,
+            sweep_repetitions: 2,
+            ext_time_scale: 0.08,
         }
     }
 }
@@ -122,6 +167,10 @@ mod tests {
         assert!(f.repetitions >= 3);
         let s = ExperimentConfig::small();
         assert!(s.testbed.calibration_points < 125);
+        let q = ExperimentConfig::quick();
+        assert_eq!(q.testbed.calibration_points, 45);
+        assert!(q.lambdas.len() < f.lambdas.len());
+        assert!(q.machine_counts.len() < f.machine_counts.len());
     }
 
     #[test]

@@ -44,21 +44,29 @@ pub fn run(host: HostConfig, seed: u64) -> Table1 {
 }
 
 impl Table1 {
+    /// Renders the table in the paper's layout.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "Table 1: normalized App1 runtime under App2 interference");
+        let _ = write!(out, "{:10}", "App1\\App2");
+        for c in self.columns {
+            let _ = write!(out, " {c:>14}");
+        }
+        let _ = writeln!(out);
+        for row in &self.rows {
+            let _ = write!(out, "{:10}", row.app1);
+            for v in row.cells {
+                let _ = write!(out, " {v:14.2}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
     /// Prints the table in the paper's layout.
     pub fn print(&self) {
-        println!("Table 1: normalized App1 runtime under App2 interference");
-        print!("{:10}", "App1\\App2");
-        for c in self.columns {
-            print!(" {c:>14}");
-        }
-        println!();
-        for row in &self.rows {
-            print!("{:10}", row.app1);
-            for v in row.cells {
-                print!(" {v:14.2}");
-            }
-            println!();
-        }
+        print!("{}", self.render());
     }
 }
 

@@ -27,7 +27,8 @@ pub mod setup;
 
 pub use arrival::{poisson_trace, static_batch, ArrivalEvent, WorkloadMix};
 pub use engine::{
-    io_boost, normalized_throughput, speedup, SchedulerKind, SimResult, Simulation, TaskObservation,
+    io_boost, normalized_throughput, speedup, AdaptiveObserver, ArrivalInfo, CompletionInfo,
+    PlacementInfo, SchedulerKind, SimObserver, SimResult, Simulation, TaskObservation,
 };
 pub use oracle::oracle_predictor;
 pub use perf::{PerfTable, IDLE};

@@ -1,0 +1,178 @@
+//! Golden-equivalence tests for the event-kernel / observer split: the
+//! observer layer must be a pure tap on the kernel, so instrumenting a
+//! run can never change its outcome, and the kernel itself must be
+//! bit-deterministic. The fixture matrix covers a static batch and a
+//! Poisson trace, every [`SchedulerKind`], and both objectives — any
+//! accidental change to event ordering, progress rescaling, or dispatch
+//! triggering shows up as a bit-level mismatch.
+
+use std::sync::OnceLock;
+use tracon::core::{MibsVariant, Objective};
+use tracon::dcsim::arrival::{poisson_trace, static_batch, ArrivalEvent, WorkloadMix};
+use tracon::dcsim::engine::{ArrivalInfo, CompletionInfo, PlacementInfo, SimObserver};
+use tracon::dcsim::{SchedulerKind, SimResult, Simulation, Testbed, TestbedConfig};
+
+/// `(scenario, scheduler, objective, completed, refused, total_runtime,
+/// total_iops, makespan, mean_wait)` — float fields as raw bits.
+type GoldenRow = (
+    &'static str,
+    &'static str,
+    &'static str,
+    usize,
+    usize,
+    u64,
+    u64,
+    u64,
+    u64,
+);
+
+/// Pinned fingerprints. Empty means "not pinned on this checkout": the
+/// equivalence assertions below still run in full. To pin the current
+/// engine behaviour, paste the output of
+/// `cargo run --release -p tracon-dcsim --example golden_gen` here;
+/// regenerate whenever the engine is *intentionally* changed in a
+/// behaviour-visible way.
+const GOLDEN: &[GoldenRow] = &[];
+
+fn testbed() -> &'static Testbed {
+    static TB: OnceLock<Testbed> = OnceLock::new();
+    TB.get_or_init(|| Testbed::build(&TestbedConfig::small()))
+}
+
+/// Every scheduler kind the simulator accepts (window 8 for the
+/// batchers), mirroring `golden_gen`.
+fn all_kinds() -> Vec<SchedulerKind> {
+    let mut kinds = vec![
+        SchedulerKind::Fifo,
+        SchedulerKind::Mios,
+        SchedulerKind::Mibs(8),
+        SchedulerKind::Mix(8),
+    ];
+    kinds.extend(MibsVariant::ALL.map(|v| SchedulerKind::Ablation(v, 8)));
+    kinds
+}
+
+/// The fixture scenarios, mirroring `golden_gen`.
+fn scenarios() -> Vec<(&'static str, usize, Vec<ArrivalEvent>, Option<f64>)> {
+    vec![
+        ("static", 6, static_batch(24, WorkloadMix::Medium, 7), None),
+        (
+            "poisson",
+            4,
+            poisson_trace(40.0, 1800.0, WorkloadMix::Uniform, 11),
+            Some(1800.0),
+        ),
+    ]
+}
+
+fn fingerprint(r: &SimResult) -> (usize, usize, u64, u64, u64, u64) {
+    (
+        r.completed,
+        r.refused,
+        r.total_runtime.to_bits(),
+        r.total_iops.to_bits(),
+        r.makespan.to_bits(),
+        r.mean_wait.to_bits(),
+    )
+}
+
+/// An observer that exercises every hook (so the instrumented code path
+/// is fully live) without feeding anything back into the kernel.
+#[derive(Default)]
+struct Counting {
+    arrivals: usize,
+    refusals: usize,
+    placements: usize,
+    completions: usize,
+    dispatched: usize,
+}
+
+impl SimObserver for Counting {
+    fn on_arrival(&mut self, _info: &ArrivalInfo) {
+        self.arrivals += 1;
+    }
+    fn on_refusal(&mut self, _info: &ArrivalInfo) {
+        self.refusals += 1;
+    }
+    fn on_dispatch(&mut self, _time: f64, n_assigned: usize) {
+        self.dispatched += n_assigned;
+    }
+    fn on_placement(&mut self, _info: &PlacementInfo) {
+        self.placements += 1;
+    }
+    fn on_completion(&mut self, _info: &CompletionInfo) {
+        self.completions += 1;
+    }
+}
+
+#[test]
+fn observed_runs_match_bare_runs_bit_for_bit() {
+    let tb = testbed();
+    for (scenario, machines, trace, horizon) in scenarios() {
+        for kind in all_kinds() {
+            for objective in [Objective::MinRuntime, Objective::MaxIops] {
+                let sim = Simulation::new(tb, machines, kind).with_objective(objective);
+                let bare = sim.run(&trace, horizon);
+                let mut obs = Counting::default();
+                let tapped = sim.run_with_observer(&trace, horizon, &mut obs);
+                let ctx = format!("{scenario}/{}/{}", bare.scheduler, objective.suffix());
+                assert_eq!(
+                    fingerprint(&bare),
+                    fingerprint(&tapped),
+                    "observer tap perturbed the run: {ctx}"
+                );
+                assert_eq!(obs.completions, tapped.completed, "{ctx}");
+                assert_eq!(obs.refusals, tapped.refused, "{ctx}");
+                assert_eq!(
+                    obs.arrivals + obs.refusals,
+                    tapped.arrived,
+                    "every trace arrival is admitted or refused: {ctx}"
+                );
+                assert_eq!(
+                    obs.dispatched, obs.placements,
+                    "every dispatched assignment becomes a placement: {ctx}"
+                );
+                assert!(obs.placements >= obs.completions, "{ctx}");
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_fingerprints_are_reproducible_and_match_pins() {
+    let tb = testbed();
+    for (scenario, machines, trace, horizon) in scenarios() {
+        for kind in all_kinds() {
+            for objective in [Objective::MinRuntime, Objective::MaxIops] {
+                let sim = Simulation::new(tb, machines, kind).with_objective(objective);
+                let a = sim.run(&trace, horizon);
+                let b = sim.run(&trace, horizon);
+                let ctx = format!("{scenario}/{}/{}", a.scheduler, objective.suffix());
+                assert_eq!(
+                    fingerprint(&a),
+                    fingerprint(&b),
+                    "kernel not deterministic: {ctx}"
+                );
+                if let Some(row) = GOLDEN.iter().find(|g| {
+                    g.0 == scenario && g.1 == a.scheduler && g.2 == objective.suffix()
+                }) {
+                    assert_eq!(
+                        (a.completed, a.refused),
+                        (row.3, row.4),
+                        "pinned counts drifted: {ctx}"
+                    );
+                    assert_eq!(
+                        (
+                            a.total_runtime.to_bits(),
+                            a.total_iops.to_bits(),
+                            a.makespan.to_bits(),
+                            a.mean_wait.to_bits()
+                        ),
+                        (row.5, row.6, row.7, row.8),
+                        "pinned totals drifted: {ctx}"
+                    );
+                }
+            }
+        }
+    }
+}
