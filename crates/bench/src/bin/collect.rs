@@ -329,6 +329,32 @@ fn main() {
     macro_suite(quick, &mut results);
     registry_suite(quick, &mut results);
 
+    // A measurement of exactly zero means the clock never ran — a
+    // hand-written placeholder or a broken timer, not a benchmark. Refuse
+    // to emit such rows rather than seed the trajectory with them.
+    let dead: Vec<String> = results
+        .iter()
+        .filter(|row| {
+            let value = row.get("value").and_then(|v| v.as_f64());
+            !value.is_some_and(|v| v.is_finite() && v > 0.0)
+        })
+        .map(|row| {
+            format!(
+                "{}/{}",
+                row.get("suite").and_then(|v| v.as_str()).unwrap_or("?"),
+                row.get("name").and_then(|v| v.as_str()).unwrap_or("?")
+            )
+        })
+        .collect();
+    if !dead.is_empty() {
+        eprintln!(
+            "refusing to write artifact: {} measurement(s) are zero or non-finite: {}",
+            dead.len(),
+            dead.join(", ")
+        );
+        std::process::exit(1);
+    }
+
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())

@@ -12,13 +12,18 @@ pub struct Args {
     pub options: HashMap<String, String>,
     /// Bare `--flag` switches.
     pub flags: Vec<String>,
+    /// Positional arguments after the subcommand, in order. Subcommands
+    /// that take none must reject a non-empty list rather than silently
+    /// ignoring it (see `commands::run`).
+    pub positionals: Vec<String>,
 }
 
 /// Parses an argument list (without the program name).
 ///
 /// Grammar: the first bare word is the subcommand; `--key value` binds the
 /// next word unless it also starts with `--`, in which case `--key` is a
-/// flag. Later duplicates overwrite earlier ones.
+/// flag. Later duplicates overwrite earlier ones. Remaining bare words are
+/// kept as positionals for the subcommand to consume or reject.
 pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Args {
     let mut args = Args::default();
     let mut iter = argv.into_iter().peekable();
@@ -26,7 +31,7 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Args {
         if let Some(key) = a.strip_prefix("--") {
             match iter.peek() {
                 Some(v) if !v.starts_with("--") => {
-                    let v = iter.next().expect("peeked");
+                    let v = iter.next().unwrap_or_default();
                     args.options.insert(key.to_string(), v);
                 }
                 _ => args.flags.push(key.to_string()),
@@ -34,15 +39,7 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Args {
         } else if args.command.is_none() {
             args.command = Some(a);
         } else {
-            // Positional arguments beyond the subcommand are collected as
-            // a comma-joined "args" option for subcommands that want them.
-            args.options
-                .entry("args".to_string())
-                .and_modify(|e| {
-                    e.push(',');
-                    e.push_str(&a);
-                })
-                .or_insert(a);
+            args.positionals.push(a);
         }
     }
     args
@@ -82,6 +79,20 @@ impl Args {
     pub fn flag(&self, name: &str) -> bool {
         self.flags.iter().any(|f| f == name)
     }
+
+    /// Errors when trailing positionals were given to a subcommand that
+    /// takes none, naming them so typos surface instead of vanishing.
+    pub fn reject_positionals(&self) -> Result<(), String> {
+        if self.positionals.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "unexpected argument{} '{}' — this command takes no positional arguments",
+                if self.positionals.len() == 1 { "" } else { "s" },
+                self.positionals.join("' '")
+            ))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -114,7 +125,16 @@ mod tests {
     fn positional_args_collected() {
         let a = parse_str("schedule video dedup email");
         assert_eq!(a.command.as_deref(), Some("schedule"));
-        assert_eq!(a.get_or("args", ""), "video,dedup,email");
+        assert_eq!(a.positionals, vec!["video", "dedup", "email"]);
+        assert!(a.reject_positionals().is_err());
+    }
+
+    #[test]
+    fn reject_positionals_names_the_stragglers() {
+        let a = parse_str("apps extra junk");
+        let err = a.reject_positionals().unwrap_err();
+        assert!(err.contains("'extra' 'junk'"), "{err}");
+        assert!(parse_str("apps").reject_positionals().is_ok());
     }
 
     #[test]

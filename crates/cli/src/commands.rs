@@ -34,6 +34,19 @@ COMMANDS:
   experiment Run a registered paper experiment end to end
              NAME... | --list   [--fidelity small|quick|full]  (default small;
              full matches the paper-scale figures and can take hours)
+  serve      Run tracond, the online scheduling daemon, until drained
+             [--port N=0] [--http-port N=0] [--machines N=4] [--slots N=2]
+             [--scheduler mios|mibs[:W]|mix[:W]] [--objective rt|io]
+             [--queue-cap N=64] [--rebuild-every N] [--batch-deadline-ms N=100]
+             [--testbed FILE | --points N=6 --time-scale F=0.05 --seed N]
+  submit     Submit tasks to a running tracond and print the placements
+             --addr HOST:PORT --app NAME [--count N=1]
+  loadgen    Drive a running tracond with Poisson load, print latency stats
+             --addr HOST:PORT [--requests N=100] [--lambda TASKS/MIN=60]
+             [--mix light|medium|heavy|uniform] [--mode open|closed]
+             [--concurrency N=8] [--seed N] [--quick]
+  drain      Ask a running tracond to stop admitting work and exit when idle
+             --addr HOST:PORT
   table1     Reproduce the paper's motivating interference table
   apps       List the benchmark suite
   help       Show this message
@@ -209,7 +222,13 @@ pub fn schedule(args: &Args) -> Result<String, String> {
         .options
         .get("tasks")
         .cloned()
-        .or_else(|| args.options.get("args").cloned())
+        .or_else(|| {
+            if args.positionals.is_empty() {
+                None
+            } else {
+                Some(args.positionals.join(","))
+            }
+        })
         .ok_or("missing --tasks a,b,c")?;
     let names: Vec<&str> = tasks_arg.split(',').filter(|s| !s.is_empty()).collect();
     if names.is_empty() {
@@ -342,16 +361,21 @@ pub fn experiment(args: &Args) -> Result<String, String> {
         "full" => ExperimentConfig::full(),
         other => return Err(format!("unknown fidelity '{other}' (small, quick, full)")),
     };
-    let names = args
-        .options
-        .get("args")
-        .ok_or("missing experiment name (try `tracon experiment --list`)")?;
+    if args.positionals.is_empty() {
+        return Err("missing experiment name (try `tracon experiment --list`)".into());
+    }
+    let names: Vec<&str> = args
+        .positionals
+        .iter()
+        .flat_map(|p| p.split(','))
+        .filter(|s| !s.is_empty())
+        .collect();
 
     // One cache for the whole invocation: the profiled testbed is built at
     // most once no matter how many experiments share it.
     let cache = TestbedCache::new(&cfg);
     let mut out = String::new();
-    for (i, name) in names.split(',').filter(|s| !s.is_empty()).enumerate() {
+    for (i, name) in names.into_iter().enumerate() {
         let exp = find(name).ok_or_else(|| {
             format!("unknown experiment '{name}' (try `tracon experiment --list`)")
         })?;
@@ -362,6 +386,212 @@ pub fn experiment(args: &Args) -> Result<String, String> {
         out.push_str(&exp.run(&cfg, &cache).rendered);
     }
     Ok(out)
+}
+
+/// Builds the testbed a daemon or client command runs against: a saved
+/// snapshot when `--testbed` is given, otherwise a fast synthetic
+/// profiling campaign (the e2e-test scale: 6 points at 0.05 time scale).
+fn serve_testbed(args: &Args) -> Result<Testbed, String> {
+    if args.options.contains_key("testbed") {
+        return load_testbed(args);
+    }
+    let points: usize = args.num_or("points", 6)?;
+    let time_scale: f64 = args.num_or("time-scale", 0.05)?;
+    let seed: u64 = args.num_or("seed", 0x7EAC0)?;
+    if points == 0 || time_scale <= 0.0 {
+        return Err("--points and --time-scale must be positive".into());
+    }
+    eprintln!("profiling a synthetic testbed ({points} calibration points) ...");
+    Ok(Testbed::build(&TestbedConfig {
+        host: HostConfig::testbed(),
+        time_scale,
+        model_kind: ModelKind::Nonlinear,
+        calibration_points: points,
+        seed,
+    }))
+}
+
+/// `tracon serve` — boot tracond and block until it drains or is shut
+/// down over the protocol.
+pub fn serve(args: &Args) -> Result<String, String> {
+    use tracon_serve::{daemon, NetConfig, SchedKind, ServeConfig};
+
+    let machines: usize = args.num_or("machines", 4)?;
+    let slots: usize = args.num_or("slots", 2)?;
+    if machines == 0 || slots == 0 {
+        return Err("--machines and --slots must be positive".into());
+    }
+    let sched = SchedKind::parse(args.get_or("scheduler", "mios"))
+        .ok_or("unknown scheduler (mios, mibs[:W], mix[:W])")?;
+    let obj = objective(args.get_or("objective", "rt"))?;
+    let kind = model_kind(args.get_or("model", "wmm"))?;
+    let queue_capacity: usize = args.num_or("queue-cap", 64)?;
+    if queue_capacity == 0 {
+        return Err("--queue-cap must be positive".into());
+    }
+    let mut monitor = tracon_core::MonitorConfig::default();
+    monitor.rebuild_every = args.num_or("rebuild-every", monitor.rebuild_every)?;
+    let cfg = ServeConfig {
+        machines,
+        slots_per_machine: slots,
+        scheduler: sched,
+        objective: obj,
+        model_kind: kind,
+        queue_capacity,
+        batch_deadline_ms: args.num_or("batch-deadline-ms", 100)?,
+        retry_after_ms: args.num_or("retry-after-ms", 50)?,
+        monitor,
+    };
+    let net = NetConfig {
+        addr: format!("127.0.0.1:{}", args.num_or::<u16>("port", 0)?),
+        http_addr: format!("127.0.0.1:{}", args.num_or::<u16>("http-port", 0)?),
+        ..NetConfig::default()
+    };
+    let tb = serve_testbed(args)?;
+    let handle = daemon::start(&tb, cfg, net).map_err(|e| format!("cannot start daemon: {e}"))?;
+    // Announce the resolved ports eagerly — scripts and tests read them
+    // before the daemon exits.
+    println!(
+        "tracond listening on {} (protocol) and {} (http)",
+        handle.addr, handle.http_addr
+    );
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    let metrics = std::sync::Arc::clone(handle.metrics());
+    handle.join();
+    let relaxed = std::sync::atomic::Ordering::Relaxed;
+    Ok(format!(
+        "tracond stopped: {} admitted, {} rejected, {} completed, {} rebuilds, {} swaps\n",
+        metrics.admissions.load(relaxed),
+        metrics.rejections.load(relaxed),
+        metrics.completions.load(relaxed),
+        metrics.rebuilds.load(relaxed),
+        metrics.predictor_swaps.load(relaxed),
+    ))
+}
+
+/// `tracon submit`
+pub fn submit(args: &Args) -> Result<String, String> {
+    use tracon_serve::{Client, Reply, Request};
+
+    let addr = args.require("addr")?;
+    let app = args
+        .options
+        .get("app")
+        .cloned()
+        .or_else(|| args.positionals.first().cloned())
+        .ok_or("missing --app NAME (see `tracon apps`)")?;
+    let count: usize = args.num_or("count", 1)?;
+    let mut client =
+        Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let mut out = String::new();
+    for _ in 0..count.max(1) {
+        let reply = client
+            .request(Request::Submit { app: app.clone() })
+            .map_err(|e| format!("submit failed: {e}"))?;
+        match reply {
+            Reply::Ok { result, .. } => {
+                let task = result.get("task").and_then(|v| v.as_u64()).unwrap_or(0);
+                match result.get("state").and_then(|v| v.as_str()) {
+                    Some("placed") => {
+                        let machine = result.get("machine").and_then(|v| v.as_u64()).unwrap_or(0);
+                        let slot = result.get("slot").and_then(|v| v.as_u64()).unwrap_or(0);
+                        let rt = result
+                            .get("predicted_runtime")
+                            .and_then(|v| v.as_f64())
+                            .unwrap_or(f64::NAN);
+                        writeln!(
+                            out,
+                            "task {task}: {app} placed on machine {machine} slot {slot} \
+                             (predicted runtime {rt:.1} s)"
+                        )
+                        .unwrap();
+                    }
+                    _ => {
+                        let depth = result.get("depth").and_then(|v| v.as_u64()).unwrap_or(0);
+                        writeln!(out, "task {task}: {app} queued (depth {depth})").unwrap();
+                    }
+                }
+            }
+            Reply::Error {
+                kind,
+                message,
+                retry_after_ms,
+                ..
+            } => {
+                let hint = retry_after_ms
+                    .map(|ms| format!(" (retry after {ms} ms)"))
+                    .unwrap_or_default();
+                return Err(format!("daemon rejected submit ({}): {message}{hint}", kind.as_str()));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `tracon drain`
+pub fn drain(args: &Args) -> Result<String, String> {
+    use tracon_serve::{Client, Reply, Request};
+
+    let addr = args.require("addr")?;
+    let mut client =
+        Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    match client
+        .request(Request::Drain)
+        .map_err(|e| format!("drain failed: {e}"))?
+    {
+        Reply::Ok { result, .. } => {
+            let queued = result.get("queued").and_then(|v| v.as_u64()).unwrap_or(0);
+            let running = result.get("running").and_then(|v| v.as_u64()).unwrap_or(0);
+            Ok(format!(
+                "draining: {queued} queued, {running} running; daemon exits when both reach 0\n"
+            ))
+        }
+        Reply::Error { kind, message, .. } => Err(format!(
+            "daemon rejected drain ({}): {message}",
+            kind.as_str()
+        )),
+    }
+}
+
+/// `tracon loadgen`
+pub fn loadgen(args: &Args) -> Result<String, String> {
+    use tracon_serve::loadgen::{run as run_loadgen, LoadMode, LoadgenConfig};
+
+    let addr = args.require("addr")?;
+    let mode = match args.get_or("mode", "open") {
+        "open" => LoadMode::Open,
+        "closed" => LoadMode::Closed,
+        other => return Err(format!("unknown mode '{other}' (open, closed)")),
+    };
+    let quick = args.flag("quick");
+    let cfg = LoadgenConfig {
+        addr: addr.to_string(),
+        requests: args.num_or("requests", 100)?,
+        lambda_per_min: args.num_or("lambda", 60.0)?,
+        mix: mix(args.get_or("mix", "medium"))?,
+        mode,
+        concurrency: args.num_or("concurrency", 8)?,
+        seed: args.num_or("seed", 0x10AD)?,
+        // Quick mode compresses the arrival schedule and the synthetic
+        // execution delays so a 500-request run finishes in seconds.
+        arrival_scale: args.num_or("arrival-scale", if quick { 0.002 } else { 0.05 })?,
+        task_ms_per_s: args.num_or("task-ms-per-s", if quick { 2.0 } else { 5.0 })?,
+        max_task_ms: args.num_or("max-task-ms", if quick { 40 } else { 60 })?,
+        poll_ms: args.num_or("poll-ms", if quick { 5 } else { 10 })?,
+    };
+    if cfg.requests == 0 || cfg.lambda_per_min <= 0.0 {
+        return Err("--requests and --lambda must be positive".into());
+    }
+    let report = run_loadgen(&cfg)?;
+    if report.lost > 0 {
+        return Err(format!(
+            "{} admitted tasks were never completed:\n{}",
+            report.lost,
+            report.render()
+        ));
+    }
+    Ok(report.render())
 }
 
 /// `tracon table1`
@@ -406,6 +636,13 @@ pub fn apps(_args: &Args) -> Result<String, String> {
 
 /// Dispatches a parsed command line.
 pub fn run(args: &Args) -> Result<String, String> {
+    // `schedule` and `experiment` consume positionals (task/experiment
+    // names); `submit` accepts a bare app name. Everything else must
+    // reject stragglers so typos surface.
+    match args.command.as_deref() {
+        Some("schedule") | Some("experiment") | Some("submit") => {}
+        _ => args.reject_positionals()?,
+    }
     match args.command.as_deref() {
         Some("profile") => profile(args),
         Some("inspect") => inspect(args),
@@ -415,6 +652,10 @@ pub fn run(args: &Args) -> Result<String, String> {
         Some("experiment") => experiment(args),
         Some("table1") => table1(args),
         Some("apps") => apps(args),
+        Some("serve") => serve(args),
+        Some("submit") => submit(args),
+        Some("loadgen") => loadgen(args),
+        Some("drain") => drain(args),
         Some("help") | None => Ok(USAGE.to_string()),
         Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
     }
@@ -500,6 +741,41 @@ mod tests {
         let out = table1(&parse_str("table1")).unwrap();
         assert!(out.contains("SeqRead"));
         assert!(out.contains("Calc"));
+    }
+
+    #[test]
+    fn stray_positionals_are_rejected_not_ignored() {
+        let err = run(&parse_str("simulate extra --machines 4")).unwrap_err();
+        assert!(err.contains("unexpected argument"), "{err}");
+        assert!(err.contains("'extra'"), "{err}");
+        // Commands that consume positionals still work through run().
+        assert!(run(&parse_str("experiment --list")).is_ok());
+    }
+
+    #[test]
+    fn service_commands_validate_before_touching_the_network() {
+        let err = submit(&parse_str("submit --app dedup")).unwrap_err();
+        assert!(err.contains("--addr"), "{err}");
+        let err = submit(&parse_str("submit --addr 127.0.0.1:1")).unwrap_err();
+        assert!(err.contains("--app"), "{err}");
+        let err = loadgen(&parse_str("loadgen")).unwrap_err();
+        assert!(err.contains("--addr"), "{err}");
+        let err = drain(&parse_str("drain")).unwrap_err();
+        assert!(err.contains("--addr"), "{err}");
+        let err = serve(&parse_str("serve --scheduler sjf")).unwrap_err();
+        assert!(err.contains("unknown scheduler"), "{err}");
+        let err = serve(&parse_str("serve --queue-cap 0")).unwrap_err();
+        assert!(err.contains("queue-cap"), "{err}");
+        let err = loadgen(&parse_str("loadgen --addr 127.0.0.1:1 --mode bursty")).unwrap_err();
+        assert!(err.contains("unknown mode"), "{err}");
+    }
+
+    #[test]
+    fn drain_reports_connection_failures_as_errors() {
+        // Port 1 is never listening; the error must be a message, not a
+        // panic or a silent success.
+        let err = drain(&parse_str("drain --addr 127.0.0.1:1")).unwrap_err();
+        assert!(err.contains("cannot connect"), "{err}");
     }
 
     #[test]

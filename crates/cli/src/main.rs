@@ -9,7 +9,20 @@ mod commands;
 fn main() {
     let parsed = args::parse(std::env::args().skip(1));
     match commands::run(&parsed) {
-        Ok(output) => print!("{output}"),
+        Ok(output) => {
+            use std::io::Write as _;
+            let mut stdout = std::io::stdout().lock();
+            let result = stdout.write_all(output.as_bytes()).and_then(|()| stdout.flush());
+            if let Err(e) = result {
+                // `tracon ... | head` closes the pipe early; that is not a
+                // failure of the command itself.
+                if e.kind() == std::io::ErrorKind::BrokenPipe {
+                    std::process::exit(0);
+                }
+                eprintln!("error: cannot write output: {e}");
+                std::process::exit(1);
+            }
+        }
         Err(message) => {
             eprintln!("error: {message}");
             std::process::exit(2);

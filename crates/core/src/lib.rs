@@ -54,6 +54,6 @@ pub use model::{
 pub use monitor::{AdaptiveModel, MonitorConfig, ObserveOutcome};
 pub use predictor::{AppModelSet, AppProfile, Objective, Predictor, ScoringPolicy};
 pub use sched::{
-    Assignment, ClusterState, Fifo, FreeClass, Mibs, MibsAblation, MibsVariant, Mios, Mix,
-    Resident, Scheduler, Task, VmRef,
+    place_best, Assignment, ClusterState, Fifo, FreeClass, Mibs, MibsAblation, MibsVariant, Mios,
+    Mix, Resident, Scheduler, Task, VmRef,
 };

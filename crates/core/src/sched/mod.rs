@@ -68,8 +68,10 @@ pub trait Scheduler {
 /// Places a single task on the best free slot according to the scoring
 /// policy (the body of Algorithm 1, shared by MIOS, MIBS, and MIX).
 /// Returns `None` when the cluster is full. Allocation-free: classes are
-/// scanned straight off the free index.
-pub(crate) fn place_best(
+/// scanned straight off the free index. Public so out-of-process callers
+/// (the tracond service tests) can replay a placement sequence against
+/// the exact per-arrival rule the schedulers use.
+pub fn place_best(
     task: Task,
     cluster: &mut ClusterState,
     scoring: &ScoringPolicy<'_>,

@@ -100,6 +100,28 @@ pub fn poisson_trace(
     out
 }
 
+/// Generates a Poisson trace with exactly `n` arrivals at
+/// `lambda_per_min` tasks per minute. Unlike [`poisson_trace`] the run
+/// length is fixed in tasks rather than in simulated time, which is what
+/// a load generator driving a live daemon wants: "send 500 requests at
+/// this rate" regardless of how long that takes.
+pub fn poisson_n(lambda_per_min: f64, n: usize, mix: WorkloadMix, seed: u64) -> Vec<ArrivalEvent> {
+    assert!(lambda_per_min > 0.0, "lambda must be positive");
+    let rate_per_s = lambda_per_min / 60.0;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0.0;
+    (0..n)
+        .map(|_| {
+            t += dist::exponential(&mut rng, rate_per_s);
+            let app = mix.sample(&mut rng);
+            ArrivalEvent {
+                time: t,
+                app_idx: app.io_rank() - 1,
+            }
+        })
+        .collect()
+}
+
 /// Generates a static batch of `n` tasks (all present at t = 0).
 pub fn static_batch(n: usize, mix: WorkloadMix, seed: u64) -> Vec<ArrivalEvent> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -151,6 +173,17 @@ mod tests {
         let batch = static_batch(32, WorkloadMix::Uniform, 3);
         assert_eq!(batch.len(), 32);
         assert!(batch.iter().all(|a| a.time == 0.0));
+    }
+
+    #[test]
+    fn poisson_n_yields_exact_count_at_requested_rate() {
+        let trace = poisson_n(120.0, 400, WorkloadMix::Medium, 11);
+        assert_eq!(trace.len(), 400);
+        assert!(trace.windows(2).all(|w| w[0].time <= w[1].time));
+        // 120/min = 2/s: 400 arrivals should span roughly 200 s.
+        let span = trace.last().unwrap().time;
+        assert!((span - 200.0).abs() < 60.0, "span = {span}");
+        assert_eq!(trace, poisson_n(120.0, 400, WorkloadMix::Medium, 11));
     }
 
     #[test]

@@ -302,17 +302,41 @@ impl AdaptiveObserver {
     pub fn app_names(&self) -> &[String] {
         &self.names
     }
+
+    /// Feeds one realized completion into the per-app monitors, outside
+    /// the [`SimObserver`] callback path. `neighbor` is the co-located
+    /// application's pair-table index, or `None` for a solo run. Returns
+    /// whether this observation triggered a model rebuild. This is the
+    /// entry point for live (wall-clock) traffic sources such as the
+    /// tracond daemon, which have no `CompletionInfo` to hand.
+    pub fn record(
+        &mut self,
+        app_idx: usize,
+        neighbor: Option<usize>,
+        runtime: f64,
+        avg_iops: f64,
+    ) -> bool {
+        let neighbor = neighbor.unwrap_or(crate::perf::IDLE);
+        let features = joint_features(&self.app_features, app_idx, neighbor);
+        let rt_out = self.rt[app_idx].observe(features, runtime);
+        let io_out = self.io[app_idx].observe(features, avg_iops);
+        self.observed += 1;
+        let rebuilt = rt_out.rebuilt || io_out.rebuilt;
+        if rebuilt {
+            self.rebuilt_since_export = true;
+        }
+        rebuilt
+    }
 }
 
 impl SimObserver for AdaptiveObserver {
     fn on_completion(&mut self, info: &CompletionInfo) {
-        let features = joint_features(&self.app_features, info.app_idx, info.neighbor_at_start);
-        let rt_out = self.rt[info.app_idx].observe(features, info.runtime);
-        let io_out = self.io[info.app_idx].observe(features, info.avg_iops);
-        self.observed += 1;
-        if rt_out.rebuilt || io_out.rebuilt {
-            self.rebuilt_since_export = true;
-        }
+        let neighbor = if info.neighbor_at_start == crate::perf::IDLE {
+            None
+        } else {
+            Some(info.neighbor_at_start)
+        };
+        self.record(info.app_idx, neighbor, info.runtime, info.avg_iops);
     }
 
     fn updated_predictor(&mut self) -> Option<Predictor> {

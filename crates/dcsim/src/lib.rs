@@ -25,7 +25,7 @@ pub mod oracle;
 pub mod perf;
 pub mod setup;
 
-pub use arrival::{poisson_trace, static_batch, ArrivalEvent, WorkloadMix};
+pub use arrival::{poisson_n, poisson_trace, static_batch, ArrivalEvent, WorkloadMix};
 pub use engine::{
     io_boost, normalized_throughput, speedup, AdaptiveObserver, ArrivalInfo, CompletionInfo,
     PlacementInfo, SchedulerKind, SimObserver, SimResult, Simulation, TaskObservation,

@@ -1,0 +1,83 @@
+//! A small blocking client for the tracond protocol, shared by
+//! `tracon submit`, the load generator, and the loopback tests.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::proto::{self, Envelope, Reply, Request};
+
+/// One protocol connection with sequential request ids.
+pub struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    next_id: u64,
+    prefix: String,
+}
+
+impl Client {
+    /// Connect with a default 5 s reply timeout.
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        Client::connect_with_timeout(addr, Duration::from_secs(5))
+    }
+
+    /// Connect with an explicit reply timeout.
+    pub fn connect_with_timeout(addr: &str, timeout: Duration) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Ok(Client {
+            stream,
+            buf: Vec::new(),
+            next_id: 1,
+            prefix: format!("c{}", std::process::id()),
+        })
+    }
+
+    /// Send one request and block for its reply.
+    pub fn request(&mut self, request: Request) -> std::io::Result<Reply> {
+        let id = format!("{}-{}", self.prefix, self.next_id);
+        self.next_id += 1;
+        let envelope = Envelope {
+            id: Some(id),
+            request,
+        };
+        let mut line = proto::encode_request(&envelope);
+        line.push('\n');
+        self.stream.write_all(line.as_bytes())?;
+        let reply_line = self.read_line()?;
+        proto::decode_reply(&reply_line)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Send a raw line (not necessarily valid protocol) and read one reply
+    /// line back; used by tests probing the daemon's malformed-input path.
+    pub fn raw_roundtrip(&mut self, line: &str) -> std::io::Result<String> {
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\n")?;
+        self.read_line()
+    }
+
+    fn read_line(&mut self) -> std::io::Result<String> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(newline) = self.buf.iter().position(|b| *b == b'\n') {
+                let line_bytes: Vec<u8> = self.buf.drain(..=newline).collect();
+                let text = String::from_utf8_lossy(&line_bytes)
+                    .trim_end_matches(['\n', '\r'])
+                    .to_string();
+                return Ok(text);
+            }
+            match self.stream.read(&mut chunk)? {
+                0 => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "connection closed before reply",
+                    ))
+                }
+                count => self.buf.extend_from_slice(&chunk[..count]),
+            }
+        }
+    }
+}

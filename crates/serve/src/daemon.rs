@@ -1,0 +1,491 @@
+//! The tracond network front end: a submission listener speaking the
+//! newline-delimited JSON protocol and a minimal HTTP listener for
+//! `/healthz` and `/metrics`.
+//!
+//! Everything is hand-rolled on `std::net`: both listeners run
+//! non-blocking accept loops polled against a shared shutdown flag, each
+//! connection gets its own thread with read/write timeouts and a bounded
+//! line buffer, and every spawned thread's `JoinHandle` is kept so
+//! [`DaemonHandle::join`] can prove a clean exit — no leaked threads. A
+//! ticker thread drives batch-deadline dispatch and notices when a
+//! draining daemon has gone idle.
+
+use std::io::{ErrorKind as IoErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use tracon_dcsim::Testbed;
+
+use crate::json::{n, obj, s, Value};
+use crate::metrics::Metrics;
+use crate::proto::{self, ErrorKind, Reply, Request};
+use crate::state::{Refusal, ServeConfig, Service, TaskPhase};
+
+/// Network-layer knobs, separate from the scheduling policy in
+/// [`ServeConfig`].
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Submission listener address; port 0 binds an ephemeral port.
+    pub addr: String,
+    /// HTTP (healthz/metrics) listener address; port 0 works here too.
+    pub http_addr: String,
+    /// A connection with no complete line for this long is closed.
+    pub idle_timeout_ms: u64,
+    /// Per-write timeout before a stalled client is disconnected.
+    pub write_timeout_ms: u64,
+    /// Longest accepted request line; longer lines are rejected.
+    pub max_line_bytes: usize,
+    /// Poll interval for accept loops, shutdown checks, and the ticker.
+    pub tick_ms: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            addr: "127.0.0.1:0".to_string(),
+            http_addr: "127.0.0.1:0".to_string(),
+            idle_timeout_ms: 30_000,
+            write_timeout_ms: 2_000,
+            max_line_bytes: 64 * 1024,
+            tick_ms: 25,
+        }
+    }
+}
+
+/// A running daemon. Dropping the handle does not stop it; call
+/// [`DaemonHandle::stop`] or let a drain/shutdown request end it, then
+/// [`DaemonHandle::join`].
+pub struct DaemonHandle {
+    /// Actual submission listener address (resolved ephemeral port).
+    pub addr: SocketAddr,
+    /// Actual HTTP listener address.
+    pub http_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    service: Arc<Mutex<Service>>,
+    metrics: Arc<Metrics>,
+    core_threads: Vec<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl DaemonHandle {
+    /// The shared metrics registry (for in-process inspection).
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// Lock the service core (for in-process tests and assertions).
+    pub fn service(&self) -> &Arc<Mutex<Service>> {
+        &self.service
+    }
+
+    /// True once the daemon has been asked to stop.
+    pub fn stopping(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Request an immediate stop (equivalent to a `shutdown` op).
+    pub fn stop(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Wait for the daemon to stop and every spawned thread to exit.
+    /// Panics if any thread panicked, which would mean a protocol line
+    /// escaped the decode layer's totality guarantee.
+    pub fn join(mut self) {
+        for handle in self.core_threads.drain(..) {
+            handle.join().expect("daemon core thread panicked");
+        }
+        let mut conns = self.conn_threads.lock().unwrap();
+        for handle in conns.drain(..) {
+            handle.join().expect("daemon connection thread panicked");
+        }
+    }
+}
+
+/// Boot a daemon: bind both listeners, spawn the accept loops and the
+/// ticker, and return once the ports are live.
+pub fn start(testbed: &Testbed, cfg: ServeConfig, net: NetConfig) -> std::io::Result<DaemonHandle> {
+    let metrics = Arc::new(Metrics::new());
+    let service = Arc::new(Mutex::new(Service::new(testbed, cfg, Arc::clone(&metrics))));
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let listener = TcpListener::bind(&net.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let http_listener = TcpListener::bind(&net.http_addr)?;
+    http_listener.set_nonblocking(true)?;
+    let http_addr = http_listener.local_addr()?;
+
+    let tick = Duration::from_millis(net.tick_ms.max(1));
+    let mut core_threads = Vec::new();
+
+    // Submission accept loop.
+    {
+        let shutdown = Arc::clone(&shutdown);
+        let service = Arc::clone(&service);
+        let metrics = Arc::clone(&metrics);
+        let conn_threads = Arc::clone(&conn_threads);
+        let net = net.clone();
+        core_threads.push(std::thread::spawn(move || {
+            while !shutdown.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let shutdown = Arc::clone(&shutdown);
+                        let service = Arc::clone(&service);
+                        let metrics = Arc::clone(&metrics);
+                        let net = net.clone();
+                        let handle = std::thread::spawn(move || {
+                            serve_connection(stream, &service, &metrics, &shutdown, &net);
+                        });
+                        conn_threads.lock().unwrap().push(handle);
+                    }
+                    Err(e) if e.kind() == IoErrorKind::WouldBlock => std::thread::sleep(tick),
+                    Err(_) => std::thread::sleep(tick),
+                }
+            }
+        }));
+    }
+
+    // HTTP accept loop: tiny request-per-connection responses, handled
+    // inline (no per-connection thread needed for two GET endpoints).
+    {
+        let shutdown = Arc::clone(&shutdown);
+        let service = Arc::clone(&service);
+        let metrics = Arc::clone(&metrics);
+        core_threads.push(std::thread::spawn(move || {
+            while !shutdown.load(Ordering::SeqCst) {
+                match http_listener.accept() {
+                    Ok((stream, _)) => serve_http(stream, &service, &metrics),
+                    Err(e) if e.kind() == IoErrorKind::WouldBlock => std::thread::sleep(tick),
+                    Err(_) => std::thread::sleep(tick),
+                }
+            }
+        }));
+    }
+
+    // Ticker: batch-deadline dispatch + drained-daemon detection.
+    {
+        let shutdown = Arc::clone(&shutdown);
+        let service = Arc::clone(&service);
+        core_threads.push(std::thread::spawn(move || {
+            while !shutdown.load(Ordering::SeqCst) {
+                {
+                    let mut svc = service.lock().unwrap();
+                    svc.tick(Instant::now());
+                    if svc.drained() {
+                        shutdown.store(true, Ordering::SeqCst);
+                    }
+                }
+                std::thread::sleep(tick);
+            }
+        }));
+    }
+
+    Ok(DaemonHandle {
+        addr,
+        http_addr,
+        shutdown,
+        service,
+        metrics,
+        core_threads,
+        conn_threads,
+    })
+}
+
+/// Per-connection loop: accumulate bytes, peel complete lines, answer
+/// each one. Returns (closing the connection) on EOF, idle timeout, an
+/// over-long line, a write failure, or daemon shutdown.
+fn serve_connection(
+    mut stream: TcpStream,
+    service: &Arc<Mutex<Service>>,
+    metrics: &Arc<Metrics>,
+    shutdown: &Arc<AtomicBool>,
+    net: &NetConfig,
+) {
+    stream.set_nodelay(true).ok();
+    // Short read timeout so the loop can poll the shutdown flag; the idle
+    // timeout is enforced separately against the last complete line.
+    stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .ok();
+    stream
+        .set_write_timeout(Some(Duration::from_millis(net.write_timeout_ms.max(1))))
+        .ok();
+    let idle_limit = Duration::from_millis(net.idle_timeout_ms.max(1));
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut last_activity = Instant::now();
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(count) => {
+                buf.extend_from_slice(&chunk[..count]);
+                while let Some(newline) = buf.iter().position(|b| *b == b'\n') {
+                    let line_bytes: Vec<u8> = buf.drain(..=newline).collect();
+                    let line = String::from_utf8_lossy(&line_bytes);
+                    let line = line.trim_end_matches(['\n', '\r']).trim();
+                    if line.is_empty() {
+                        continue;
+                    }
+                    last_activity = Instant::now();
+                    let reply = handle_line(line, service, metrics, shutdown);
+                    if write_reply(&mut stream, &reply).is_err() {
+                        return;
+                    }
+                }
+                if buf.len() > net.max_line_bytes {
+                    let reply = Reply::error(
+                        None,
+                        ErrorKind::Malformed,
+                        format!("request line exceeds {} bytes", net.max_line_bytes),
+                    );
+                    metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = write_reply(&mut stream, &reply);
+                    return;
+                }
+            }
+            Err(e)
+                if e.kind() == IoErrorKind::WouldBlock || e.kind() == IoErrorKind::TimedOut =>
+            {
+                if last_activity.elapsed() > idle_limit {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == IoErrorKind::Interrupted => continue,
+            Err(_) => return,
+        }
+    }
+}
+
+fn write_reply(stream: &mut TcpStream, reply: &Reply) -> std::io::Result<()> {
+    let mut line = proto::encode_reply(reply);
+    line.push('\n');
+    stream.write_all(line.as_bytes())
+}
+
+/// Decode and execute one request line. Total: every input maps to a
+/// reply.
+fn handle_line(
+    line: &str,
+    service: &Arc<Mutex<Service>>,
+    metrics: &Arc<Metrics>,
+    shutdown: &Arc<AtomicBool>,
+) -> Reply {
+    let envelope = match proto::decode_request(line) {
+        Ok(envelope) => envelope,
+        Err(e) => {
+            metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            return e.into_reply();
+        }
+    };
+    let id = envelope.id.clone();
+    let now = Instant::now();
+    let mut svc = service.lock().unwrap();
+    let reply = match envelope.request {
+        Request::Submit { app } => match svc.submit(&app, now) {
+            Ok(admitted) => {
+                let result = match admitted.placement {
+                    Some((vm, score, runtime)) => obj(vec![
+                        ("task", n(admitted.task as f64)),
+                        ("state", s("placed")),
+                        ("machine", n(vm.machine as f64)),
+                        ("slot", n(vm.slot as f64)),
+                        ("predicted_score", n(score)),
+                        ("predicted_runtime", n(runtime)),
+                    ]),
+                    None => obj(vec![
+                        ("task", n(admitted.task as f64)),
+                        ("state", s("queued")),
+                        ("depth", n(admitted.depth as f64)),
+                    ]),
+                };
+                Reply::ok(id, result)
+            }
+            Err(refusal) => refusal_reply(id, refusal, &svc),
+        },
+        Request::Complete {
+            task,
+            runtime,
+            iops,
+        } => match svc.complete(task, runtime, iops, now) {
+            Ok(done) => Reply::ok(
+                id,
+                obj(vec![
+                    ("task", n(task as f64)),
+                    ("recorded", Value::Bool(true)),
+                    ("rebuilt", Value::Bool(done.rebuilt)),
+                    ("predictor_swapped", Value::Bool(done.swapped)),
+                    ("dispatched", n(done.dispatched as f64)),
+                ]),
+            ),
+            Err(refusal) => refusal_reply(id, refusal, &svc),
+        },
+        Request::Status => Reply::ok(id, status_value(&svc)),
+        Request::TaskInfo { task } => match svc.task_info(task) {
+            Some(record) => {
+                let mut pairs = vec![
+                    ("task", n(task as f64)),
+                    ("app", s(svc.app_name(record.app_idx))),
+                ];
+                match &record.phase {
+                    TaskPhase::Queued => pairs.push(("state", s("queued"))),
+                    TaskPhase::Running {
+                        vm,
+                        neighbor,
+                        predicted_score,
+                        predicted_runtime,
+                    } => {
+                        pairs.push(("state", s("running")));
+                        pairs.push(("machine", n(vm.machine as f64)));
+                        pairs.push(("slot", n(vm.slot as f64)));
+                        pairs.push((
+                            "neighbor",
+                            match neighbor {
+                                Some(idx) => s(svc.app_name(*idx)),
+                                None => Value::Null,
+                            },
+                        ));
+                        pairs.push(("predicted_score", n(*predicted_score)));
+                        pairs.push(("predicted_runtime", n(*predicted_runtime)));
+                    }
+                    TaskPhase::Completed { runtime } => {
+                        pairs.push(("state", s("completed")));
+                        pairs.push(("runtime", n(*runtime)));
+                    }
+                }
+                Reply::ok(id, obj(pairs))
+            }
+            None => Reply::error(id, ErrorKind::UnknownTask, format!("no task {task}")),
+        },
+        Request::Drain => {
+            let snapshot = svc.drain(now);
+            if svc.drained() {
+                shutdown.store(true, Ordering::SeqCst);
+            }
+            Reply::ok(
+                id,
+                obj(vec![
+                    ("draining", Value::Bool(true)),
+                    ("queued", n(snapshot.queued as f64)),
+                    ("running", n(snapshot.running as f64)),
+                ]),
+            )
+        }
+        Request::Shutdown => {
+            shutdown.store(true, Ordering::SeqCst);
+            Reply::ok(id, obj(vec![("stopping", Value::Bool(true))]))
+        }
+    };
+    // A completion may have emptied a draining daemon; notice it here so
+    // the exit does not wait for the next ticker poll.
+    if svc.drained() {
+        shutdown.store(true, Ordering::SeqCst);
+    }
+    reply
+}
+
+fn refusal_reply(id: Option<String>, refusal: Refusal, svc: &Service) -> Reply {
+    match refusal {
+        Refusal::QueueFull { depth } => Reply::backpressure(
+            id,
+            format!("admission queue full (depth {depth})"),
+            svc.retry_after_ms(),
+        ),
+        Refusal::Draining => Reply::error(id, ErrorKind::Draining, "daemon is draining"),
+        Refusal::UnknownApp { name } => Reply::error(
+            id,
+            ErrorKind::UnknownApp,
+            format!("application '{name}' was never profiled"),
+        ),
+        Refusal::UnknownTask { task } => {
+            Reply::error(id, ErrorKind::UnknownTask, format!("no task {task}"))
+        }
+        Refusal::NotRunning { task } => Reply::error(
+            id,
+            ErrorKind::UnknownTask,
+            format!("task {task} is not running"),
+        ),
+    }
+}
+
+fn status_value(svc: &Service) -> Value {
+    let snapshot = svc.status();
+    let apps = Value::Arr(svc.app_list().iter().map(|name| s(name.clone())).collect());
+    obj(vec![
+        ("apps", apps),
+        ("scheduler", s(snapshot.scheduler)),
+        ("queued", n(snapshot.queued as f64)),
+        ("running", n(snapshot.running as f64)),
+        ("completed", n(snapshot.completed as f64)),
+        ("admitted", n(snapshot.admitted as f64)),
+        ("rejected", n(snapshot.rejected as f64)),
+        ("rebuilds", n(snapshot.rebuilds as f64)),
+        ("predictor_swaps", n(snapshot.swaps as f64)),
+        ("draining", Value::Bool(snapshot.draining)),
+        ("machines", n(snapshot.machines as f64)),
+        ("free_slots", n(snapshot.free_slots as f64)),
+    ])
+}
+
+/// Answer one HTTP connection: `GET /healthz` or `GET /metrics`.
+fn serve_http(mut stream: TcpStream, service: &Arc<Mutex<Service>>, metrics: &Arc<Metrics>) {
+    stream
+        .set_read_timeout(Some(Duration::from_millis(500)))
+        .ok();
+    stream
+        .set_write_timeout(Some(Duration::from_millis(1_000)))
+        .ok();
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    // Read until the header terminator; these are tiny GET requests.
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(count) => {
+                buf.extend_from_slice(&chunk[..count]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let request = String::from_utf8_lossy(&buf);
+    let path = request
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("");
+    let (status, content_type, body) = match path {
+        "/healthz" => {
+            let draining = service.lock().unwrap().draining();
+            (
+                "200 OK",
+                "application/json",
+                obj(vec![
+                    ("ok", Value::Bool(true)),
+                    ("draining", Value::Bool(draining)),
+                ])
+                .to_string(),
+            )
+        }
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            metrics.render_prometheus(),
+        ),
+        _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+}

@@ -1,0 +1,46 @@
+//! # tracon-serve
+//!
+//! `tracond`: TRACON's schedulers as a long-running network service
+//! instead of a simulation pass. Where `tracon-dcsim` drives MIOS/MIBS on
+//! virtual time, this crate maps them onto wall-clock traffic: clients
+//! submit tasks over a newline-delimited JSON protocol on plain TCP,
+//! admission is bounded with explicit backpressure, placements come from
+//! the same [`tracon_core`] scheduler and scoring-policy machinery the
+//! simulator uses, and client-reported completions feed the live
+//! [`tracon_dcsim::AdaptiveObserver`] so drift triggers in-place
+//! predictor rebuilds against real traffic.
+//!
+//! * [`json`] — a std-only JSON value/parser/serializer for the wire
+//!   protocol (total: malformed input is an error value, never a panic).
+//! * [`proto`] — versioned request/reply types and their codec.
+//! * [`metrics`] — atomic counters and the Prometheus text exposition
+//!   served on `GET /metrics`.
+//! * [`state`] — the mutex-guarded service core: bounded admission
+//!   queue, per-arrival (MIOS) and batch-window (MIBS/MIX) dispatch,
+//!   completion-driven model adaptation.
+//! * [`daemon`] — the two listeners (protocol + HTTP health/metrics),
+//!   connection threads with read/write timeouts, and the dispatch
+//!   ticker; every thread is joined on shutdown.
+//! * [`client`] — a small blocking protocol client.
+//! * [`loadgen`] — open-/closed-loop Poisson load generation with
+//!   throughput and latency-percentile reporting.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod daemon;
+pub mod json;
+pub mod loadgen;
+pub mod metrics;
+pub mod proto;
+pub mod state;
+
+pub use client::Client;
+pub use daemon::{start, DaemonHandle, NetConfig};
+pub use loadgen::{LoadMode, LoadgenConfig, LoadgenReport};
+pub use metrics::Metrics;
+pub use proto::{
+    decode_reply, decode_request, encode_reply, encode_request, Envelope, ErrorKind, Reply,
+    Request, PROTOCOL_VERSION,
+};
+pub use state::{Refusal, SchedKind, ServeConfig, Service, StatusSnapshot, TaskPhase};

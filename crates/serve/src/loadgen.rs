@@ -1,0 +1,365 @@
+//! Open- and closed-loop load generation against a live tracond.
+//!
+//! The generator drives one protocol connection from a single-threaded
+//! event loop over a binary heap of due actions: submit an arrival, poll a
+//! queued task, or report a completion. Arrivals come from the same
+//! seeded Poisson process the simulator uses ([`tracon_dcsim::poisson_n`]),
+//! mapped onto wall-clock time by `arrival_scale`. Because the daemon has
+//! no task executor — clients *report* completions — the generator
+//! synthesizes one per placed task from the daemon's own predicted
+//! runtime plus seeded jitter, holding it for a scaled-down wall delay
+//! first. Backpressure rejections are retried after the daemon's
+//! `retry_after_ms` hint, so a finished run has admitted and completed
+//! every request or it reports the loss.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tracon_dcsim::{poisson_n, WorkloadMix};
+use tracon_stats::percentile;
+
+use crate::client::Client;
+use crate::json::Value;
+use crate::proto::{ErrorKind, Reply, Request};
+
+/// Whether arrivals follow a fixed schedule or track completions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoadMode {
+    /// Fixed Poisson arrival schedule, regardless of daemon progress.
+    Open,
+    /// At most `concurrency` requests in flight; a completion triggers
+    /// the next submit.
+    Closed,
+}
+
+/// Generator knobs.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Daemon submission address, e.g. `127.0.0.1:7070`.
+    pub addr: String,
+    /// Total requests to push through.
+    pub requests: usize,
+    /// Poisson arrival rate, tasks per minute (open mode).
+    pub lambda_per_min: f64,
+    /// Application mix for sampled arrivals.
+    pub mix: WorkloadMix,
+    /// Open or closed loop.
+    pub mode: LoadMode,
+    /// In-flight bound for closed mode.
+    pub concurrency: usize,
+    /// Seed for arrivals and synthesized measurements.
+    pub seed: u64,
+    /// Wall seconds per virtual arrival second (open mode compresses the
+    /// trace with values < 1).
+    pub arrival_scale: f64,
+    /// Wall milliseconds of synthetic "execution" per predicted virtual
+    /// second before a completion is reported.
+    pub task_ms_per_s: f64,
+    /// Cap on the synthetic execution delay.
+    pub max_task_ms: u64,
+    /// Poll interval while a task sits in the daemon's queue.
+    pub poll_ms: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: String::new(),
+            requests: 100,
+            lambda_per_min: 60.0,
+            mix: WorkloadMix::Medium,
+            mode: LoadMode::Open,
+            concurrency: 8,
+            seed: 0x10AD,
+            arrival_scale: 0.01,
+            task_ms_per_s: 5.0,
+            max_task_ms: 60,
+            poll_ms: 10,
+        }
+    }
+}
+
+/// What a finished run observed.
+#[derive(Clone, Debug)]
+pub struct LoadgenReport {
+    /// Requests the generator set out to push.
+    pub requests: usize,
+    /// Requests admitted by the daemon.
+    pub admitted: usize,
+    /// Backpressure rejections absorbed (each was retried).
+    pub backpressure_retries: usize,
+    /// Completions acknowledged by the daemon.
+    pub completed: usize,
+    /// Admitted tasks never completed — must be zero for a clean run.
+    pub lost: usize,
+    /// Wall-clock duration of the run, seconds.
+    pub wall_s: f64,
+    /// Completions per wall second.
+    pub throughput_per_s: f64,
+    /// Client-observed submit→completion sojourn percentiles (ms).
+    pub sojourn_ms: SojournStats,
+}
+
+/// Latency percentiles in milliseconds.
+#[derive(Clone, Copy, Debug)]
+pub struct SojournStats {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl LoadgenReport {
+    /// Render the human-readable summary the CLI prints.
+    pub fn render(&self) -> String {
+        format!(
+            "loadgen: {} requests, {} admitted ({} backpressure retries), {} completed, {} lost\n\
+             wall {:.2} s, throughput {:.1} tasks/s\n\
+             sojourn ms: p50 {:.1}  p95 {:.1}  p99 {:.1}  max {:.1}\n",
+            self.requests,
+            self.admitted,
+            self.backpressure_retries,
+            self.completed,
+            self.lost,
+            self.wall_s,
+            self.throughput_per_s,
+            self.sojourn_ms.p50,
+            self.sojourn_ms.p95,
+            self.sojourn_ms.p99,
+            self.sojourn_ms.max,
+        )
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum Action {
+    Submit(usize),
+    Poll(u64),
+    Complete(u64),
+}
+
+struct InFlight {
+    submitted_us: u64,
+    predicted_runtime: f64,
+}
+
+/// Run the generator to completion. Errors are protocol or transport
+/// failures; a clean return still requires checking `lost == 0`.
+pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
+    if cfg.requests == 0 {
+        return Err("loadgen needs at least one request".to_string());
+    }
+    let mut client = Client::connect(&cfg.addr).map_err(|e| format!("connect {}: {e}", cfg.addr))?;
+    // The daemon's status reply carries the profiled application list in
+    // pair-table order, which is exactly the index space `poisson_n`
+    // samples over.
+    let apps = fetch_apps(&mut client)?;
+    if apps.is_empty() {
+        return Err("daemon reports no profiled applications".to_string());
+    }
+    let arrivals = poisson_n(cfg.lambda_per_min, cfg.requests, cfg.mix, cfg.seed);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5EED_CAFE);
+
+    let mut heap: BinaryHeap<Reverse<(u64, u64, Action)>> = BinaryHeap::new();
+    let mut seq: u64 = 0;
+    let mut push = |heap: &mut BinaryHeap<_>, due_us: u64, action: Action| {
+        seq += 1;
+        heap.push(Reverse((due_us, seq, action)));
+    };
+    let mut next_arrival;
+    match cfg.mode {
+        LoadMode::Open => {
+            for (i, arrival) in arrivals.iter().enumerate() {
+                let due = (arrival.time * cfg.arrival_scale * 1e6).max(0.0) as u64;
+                push(&mut heap, due, Action::Submit(i));
+            }
+            next_arrival = arrivals.len();
+        }
+        LoadMode::Closed => {
+            let burst = cfg.concurrency.max(1).min(cfg.requests);
+            for i in 0..burst {
+                push(&mut heap, i as u64 * 1_000, Action::Submit(i));
+            }
+            next_arrival = burst;
+        }
+    }
+
+    let start = Instant::now();
+    let mut in_flight: HashMap<u64, InFlight> = HashMap::new();
+    let mut sojourns_ms: Vec<f64> = Vec::new();
+    let mut admitted = 0usize;
+    let mut completed = 0usize;
+    let mut retries = 0usize;
+
+    while let Some(Reverse((due_us, _, action))) = heap.pop() {
+        let now_us = start.elapsed().as_micros() as u64;
+        if due_us > now_us {
+            std::thread::sleep(Duration::from_micros(due_us - now_us));
+        }
+        match action {
+            Action::Submit(i) => {
+                let app = &apps[arrivals[i].app_idx % apps.len()];
+                let sent_us = start.elapsed().as_micros() as u64;
+                let reply = client
+                    .request(Request::Submit { app: app.clone() })
+                    .map_err(|e| format!("submit: {e}"))?;
+                match reply {
+                    Reply::Ok { result, .. } => {
+                        admitted += 1;
+                        let task = result
+                            .get("task")
+                            .and_then(Value::as_u64)
+                            .ok_or("submit reply without task id")?;
+                        let predicted = result
+                            .get("predicted_runtime")
+                            .and_then(Value::as_f64)
+                            .unwrap_or(1.0);
+                        in_flight.insert(
+                            task,
+                            InFlight {
+                                submitted_us: sent_us,
+                                predicted_runtime: predicted,
+                            },
+                        );
+                        let now = start.elapsed().as_micros() as u64;
+                        if result.get("state").and_then(Value::as_str) == Some("placed") {
+                            push(&mut heap, now + exec_us(cfg, predicted), Action::Complete(task));
+                        } else {
+                            push(&mut heap, now + cfg.poll_ms * 1_000, Action::Poll(task));
+                        }
+                    }
+                    Reply::Error {
+                        kind: ErrorKind::Backpressure,
+                        retry_after_ms,
+                        ..
+                    } => {
+                        retries += 1;
+                        let delay_ms = retry_after_ms.unwrap_or(50).max(1);
+                        let now = start.elapsed().as_micros() as u64;
+                        push(&mut heap, now + delay_ms * 1_000, Action::Submit(i));
+                    }
+                    Reply::Error { kind, message, .. } => {
+                        return Err(format!("submit rejected ({}): {message}", kind.as_str()))
+                    }
+                }
+            }
+            Action::Poll(task) => {
+                let reply = client
+                    .request(Request::TaskInfo { task })
+                    .map_err(|e| format!("poll: {e}"))?;
+                let Reply::Ok { result, .. } = reply else {
+                    return Err(format!("poll of task {task} failed"));
+                };
+                let now = start.elapsed().as_micros() as u64;
+                match result.get("state").and_then(Value::as_str) {
+                    Some("running") => {
+                        let predicted = result
+                            .get("predicted_runtime")
+                            .and_then(Value::as_f64)
+                            .or_else(|| in_flight.get(&task).map(|f| f.predicted_runtime))
+                            .unwrap_or(1.0);
+                        if let Some(entry) = in_flight.get_mut(&task) {
+                            entry.predicted_runtime = predicted;
+                        }
+                        push(&mut heap, now + exec_us(cfg, predicted), Action::Complete(task));
+                    }
+                    Some("queued") => {
+                        push(&mut heap, now + cfg.poll_ms * 1_000, Action::Poll(task))
+                    }
+                    other => {
+                        return Err(format!(
+                            "task {task} in unexpected state {other:?} while polling"
+                        ))
+                    }
+                }
+            }
+            Action::Complete(task) => {
+                let entry = in_flight
+                    .remove(&task)
+                    .ok_or_else(|| format!("completion for unknown in-flight task {task}"))?;
+                let runtime = entry.predicted_runtime.max(0.05) * rng.gen_range(0.85..1.15);
+                let iops = rng.gen_range(40.0..240.0);
+                let reply = client
+                    .request(Request::Complete {
+                        task,
+                        runtime,
+                        iops,
+                    })
+                    .map_err(|e| format!("complete: {e}"))?;
+                match reply {
+                    Reply::Ok { .. } => {
+                        completed += 1;
+                        let now = start.elapsed().as_micros() as u64;
+                        sojourns_ms.push((now - entry.submitted_us) as f64 / 1_000.0);
+                        if cfg.mode == LoadMode::Closed && next_arrival < cfg.requests {
+                            push(&mut heap, now, Action::Submit(next_arrival));
+                            next_arrival += 1;
+                        }
+                    }
+                    Reply::Error { kind, message, .. } => {
+                        return Err(format!(
+                            "completion of task {task} rejected ({}): {message}",
+                            kind.as_str()
+                        ))
+                    }
+                }
+            }
+        }
+    }
+
+    let wall_s = start.elapsed().as_secs_f64().max(1e-9);
+    let sojourn_ms = if sojourns_ms.is_empty() {
+        SojournStats {
+            p50: 0.0,
+            p95: 0.0,
+            p99: 0.0,
+            max: 0.0,
+        }
+    } else {
+        SojournStats {
+            p50: percentile(&sojourns_ms, 50.0),
+            p95: percentile(&sojourns_ms, 95.0),
+            p99: percentile(&sojourns_ms, 99.0),
+            max: sojourns_ms.iter().copied().fold(0.0, f64::max),
+        }
+    };
+    Ok(LoadgenReport {
+        requests: cfg.requests,
+        admitted,
+        backpressure_retries: retries,
+        completed,
+        lost: admitted.saturating_sub(completed),
+        wall_s,
+        throughput_per_s: completed as f64 / wall_s,
+        sojourn_ms,
+    })
+}
+
+fn exec_us(cfg: &LoadgenConfig, predicted_runtime_s: f64) -> u64 {
+    let ms = (predicted_runtime_s.max(0.0) * cfg.task_ms_per_s).min(cfg.max_task_ms as f64);
+    (ms * 1_000.0) as u64
+}
+
+fn fetch_apps(client: &mut Client) -> Result<Vec<String>, String> {
+    let reply = client
+        .request(Request::Status)
+        .map_err(|e| format!("status: {e}"))?;
+    let Reply::Ok { result, .. } = reply else {
+        return Err("status request failed".to_string());
+    };
+    let apps = result
+        .get("apps")
+        .and_then(Value::as_arr)
+        .ok_or("status reply without apps list")?;
+    Ok(apps
+        .iter()
+        .filter_map(|v| v.as_str().map(str::to_string))
+        .collect())
+}

@@ -1,0 +1,187 @@
+//! Lock-free daemon counters and their Prometheus text exposition.
+//!
+//! Every counter is a relaxed atomic updated from the connection threads and
+//! read by the HTTP listener; exactness across concurrent readers is not
+//! required, monotonicity of each individual counter is. The dispatch
+//! latency histogram (submit → placement, wall clock) uses fixed
+//! millisecond buckets rendered in the cumulative `le` form Prometheus
+//! expects.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Upper bounds (milliseconds) of the dispatch-latency histogram buckets;
+/// an implicit `+Inf` bucket follows.
+pub const LATENCY_BUCKETS_MS: [u64; 10] = [1, 2, 5, 10, 25, 50, 100, 250, 1000, 5000];
+
+/// Shared daemon counters; one instance lives behind an `Arc`.
+#[derive(Default)]
+pub struct Metrics {
+    /// Tasks accepted into the admission queue (includes immediately placed).
+    pub admissions: AtomicU64,
+    /// Submissions rejected with backpressure.
+    pub rejections: AtomicU64,
+    /// Submissions rejected because the daemon was draining.
+    pub drain_rejections: AtomicU64,
+    /// Tasks whose completion was reported by a client.
+    pub completions: AtomicU64,
+    /// Model rebuilds triggered by reported completions.
+    pub rebuilds: AtomicU64,
+    /// Predictor swaps applied after rebuilds.
+    pub predictor_swaps: AtomicU64,
+    /// Lines that failed to decode into a request.
+    pub protocol_errors: AtomicU64,
+    /// Current admission queue depth (gauge).
+    pub queue_depth: AtomicU64,
+    /// Currently running (placed, not yet completed) tasks (gauge).
+    pub running: AtomicU64,
+    /// Cumulative dispatch-latency histogram counts per bucket.
+    latency_buckets: [AtomicU64; LATENCY_BUCKETS_MS.len() + 1],
+    /// Sum of observed dispatch latencies in microseconds (for `_sum`).
+    latency_sum_us: AtomicU64,
+    /// Total observations (for `_count` and the `+Inf` bucket).
+    latency_count: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh all-zero counters.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Record one submit→placement latency observation.
+    pub fn observe_dispatch_latency(&self, micros: u64) {
+        let ms = micros / 1000;
+        for (i, bound) in LATENCY_BUCKETS_MS.iter().enumerate() {
+            if ms <= *bound {
+                self.latency_buckets[i].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // +Inf bucket equals the total count.
+        self.latency_buckets[LATENCY_BUCKETS_MS.len()].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_us.fetch_add(micros, Ordering::Relaxed);
+        self.latency_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Render the full Prometheus text exposition.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        let counter = |out: &mut String, name: &str, help: &str, value: u64| {
+            out.push_str(&format!(
+                "# HELP tracond_{name} {help}\n# TYPE tracond_{name} counter\ntracond_{name} {value}\n"
+            ));
+        };
+        let gauge = |out: &mut String, name: &str, help: &str, value: u64| {
+            out.push_str(&format!(
+                "# HELP tracond_{name} {help}\n# TYPE tracond_{name} gauge\ntracond_{name} {value}\n"
+            ));
+        };
+        counter(
+            &mut out,
+            "admissions_total",
+            "Tasks accepted into the admission queue.",
+            self.admissions.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "rejections_total",
+            "Submissions rejected with backpressure.",
+            self.rejections.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "drain_rejections_total",
+            "Submissions rejected because the daemon was draining.",
+            self.drain_rejections.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "completions_total",
+            "Task completions reported by clients.",
+            self.completions.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "model_rebuilds_total",
+            "Adaptive model rebuilds triggered by completions.",
+            self.rebuilds.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "predictor_swaps_total",
+            "Predictor swaps applied after rebuilds.",
+            self.predictor_swaps.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "protocol_errors_total",
+            "Request lines that failed to decode.",
+            self.protocol_errors.load(Ordering::Relaxed),
+        );
+        gauge(
+            &mut out,
+            "queue_depth",
+            "Current admission queue depth.",
+            self.queue_depth.load(Ordering::Relaxed),
+        );
+        gauge(
+            &mut out,
+            "running_tasks",
+            "Tasks currently placed on a VM and not yet completed.",
+            self.running.load(Ordering::Relaxed),
+        );
+        out.push_str("# HELP tracond_dispatch_latency_seconds Submit-to-placement latency.\n");
+        out.push_str("# TYPE tracond_dispatch_latency_seconds histogram\n");
+        for (i, bound) in LATENCY_BUCKETS_MS.iter().enumerate() {
+            out.push_str(&format!(
+                "tracond_dispatch_latency_seconds_bucket{{le=\"{}\"}} {}\n",
+                *bound as f64 / 1000.0,
+                self.latency_buckets[i].load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str(&format!(
+            "tracond_dispatch_latency_seconds_bucket{{le=\"+Inf\"}} {}\n",
+            self.latency_buckets[LATENCY_BUCKETS_MS.len()].load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "tracond_dispatch_latency_seconds_sum {}\n",
+            self.latency_sum_us.load(Ordering::Relaxed) as f64 / 1e6
+        ));
+        out.push_str(&format!(
+            "tracond_dispatch_latency_seconds_count {}\n",
+            self.latency_count.load(Ordering::Relaxed)
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let m = Metrics::new();
+        m.observe_dispatch_latency(500); // 0 ms bucket-wise -> le=1
+        m.observe_dispatch_latency(8_000); // 8 ms -> le=10
+        m.observe_dispatch_latency(7_000_000); // 7 s -> only +Inf
+        let text = m.render_prometheus();
+        assert!(text.contains("le=\"0.001\"} 1"), "{text}");
+        assert!(text.contains("le=\"0.01\"} 2"), "{text}");
+        assert!(text.contains("le=\"5\"} 2"), "{text}");
+        assert!(text.contains("le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("dispatch_latency_seconds_count 3"), "{text}");
+    }
+
+    #[test]
+    fn counters_appear_in_exposition() {
+        let m = Metrics::new();
+        m.admissions.fetch_add(7, Ordering::Relaxed);
+        m.rejections.fetch_add(2, Ordering::Relaxed);
+        m.queue_depth.store(3, Ordering::Relaxed);
+        let text = m.render_prometheus();
+        assert!(text.contains("tracond_admissions_total 7"));
+        assert!(text.contains("tracond_rejections_total 2"));
+        assert!(text.contains("tracond_queue_depth 3"));
+        assert!(text.contains("# TYPE tracond_queue_depth gauge"));
+    }
+}

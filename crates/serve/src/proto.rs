@@ -1,0 +1,458 @@
+//! tracond wire protocol: typed requests/replies and their JSON codec.
+//!
+//! Each TCP connection carries newline-delimited JSON documents. Every
+//! request names the protocol version (`"v":1`) and may carry a client
+//! request id, which the daemon echoes verbatim in the matching reply so
+//! pipelined clients can correlate responses. Decoding is total: any line —
+//! malformed JSON, wrong version, unknown op, missing field — maps to a
+//! structured [`Reply::Error`], never a panic or a dropped connection.
+
+use crate::json::{self, n, obj, s, Value};
+
+/// The only protocol version this daemon speaks.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// A client request, after the envelope (version + id) has been peeled off.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Submit one task of the named application for placement.
+    Submit {
+        /// Profiled application name (e.g. `"video"`).
+        app: String,
+    },
+    /// Report that a previously placed task finished, feeding the live
+    /// model monitor.
+    Complete {
+        /// Server-assigned task id from the submit reply.
+        task: u64,
+        /// Measured wall-clock runtime in seconds.
+        runtime: f64,
+        /// Measured average IOPS over the task's lifetime.
+        iops: f64,
+    },
+    /// Ask for daemon-wide counters and queue state.
+    Status,
+    /// Ask for the state of one task.
+    TaskInfo {
+        /// Server-assigned task id.
+        task: u64,
+    },
+    /// Stop admitting work; the daemon exits once in-flight work drains.
+    Drain,
+    /// Stop immediately, abandoning queued and running tasks.
+    Shutdown,
+}
+
+/// A request together with its echoed client id.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Envelope {
+    /// Client-chosen request id, echoed in the reply. `None` if omitted.
+    pub id: Option<String>,
+    /// The decoded request.
+    pub request: Request,
+}
+
+/// Machine-readable error categories carried in `error.kind`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The line was not a valid request document.
+    Malformed,
+    /// The request named a protocol version this daemon does not speak.
+    BadVersion,
+    /// The `op` field named no known operation.
+    UnknownOp,
+    /// A required field was missing or had the wrong type.
+    BadField,
+    /// The admission queue is full; retry after `retry_after_ms`.
+    Backpressure,
+    /// The daemon is draining and admits no new work.
+    Draining,
+    /// The submitted application name was never profiled.
+    UnknownApp,
+    /// The task id names no known task.
+    UnknownTask,
+}
+
+impl ErrorKind {
+    /// The wire spelling of this kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Malformed => "malformed",
+            ErrorKind::BadVersion => "bad-version",
+            ErrorKind::UnknownOp => "unknown-op",
+            ErrorKind::BadField => "bad-field",
+            ErrorKind::Backpressure => "backpressure",
+            ErrorKind::Draining => "draining",
+            ErrorKind::UnknownApp => "unknown-app",
+            ErrorKind::UnknownTask => "unknown-task",
+        }
+    }
+
+    /// Inverse of [`ErrorKind::as_str`].
+    pub fn from_str(text: &str) -> Option<ErrorKind> {
+        Some(match text {
+            "malformed" => ErrorKind::Malformed,
+            "bad-version" => ErrorKind::BadVersion,
+            "unknown-op" => ErrorKind::UnknownOp,
+            "bad-field" => ErrorKind::BadField,
+            "backpressure" => ErrorKind::Backpressure,
+            "draining" => ErrorKind::Draining,
+            "unknown-app" => ErrorKind::UnknownApp,
+            "unknown-task" => ErrorKind::UnknownTask,
+            _ => return None,
+        })
+    }
+}
+
+/// A daemon reply, one line on the wire.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Reply {
+    /// Success; `result` is op-specific.
+    Ok {
+        /// Echoed client request id.
+        id: Option<String>,
+        /// Op-specific payload.
+        result: Value,
+    },
+    /// Failure with a machine-readable kind.
+    Error {
+        /// Echoed client request id (`None` when the line was unparseable).
+        id: Option<String>,
+        /// Error category.
+        kind: ErrorKind,
+        /// Human-readable detail.
+        message: String,
+        /// Backpressure hint: retry after this many milliseconds.
+        retry_after_ms: Option<u64>,
+    },
+}
+
+impl Reply {
+    /// Build a success reply.
+    pub fn ok(id: Option<String>, result: Value) -> Reply {
+        Reply::Ok { id, result }
+    }
+
+    /// Build an error reply without a retry hint.
+    pub fn error(id: Option<String>, kind: ErrorKind, message: impl Into<String>) -> Reply {
+        Reply::Error {
+            id,
+            kind,
+            message: message.into(),
+            retry_after_ms: None,
+        }
+    }
+
+    /// Build a backpressure rejection with a retry hint.
+    pub fn backpressure(id: Option<String>, message: impl Into<String>, retry_after_ms: u64) -> Reply {
+        Reply::Error {
+            id,
+            kind: ErrorKind::Backpressure,
+            message: message.into(),
+            retry_after_ms: Some(retry_after_ms),
+        }
+    }
+}
+
+fn id_value(id: &Option<String>) -> Value {
+    match id {
+        Some(text) => s(text.clone()),
+        None => Value::Null,
+    }
+}
+
+/// Encode a request envelope as one wire line (no trailing newline).
+pub fn encode_request(envelope: &Envelope) -> String {
+    let mut pairs = vec![
+        ("v", n(PROTOCOL_VERSION as f64)),
+        ("id", id_value(&envelope.id)),
+    ];
+    match &envelope.request {
+        Request::Submit { app } => {
+            pairs.push(("op", s("submit")));
+            pairs.push(("app", s(app.clone())));
+        }
+        Request::Complete { task, runtime, iops } => {
+            pairs.push(("op", s("complete")));
+            pairs.push(("task", n(*task as f64)));
+            pairs.push(("runtime", n(*runtime)));
+            pairs.push(("iops", n(*iops)));
+        }
+        Request::Status => pairs.push(("op", s("status"))),
+        Request::TaskInfo { task } => {
+            pairs.push(("op", s("task")));
+            pairs.push(("task", n(*task as f64)));
+        }
+        Request::Drain => pairs.push(("op", s("drain"))),
+        Request::Shutdown => pairs.push(("op", s("shutdown"))),
+    }
+    obj(pairs).to_string()
+}
+
+/// A decode failure, carrying everything needed to build the error reply.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DecodeError {
+    /// Echoed id when the envelope was parseable enough to recover one.
+    pub id: Option<String>,
+    /// Error category (`Malformed`, `BadVersion`, `UnknownOp`, `BadField`).
+    pub kind: ErrorKind,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl DecodeError {
+    /// Turn this failure into the error reply the daemon writes back.
+    pub fn into_reply(self) -> Reply {
+        Reply::error(self.id, self.kind, self.message)
+    }
+}
+
+fn field_u64(doc: &Value, id: &Option<String>, key: &str) -> Result<u64, DecodeError> {
+    doc.get(key).and_then(Value::as_u64).ok_or_else(|| DecodeError {
+        id: id.clone(),
+        kind: ErrorKind::BadField,
+        message: format!("missing or invalid '{key}' (expected non-negative integer)"),
+    })
+}
+
+fn field_f64(doc: &Value, id: &Option<String>, key: &str) -> Result<f64, DecodeError> {
+    match doc.get(key).and_then(Value::as_f64) {
+        Some(v) if v.is_finite() => Ok(v),
+        _ => Err(DecodeError {
+            id: id.clone(),
+            kind: ErrorKind::BadField,
+            message: format!("missing or invalid '{key}' (expected finite number)"),
+        }),
+    }
+}
+
+/// Decode one wire line into a request envelope.
+///
+/// The id is recovered on a best-effort basis so that even a request with a
+/// bad version or unknown op gets an error reply the client can correlate.
+pub fn decode_request(line: &str) -> Result<Envelope, DecodeError> {
+    let doc = json::parse(line).map_err(|e| DecodeError {
+        id: None,
+        kind: ErrorKind::Malformed,
+        message: format!("invalid JSON: {e}"),
+    })?;
+    if !matches!(doc, Value::Obj(_)) {
+        return Err(DecodeError {
+            id: None,
+            kind: ErrorKind::Malformed,
+            message: "request must be a JSON object".to_string(),
+        });
+    }
+    let id = doc.get("id").and_then(Value::as_str).map(str::to_string);
+    match doc.get("v").and_then(Value::as_u64) {
+        Some(PROTOCOL_VERSION) => {}
+        Some(other) => {
+            return Err(DecodeError {
+                id,
+                kind: ErrorKind::BadVersion,
+                message: format!("unsupported protocol version {other} (daemon speaks {PROTOCOL_VERSION})"),
+            })
+        }
+        None => {
+            return Err(DecodeError {
+                id,
+                kind: ErrorKind::BadVersion,
+                message: "missing protocol version field 'v'".to_string(),
+            })
+        }
+    }
+    let op = match doc.get("op").and_then(Value::as_str) {
+        Some(op) => op,
+        None => {
+            return Err(DecodeError {
+                id,
+                kind: ErrorKind::BadField,
+                message: "missing or invalid 'op' (expected string)".to_string(),
+            })
+        }
+    };
+    let request = match op {
+        "submit" => match doc.get("app").and_then(Value::as_str) {
+            Some(app) if !app.is_empty() => Request::Submit {
+                app: app.to_string(),
+            },
+            _ => {
+                return Err(DecodeError {
+                    id,
+                    kind: ErrorKind::BadField,
+                    message: "missing or invalid 'app' (expected non-empty string)".to_string(),
+                })
+            }
+        },
+        "complete" => Request::Complete {
+            task: field_u64(&doc, &id, "task")?,
+            runtime: field_f64(&doc, &id, "runtime")?,
+            iops: field_f64(&doc, &id, "iops")?,
+        },
+        "status" => Request::Status,
+        "task" => Request::TaskInfo {
+            task: field_u64(&doc, &id, "task")?,
+        },
+        "drain" => Request::Drain,
+        "shutdown" => Request::Shutdown,
+        other => {
+            return Err(DecodeError {
+                id,
+                kind: ErrorKind::UnknownOp,
+                message: format!("unknown op '{other}'"),
+            })
+        }
+    };
+    Ok(Envelope { id, request })
+}
+
+/// Encode a reply as one wire line (no trailing newline).
+pub fn encode_reply(reply: &Reply) -> String {
+    match reply {
+        Reply::Ok { id, result } => obj(vec![
+            ("v", n(PROTOCOL_VERSION as f64)),
+            ("id", id_value(id)),
+            ("ok", Value::Bool(true)),
+            ("result", result.clone()),
+        ])
+        .to_string(),
+        Reply::Error {
+            id,
+            kind,
+            message,
+            retry_after_ms,
+        } => {
+            let mut error = vec![("kind", s(kind.as_str())), ("message", s(message.clone()))];
+            if let Some(ms) = retry_after_ms {
+                error.push(("retry_after_ms", n(*ms as f64)));
+            }
+            obj(vec![
+                ("v", n(PROTOCOL_VERSION as f64)),
+                ("id", id_value(id)),
+                ("ok", Value::Bool(false)),
+                ("error", obj(error)),
+            ])
+            .to_string()
+        }
+    }
+}
+
+/// Decode a reply line, used by the client and the loopback tests.
+pub fn decode_reply(line: &str) -> Result<Reply, String> {
+    let doc = json::parse(line).map_err(|e| format!("invalid reply JSON: {e}"))?;
+    let id = doc.get("id").and_then(Value::as_str).map(str::to_string);
+    match doc.get("ok").and_then(Value::as_bool) {
+        Some(true) => {
+            let result = doc.get("result").cloned().unwrap_or(Value::Null);
+            Ok(Reply::Ok { id, result })
+        }
+        Some(false) => {
+            let error = doc
+                .get("error")
+                .cloned()
+                .ok_or_else(|| "error reply without 'error' object".to_string())?;
+            let kind = error
+                .get("kind")
+                .and_then(Value::as_str)
+                .and_then(ErrorKind::from_str)
+                .ok_or_else(|| "error reply with unknown 'kind'".to_string())?;
+            let message = error
+                .get("message")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string();
+            let retry_after_ms = error.get("retry_after_ms").and_then(Value::as_u64);
+            Ok(Reply::Error {
+                id,
+                kind,
+                message,
+                retry_after_ms,
+            })
+        }
+        None => Err("reply without boolean 'ok' field".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_roundtrip() {
+        let envelope = Envelope {
+            id: Some("c3-17".to_string()),
+            request: Request::Submit {
+                app: "video".to_string(),
+            },
+        };
+        let line = encode_request(&envelope);
+        assert_eq!(decode_request(&line).unwrap(), envelope);
+    }
+
+    #[test]
+    fn complete_roundtrip_preserves_measurements() {
+        let envelope = Envelope {
+            id: None,
+            request: Request::Complete {
+                task: 42,
+                runtime: 3.75,
+                iops: 188.5,
+            },
+        };
+        let line = encode_request(&envelope);
+        assert_eq!(decode_request(&line).unwrap(), envelope);
+    }
+
+    #[test]
+    fn malformed_line_yields_structured_error() {
+        let e = decode_request("not json at all").unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Malformed);
+        assert_eq!(e.id, None);
+        let reply = e.into_reply();
+        let line = encode_reply(&reply);
+        assert_eq!(decode_reply(&line).unwrap(), reply);
+    }
+
+    #[test]
+    fn version_mismatch_recovers_id() {
+        let e = decode_request("{\"v\":9,\"id\":\"x-1\",\"op\":\"status\"}").unwrap_err();
+        assert_eq!(e.kind, ErrorKind::BadVersion);
+        assert_eq!(e.id.as_deref(), Some("x-1"));
+    }
+
+    #[test]
+    fn unknown_op_and_missing_fields() {
+        let e = decode_request("{\"v\":1,\"op\":\"frobnicate\"}").unwrap_err();
+        assert_eq!(e.kind, ErrorKind::UnknownOp);
+        let e = decode_request("{\"v\":1,\"op\":\"submit\"}").unwrap_err();
+        assert_eq!(e.kind, ErrorKind::BadField);
+        let e = decode_request("{\"v\":1,\"op\":\"complete\",\"task\":1,\"runtime\":1.0}")
+            .unwrap_err();
+        assert_eq!(e.kind, ErrorKind::BadField);
+    }
+
+    #[test]
+    fn backpressure_reply_carries_retry_hint() {
+        let reply = Reply::backpressure(Some("q-9".to_string()), "queue full (cap 4)", 120);
+        let line = encode_reply(&reply);
+        assert!(line.contains("\"retry_after_ms\":120"), "{line}");
+        assert_eq!(decode_reply(&line).unwrap(), reply);
+    }
+
+    #[test]
+    fn error_kind_wire_names_roundtrip() {
+        for kind in [
+            ErrorKind::Malformed,
+            ErrorKind::BadVersion,
+            ErrorKind::UnknownOp,
+            ErrorKind::BadField,
+            ErrorKind::Backpressure,
+            ErrorKind::Draining,
+            ErrorKind::UnknownApp,
+            ErrorKind::UnknownTask,
+        ] {
+            assert_eq!(ErrorKind::from_str(kind.as_str()), Some(kind));
+        }
+        assert_eq!(ErrorKind::from_str("nope"), None);
+    }
+}

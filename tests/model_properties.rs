@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use tracon::core::{
-    train_model_scaled, AppModelSet, AppProfile, Characteristics, ModelKind, Objective, Predictor,
-    ResponseScale, ScoringPolicy, TrainingData,
+    train_model_scaled, AppModelSet, AppProfile, Characteristics, ClassKey, ModelKind, Objective,
+    Predictor, ResponseScale, ScoringPolicy, TrainingData,
 };
 
 fn arbitrary_training_data() -> impl Strategy<Value = TrainingData> {
@@ -101,15 +101,29 @@ proptest! {
             },
             AppModelSet { runtime, iops },
         );
+        // Register the neighbour too, so its id can name the slot class.
+        let nb_runtime = train_model_scaled(ModelKind::Nonlinear, &data, ResponseScale::Linear);
+        let nb_iops = train_model_scaled(ModelKind::Nonlinear, &data, ResponseScale::Reciprocal);
+        p.add_app(
+            AppProfile {
+                name: "nb".into(),
+                solo: Characteristics::new(60.0, 15.0, 0.4, 0.06),
+                solo_runtime: 100.0,
+                solo_iops: 100.0,
+            },
+            AppModelSet { runtime: nb_runtime, iops: nb_iops },
+        );
         let scoring = ScoringPolicy::new(&p, Objective::MinRuntime);
+        let app = p.registry().expect_id("app");
+        let key = ClassKey::from_neighbours([p.registry().expect_id("nb")]);
         let nb = Characteristics::new(bg[0], bg[1], (bg[2] / 300.0).min(1.0), (bg[3] / 300.0).min(1.0));
-        let excess = scoring.excess_score("app", "nb", &nb);
+        let excess = scoring.excess_score(app, key, &nb);
         prop_assert!(excess.is_finite());
         // Both scores live in [solo, 30 x solo], so the excess is bounded.
         prop_assert!((-29.0 * 100.0 - 1e-6..=29.0 * 100.0 + 1e-6).contains(&excess));
         // Memoization returns the same value.
-        let s1 = scoring.score("app", "nb", &nb);
-        let s2 = scoring.score("app", "nb", &nb);
+        let s1 = scoring.score(app, key, &nb);
+        let s2 = scoring.score(app, key, &nb);
         prop_assert_eq!(s1.to_bits(), s2.to_bits());
     }
 }
