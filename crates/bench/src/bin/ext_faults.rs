@@ -1,0 +1,17 @@
+//! Extension: scheduler comparison under machine churn, task failures,
+//! and stragglers, against each scheduler's own fault-free baseline.
+use tracon_dcsim::experiments::ext_faults;
+
+fn main() {
+    let opts = tracon_bench::parse_args();
+    let cfg = tracon_bench::config(opts);
+    let tb = tracon_bench::build_testbed(&cfg);
+    let fcfg = if opts.quick {
+        ext_faults::ExtFaultsConfig::small()
+    } else {
+        ext_faults::ExtFaultsConfig::full()
+    };
+    let fig = tracon_bench::timed("ext_faults", || ext_faults::run(&tb, &fcfg));
+    fig.print();
+    println!("\nexpected shape: interference-aware schedulers keep their edge under churn");
+}

@@ -38,6 +38,10 @@ COMMANDS:
              [--port N=0] [--http-port N=0] [--machines N=4] [--slots N=2]
              [--scheduler mios|mibs[:W]|mix[:W]] [--objective rt|io]
              [--queue-cap N=64] [--rebuild-every N] [--batch-deadline-ms N=100]
+             [--wal DIR]  (persist admissions to an fsync'd write-ahead log
+                           and recover queue/counters on restart)
+             [--lease-ms N=30000] [--lease-per-s-ms N=2000]
+             [--max-attempts N=5] [--backoff-ms N=100] [--backoff-cap-ms N=5000]
              [--testbed FILE | --points N=6 --time-scale F=0.05 --seed N]
   submit     Submit tasks to a running tracond and print the placements
              --addr HOST:PORT --app NAME [--count N=1]
@@ -45,6 +49,13 @@ COMMANDS:
              --addr HOST:PORT [--requests N=100] [--lambda TASKS/MIN=60]
              [--mix light|medium|heavy|uniform] [--mode open|closed]
              [--concurrency N=8] [--seed N] [--quick]
+             [--chaos]    (adversarial mode: killed connections, garbage and
+                           oversized lines, partial frames, orphaned tasks;
+                           asserts task conservation from daemon counters.
+                           --addr takes a comma-separated failover list so a
+                           restarted daemon may come back on another port;
+                           [--settle-timeout-ms N=30000] bounds the final
+                           wait for all work to reach a terminal state)
   drain      Ask a running tracond to stop admitting work and exit when idle
              --addr HOST:PORT
   table1     Reproduce the paper's motivating interference table
@@ -431,6 +442,10 @@ pub fn serve(args: &Args) -> Result<String, String> {
     }
     let mut monitor = tracon_core::MonitorConfig::default();
     monitor.rebuild_every = args.num_or("rebuild-every", monitor.rebuild_every)?;
+    let max_attempts: u32 = args.num_or("max-attempts", 5)?;
+    if max_attempts == 0 {
+        return Err("--max-attempts must be positive".into());
+    }
     let cfg = ServeConfig {
         machines,
         slots_per_machine: slots,
@@ -440,6 +455,13 @@ pub fn serve(args: &Args) -> Result<String, String> {
         queue_capacity,
         batch_deadline_ms: args.num_or("batch-deadline-ms", 100)?,
         retry_after_ms: args.num_or("retry-after-ms", 50)?,
+        lease_base_ms: args.num_or("lease-ms", 30_000)?,
+        lease_per_predicted_s_ms: args.num_or("lease-per-s-ms", 2_000)?,
+        max_attempts,
+        backoff_base_ms: args.num_or("backoff-ms", 100)?,
+        backoff_cap_ms: args.num_or("backoff-cap-ms", 5_000)?,
+        wal_dir: args.options.get("wal").map(std::path::PathBuf::from),
+        wal_snapshot_every: args.num_or("wal-snapshot-every", 4_096)?,
         monitor,
     };
     let net = NetConfig {
@@ -461,10 +483,13 @@ pub fn serve(args: &Args) -> Result<String, String> {
     handle.join();
     let relaxed = std::sync::atomic::Ordering::Relaxed;
     Ok(format!(
-        "tracond stopped: {} admitted, {} rejected, {} completed, {} rebuilds, {} swaps\n",
+        "tracond stopped: {} admitted, {} rejected, {} completed, {} requeued, \
+         {} dead-lettered, {} rebuilds, {} swaps\n",
         metrics.admissions.load(relaxed),
         metrics.rejections.load(relaxed),
         metrics.completions.load(relaxed),
+        metrics.requeues.load(relaxed),
+        metrics.dead_letters.load(relaxed),
         metrics.rebuilds.load(relaxed),
         metrics.predictor_swaps.load(relaxed),
     ))
@@ -559,6 +584,9 @@ pub fn loadgen(args: &Args) -> Result<String, String> {
     use tracon_serve::loadgen::{run as run_loadgen, LoadMode, LoadgenConfig};
 
     let addr = args.require("addr")?;
+    if args.flag("chaos") {
+        return chaos(args, addr);
+    }
     let mode = match args.get_or("mode", "open") {
         "open" => LoadMode::Open,
         "closed" => LoadMode::Closed,
@@ -590,6 +618,41 @@ pub fn loadgen(args: &Args) -> Result<String, String> {
             report.lost,
             report.render()
         ));
+    }
+    Ok(report.render())
+}
+
+/// `tracon loadgen --chaos`
+fn chaos(args: &Args, addr: &str) -> Result<String, String> {
+    use tracon_serve::{run_chaos, ChaosConfig};
+
+    let addrs: Vec<String> = addr
+        .split(',')
+        .filter(|a| !a.is_empty())
+        .map(str::to_string)
+        .collect();
+    if addrs.is_empty() {
+        return Err("--addr needs at least one HOST:PORT".into());
+    }
+    let defaults = ChaosConfig::default();
+    let cfg = ChaosConfig {
+        addrs,
+        requests: args.num_or("requests", defaults.requests)?,
+        seed: args.num_or("seed", defaults.seed)?,
+        kill_every: args.num_or("kill-every", defaults.kill_every)?,
+        garbage_every: args.num_or("garbage-every", defaults.garbage_every)?,
+        partial_every: args.num_or("partial-every", defaults.partial_every)?,
+        oversized_every: args.num_or("oversized-every", defaults.oversized_every)?,
+        orphan_every: args.num_or("orphan-every", defaults.orphan_every)?,
+        settle_timeout_ms: args.num_or("settle-timeout-ms", defaults.settle_timeout_ms)?,
+        reconnect_timeout_ms: args.num_or("reconnect-timeout-ms", defaults.reconnect_timeout_ms)?,
+    };
+    if cfg.requests == 0 {
+        return Err("--requests must be positive".into());
+    }
+    let report = run_chaos(&cfg)?;
+    if !report.passed() {
+        return Err(format!("chaos run failed:\n{}", report.render()));
     }
     Ok(report.render())
 }
@@ -768,6 +831,13 @@ mod tests {
         assert!(err.contains("queue-cap"), "{err}");
         let err = loadgen(&parse_str("loadgen --addr 127.0.0.1:1 --mode bursty")).unwrap_err();
         assert!(err.contains("unknown mode"), "{err}");
+        let err = serve(&parse_str("serve --max-attempts 0")).unwrap_err();
+        assert!(err.contains("max-attempts"), "{err}");
+        let err = loadgen(&parse_str(
+            "loadgen --chaos --addr 127.0.0.1:1 --requests 0",
+        ))
+        .unwrap_err();
+        assert!(err.contains("--requests"), "{err}");
     }
 
     #[test]

@@ -60,6 +60,10 @@ pub struct ClusterState {
     /// order over packed keys equals the legacy joined-string order, so
     /// first-minimum tie-breaks are unchanged.
     free: BTreeMap<ClassKey, BTreeSet<VmRef>>,
+    /// Machines currently marked down (crashed). A down machine has no
+    /// slots in the free index, so every scheduler transparently skips
+    /// it; [`ClusterState::set_up`] relists its slots.
+    down: Vec<bool>,
 }
 
 impl ClusterState {
@@ -92,6 +96,7 @@ impl ClusterState {
             registry,
             chars_by_id,
             free: BTreeMap::new(),
+            down: vec![false; n_machines],
         };
         let all_idle: BTreeSet<VmRef> = (0..n_machines)
             .flat_map(|m| {
@@ -254,8 +259,9 @@ impl ClusterState {
     /// Places a resident into a free slot.
     ///
     /// # Panics
-    /// Panics when the slot is occupied.
+    /// Panics when the slot is occupied or the machine is down.
     pub fn place(&mut self, vm: VmRef, resident: Resident) {
+        assert!(!self.down[vm.machine], "machine {} is down", vm.machine);
         assert!(
             self.machines[vm.machine][vm.slot].is_none(),
             "slot {vm:?} already occupied"
@@ -296,6 +302,55 @@ impl ClusterState {
             .get(app.index())
             .copied()
             .unwrap_or_else(Characteristics::idle)
+    }
+
+    /// Whether `machine` is currently marked down.
+    pub fn is_down(&self, machine: usize) -> bool {
+        self.down[machine]
+    }
+
+    /// Number of machines currently marked down.
+    pub fn n_down(&self) -> usize {
+        self.down.iter().filter(|d| **d).count()
+    }
+
+    /// Marks a machine as down (crashed): every resident is evicted and
+    /// returned (in slot order) and every free slot is delisted from the
+    /// free index, so no scheduler can place onto the machine until
+    /// [`ClusterState::set_up`] restores it.
+    ///
+    /// # Panics
+    /// Panics when the machine is already down.
+    pub fn set_down(&mut self, machine: usize) -> Vec<(VmRef, Resident)> {
+        assert!(!self.down[machine], "machine {machine} already down");
+        // Delist free slots first: class keys depend on the residents we
+        // are about to evict.
+        for slot in 0..self.slots_per_machine {
+            if self.machines[machine][slot].is_none() {
+                self.remove_free(VmRef { machine, slot });
+            }
+        }
+        let mut evicted = Vec::new();
+        for slot in 0..self.slots_per_machine {
+            if let Some(resident) = self.machines[machine][slot].take() {
+                evicted.push((VmRef { machine, slot }, resident));
+            }
+        }
+        self.down[machine] = true;
+        evicted
+    }
+
+    /// Marks a down machine as recovered: all its (now empty) slots
+    /// rejoin the free index under the idle class.
+    ///
+    /// # Panics
+    /// Panics when the machine is not down.
+    pub fn set_up(&mut self, machine: usize) {
+        assert!(self.down[machine], "machine {machine} is not down");
+        self.down[machine] = false;
+        for slot in 0..self.slots_per_machine {
+            self.add_free(VmRef { machine, slot });
+        }
     }
 
     /// Iterates over all occupied slots.
@@ -517,6 +572,80 @@ mod tests {
         let occ: Vec<_> = c.occupied().collect();
         assert_eq!(occ.len(), 1);
         assert_eq!(occ[0].1.task_id, 9);
+    }
+
+    #[test]
+    fn set_down_evicts_residents_and_hides_slots() {
+        let mut c = cluster();
+        let vm = VmRef {
+            machine: 1,
+            slot: 0,
+        };
+        let r = resident(&c, 7, "a");
+        c.place(vm, r);
+        assert_eq!(c.n_free(), 5);
+        let evicted = c.set_down(1);
+        assert_eq!(evicted, vec![(vm, r)]);
+        assert!(c.is_down(1));
+        assert_eq!(c.n_down(), 1);
+        // Machine 1's slots are gone from the free index entirely.
+        assert_eq!(c.n_free(), 4);
+        assert!(c
+            .free_class_iter()
+            .all(|cl| cl.key == ClassKey::IDLE && cl.example.machine != 1));
+        assert!(c.occupied().next().is_none());
+        // first_free never lands on the down machine.
+        for _ in 0..4 {
+            let vm = c.first_free().unwrap();
+            assert_ne!(vm.machine, 1);
+            let r = resident(&c, 1, "a");
+            c.place(vm, r);
+        }
+        assert_eq!(c.first_free(), None);
+        assert!(!c.has_idle_machine());
+    }
+
+    #[test]
+    fn set_up_restores_idle_slots() {
+        let mut c = cluster();
+        c.place(
+            VmRef {
+                machine: 1,
+                slot: 1,
+            },
+            resident(&c, 3, "b"),
+        );
+        c.set_down(1);
+        c.set_up(1);
+        assert!(!c.is_down(1));
+        assert_eq!(c.n_free(), 6);
+        let classes = c.free_classes();
+        assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0].key, ClassKey::IDLE);
+        assert!(c.has_idle_machine());
+    }
+
+    #[test]
+    #[should_panic(expected = "is down")]
+    fn placing_on_down_machine_panics() {
+        let mut c = cluster();
+        c.set_down(0);
+        let r = resident(&c, 1, "a");
+        c.place(
+            VmRef {
+                machine: 0,
+                slot: 0,
+            },
+            r,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already down")]
+    fn double_set_down_panics() {
+        let mut c = cluster();
+        c.set_down(2);
+        c.set_down(2);
     }
 
     #[test]

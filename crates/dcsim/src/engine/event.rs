@@ -16,6 +16,10 @@ pub(crate) enum EventKind {
     /// matches (a neighbour change reschedules completion and bumps the
     /// version, turning the old event stale).
     Completion { vm: VmRef, version: u64 },
+    /// A [`FaultPlan`](crate::faults::FaultPlan) machine transition:
+    /// crash (`up == false`, evicting and requeueing every resident) or
+    /// recovery (`up == true`, relisting the machine's slots).
+    MachineFault { machine: usize, up: bool },
 }
 
 /// A scheduled simulation event.

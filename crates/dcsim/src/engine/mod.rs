@@ -39,9 +39,13 @@ mod event;
 pub mod observer;
 mod slots;
 
-pub use observer::{AdaptiveObserver, ArrivalInfo, CompletionInfo, PlacementInfo, SimObserver};
+pub use observer::{
+    AdaptiveObserver, ArrivalInfo, CompletionInfo, MachineCrashInfo, PlacementInfo, SimObserver,
+    TaskFailureInfo,
+};
 
 use crate::arrival::ArrivalEvent;
+use crate::faults::FaultPlan;
 use crate::setup::Testbed;
 use dispatch::DispatchPolicy;
 use event::{EventKind, EventQueue};
@@ -138,6 +142,16 @@ pub struct SimResult {
     /// adaptation. Empty unless requested via
     /// [`Simulation::with_observation_collection`].
     pub observations: Vec<TaskObservation>,
+    /// Machine crashes injected by the fault plan (0 without one).
+    pub machine_crashes: usize,
+    /// Machine recoveries within the horizon.
+    pub machine_recoveries: usize,
+    /// Failed task executions (per-task faults at completion).
+    pub task_failures: usize,
+    /// Re-admissions after a crash eviction or a failed execution.
+    pub requeues: usize,
+    /// Tasks that exhausted their attempts and left the system.
+    pub abandoned: usize,
 }
 
 /// One realized task observation collected by the monitor: the joint
@@ -159,6 +173,12 @@ impl SimResult {
     pub fn throughput_per_hour(&self, horizon_s: f64) -> f64 {
         self.completed as f64 / (horizon_s / 3600.0)
     }
+
+    /// Tasks neither completed, refused, nor abandoned by the end of the
+    /// run: still queued, still running, or past the horizon.
+    pub fn unfinished(&self) -> usize {
+        self.arrived - self.completed - self.refused - self.abandoned
+    }
 }
 
 /// The simulator.
@@ -178,6 +198,9 @@ pub struct Simulation<'tb> {
     /// (`None` = unbounded buffering).
     pub queue_capacity: Option<usize>,
     collect_observations: bool,
+    /// Fault schedule injected into the event kernel (`None` = the
+    /// failure-free paper setting).
+    faults: Option<&'tb FaultPlan>,
 }
 
 impl<'tb> Simulation<'tb> {
@@ -192,6 +215,7 @@ impl<'tb> Simulation<'tb> {
             predictor_override: None,
             queue_capacity: None,
             collect_observations: false,
+            faults: None,
         }
     }
 
@@ -219,6 +243,16 @@ impl<'tb> Simulation<'tb> {
     /// stream) into [`SimResult::observations`].
     pub fn with_observation_collection(mut self) -> Self {
         self.collect_observations = true;
+        self
+    }
+
+    /// Injects a fault plan: machine crash/recovery events enter the
+    /// event queue, evicted tasks are rescheduled interference-aware on
+    /// the surviving machines, and per-attempt failure/straggler
+    /// decisions apply. An empty plan reproduces the fault-free run
+    /// bit-for-bit.
+    pub fn with_faults(mut self, plan: &'tb FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -263,10 +297,31 @@ impl<'tb> Simulation<'tb> {
         let n_slots = self.n_machines * self.slots_per_machine;
         let mut slots = SlotState::new(self.n_machines, self.slots_per_machine, perf);
 
-        let mut events = EventQueue::with_capacity(trace.len() + n_slots);
+        let n_fault_events = self.faults.map_or(0, |p| p.machine_events.len());
+        let mut events = EventQueue::with_capacity(trace.len() + n_slots + n_fault_events);
         for (i, a) in trace.iter().enumerate() {
             events.push(a.time, EventKind::Arrival(i));
         }
+        if let Some(plan) = self.faults {
+            for e in &plan.machine_events {
+                events.push(
+                    e.time,
+                    EventKind::MachineFault {
+                        machine: e.machine,
+                        up: e.up,
+                    },
+                );
+            }
+        }
+        // Failed executions per task id; only touched when a plan is set.
+        let mut attempts: Vec<u32> = vec![
+            0;
+            if self.faults.is_some() {
+                trace.len()
+            } else {
+                0
+            }
+        ];
 
         let mut queue: VecDeque<Task> = VecDeque::new();
         // Arrival times by task id, for wait-time accounting.
@@ -316,20 +371,46 @@ impl<'tb> Simulation<'tb> {
                     let Some(done) = slots.complete(vm, version, now) else {
                         continue; // stale event from before a neighbour change
                     };
-                    let info = CompletionInfo {
-                        time: now,
-                        vm,
-                        app_idx: done.app_idx,
-                        neighbor_at_start: done.neighbor_at_start,
-                        runtime: done.runtime,
-                        avg_iops: done.avg_iops,
-                    };
-                    metrics.on_completion(&info);
-                    if let Some(c) = &mut collector {
-                        c.on_completion(&info);
+                    let resident = cluster.clear(vm);
+                    // Fault injection: the attempt may fail at completion,
+                    // wasting its runtime and re-entering the queue.
+                    let mut failed = false;
+                    if let Some(plan) = self.faults {
+                        let att = attempts[resident.task_id as usize];
+                        if plan.attempt_fails(resident.task_id, att) {
+                            attempts[resident.task_id as usize] = att + 1;
+                            let abandoned = att + 1 >= plan.config().max_attempts;
+                            let finfo = TaskFailureInfo {
+                                time: now,
+                                vm,
+                                task_id: resident.task_id,
+                                app_idx: done.app_idx,
+                                attempt: att,
+                                abandoned,
+                            };
+                            metrics.on_task_failure(&finfo);
+                            observer.on_task_failure(&finfo);
+                            if !abandoned {
+                                queue.push_back(Task::new(resident.task_id, resident.app));
+                            }
+                            failed = true;
+                        }
                     }
-                    observer.on_completion(&info);
-                    cluster.clear(vm);
+                    if !failed {
+                        let info = CompletionInfo {
+                            time: now,
+                            vm,
+                            app_idx: done.app_idx,
+                            neighbor_at_start: done.neighbor_at_start,
+                            runtime: done.runtime,
+                            avg_iops: done.avg_iops,
+                        };
+                        metrics.on_completion(&info);
+                        if let Some(c) = &mut collector {
+                            c.on_completion(&info);
+                        }
+                        observer.on_completion(&info);
+                    }
                     // The surviving sibling speeds up (or a later placement
                     // slows it down again).
                     for s in 0..self.slots_per_machine {
@@ -345,6 +426,42 @@ impl<'tb> Simulation<'tb> {
                         }
                     }
                     schedule_needed = true;
+                }
+                EventKind::MachineFault { machine, up } => {
+                    if up {
+                        if cluster.is_down(machine) {
+                            cluster.set_up(machine);
+                            metrics.on_machine_recover(now, machine);
+                            observer.on_machine_recover(now, machine);
+                            schedule_needed = true;
+                        }
+                    } else if !cluster.is_down(machine) {
+                        let max_attempts =
+                            self.faults.map_or(u32::MAX, |p| p.config().max_attempts);
+                        let evicted = cluster.set_down(machine);
+                        let n_evicted = evicted.len();
+                        let mut requeued = 0;
+                        for (vm, resident) in evicted {
+                            slots.evict(vm);
+                            // A crash eviction consumes an attempt; the
+                            // task restarts from scratch elsewhere.
+                            let att = attempts[resident.task_id as usize] + 1;
+                            attempts[resident.task_id as usize] = att;
+                            if att < max_attempts {
+                                queue.push_back(Task::new(resident.task_id, resident.app));
+                                requeued += 1;
+                            }
+                        }
+                        let cinfo = MachineCrashInfo {
+                            time: now,
+                            machine,
+                            evicted: n_evicted,
+                            requeued,
+                        };
+                        metrics.on_machine_crash(&cinfo);
+                        observer.on_machine_crash(&cinfo);
+                        schedule_needed = true;
+                    }
                 }
             }
 
@@ -364,7 +481,10 @@ impl<'tb> Simulation<'tb> {
                     let app_idx = trace[task_idx].app_idx;
                     let wait = now - arrival_time[task_idx];
                     let nb_at_start = slots.neighbor_app(a.vm);
-                    slots.place(a.vm, app_idx, nb_at_start, now);
+                    let slowdown = self.faults.map_or(1.0, |p| {
+                        p.straggler_slowdown(a.task.id, attempts[a.task.id as usize])
+                    });
+                    slots.place(a.vm, app_idx, nb_at_start, now, slowdown);
                     slots.refresh(a.vm, now, &mut events);
                     // Existing neighbours now run against a new workload.
                     for s in 0..self.slots_per_machine {
@@ -404,6 +524,11 @@ impl<'tb> Simulation<'tb> {
             observations: collector
                 .map(ObservationCollector::into_observations)
                 .unwrap_or_default(),
+            machine_crashes: metrics.machine_crashes,
+            machine_recoveries: metrics.machine_recoveries,
+            task_failures: metrics.task_failures,
+            requeues: metrics.requeues,
+            abandoned: metrics.abandoned,
         }
     }
 }
@@ -673,6 +798,129 @@ mod tests {
         assert_eq!(obs.placements, r.completed, "static run places all tasks");
         assert_eq!(obs.refusals, r.refused);
         assert!(obs.dispatches > 0);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_no_plan() {
+        use crate::faults::FaultPlan;
+        let tb = shared();
+        let plan = FaultPlan::none();
+        for kind in [
+            SchedulerKind::Fifo,
+            SchedulerKind::Mios,
+            SchedulerKind::Mibs(8),
+        ] {
+            let trace = poisson_trace(30.0, 900.0, WorkloadMix::Medium, 17);
+            let plain = Simulation::new(tb, 4, kind).run(&trace, Some(1800.0));
+            let faulted = Simulation::new(tb, 4, kind)
+                .with_faults(&plan)
+                .run(&trace, Some(1800.0));
+            assert_eq!(plain.completed, faulted.completed, "{kind:?}");
+            assert_eq!(
+                plain.total_runtime.to_bits(),
+                faulted.total_runtime.to_bits(),
+                "{kind:?}"
+            );
+            assert_eq!(
+                plain.total_iops.to_bits(),
+                faulted.total_iops.to_bits(),
+                "{kind:?}"
+            );
+            assert_eq!(plain.mean_wait.to_bits(), faulted.mean_wait.to_bits());
+            assert_eq!(faulted.machine_crashes, 0);
+            assert_eq!(faulted.requeues, 0);
+            assert_eq!(faulted.abandoned, 0);
+        }
+    }
+
+    #[test]
+    fn faulted_run_is_deterministic() {
+        use crate::faults::{FaultConfig, FaultPlan};
+        let tb = shared();
+        let plan = FaultPlan::generate(
+            FaultConfig {
+                machine_mttf_s: 300.0,
+                machine_mttr_s: 60.0,
+                ..FaultConfig::default()
+            },
+            4,
+            1800.0,
+            5,
+        );
+        let trace = poisson_trace(40.0, 900.0, WorkloadMix::Medium, 23);
+        let a = Simulation::new(tb, 4, SchedulerKind::Mibs(8))
+            .with_faults(&plan)
+            .run(&trace, Some(1800.0));
+        let b = Simulation::new(tb, 4, SchedulerKind::Mibs(8))
+            .with_faults(&plan)
+            .run(&trace, Some(1800.0));
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.total_runtime.to_bits(), b.total_runtime.to_bits());
+        assert_eq!(a.machine_crashes, b.machine_crashes);
+        assert_eq!(a.requeues, b.requeues);
+        assert_eq!(a.task_failures, b.task_failures);
+        assert!(a.machine_crashes > 0, "plan must actually crash machines");
+    }
+
+    #[test]
+    fn crashes_requeue_and_conservation_holds() {
+        use crate::faults::{FaultConfig, FaultPlan};
+        let tb = shared();
+        // Aggressive churn on a small cluster so evictions are certain.
+        let plan = FaultPlan::generate(
+            FaultConfig {
+                machine_mttf_s: 120.0,
+                machine_mttr_s: 30.0,
+                task_fail_prob: 0.1,
+                max_attempts: 3,
+                straggler_prob: 0.2,
+                straggler_slowdown: 2.0,
+            },
+            4,
+            7200.0,
+            2,
+        );
+        let trace = poisson_trace(60.0, 1800.0, WorkloadMix::Medium, 8);
+        let mut crash_hooks = 0usize;
+        let mut recover_hooks = 0usize;
+        let mut failure_hooks = 0usize;
+        struct Hooks<'a>(&'a mut usize, &'a mut usize, &'a mut usize);
+        impl SimObserver for Hooks<'_> {
+            fn on_machine_crash(&mut self, _info: &MachineCrashInfo) {
+                *self.0 += 1;
+            }
+            fn on_machine_recover(&mut self, _time: f64, _machine: usize) {
+                *self.1 += 1;
+            }
+            fn on_task_failure(&mut self, _info: &TaskFailureInfo) {
+                *self.2 += 1;
+            }
+        }
+        let r = Simulation::new(tb, 4, SchedulerKind::Mios)
+            .with_faults(&plan)
+            .run_with_observer(
+                &trace,
+                None,
+                &mut Hooks(&mut crash_hooks, &mut recover_hooks, &mut failure_hooks),
+            );
+        assert!(r.machine_crashes > 0, "{r:?}");
+        assert!(r.requeues > 0, "{r:?}");
+        assert_eq!(r.machine_crashes, crash_hooks);
+        assert_eq!(r.machine_recoveries, recover_hooks);
+        assert_eq!(r.task_failures, failure_hooks);
+        // Conservation: every arrival is completed, refused, abandoned,
+        // or still in the system (unfinished is non-negative by
+        // construction; check it exactly bounds the remainder).
+        assert_eq!(
+            r.arrived,
+            r.completed + r.refused + r.abandoned + r.unfinished()
+        );
+        // Run to completion with recoveries in the plan: nothing should
+        // be left unfinished unless every machine ended down.
+        assert!(
+            r.unfinished() == 0 || r.completed > 0,
+            "run(None) must make progress: {r:?}"
+        );
     }
 
     #[test]

@@ -25,6 +25,9 @@ pub(crate) struct Running {
     pub io_ops: f64,
     pub last_update: f64,
     pub version: u64,
+    /// Straggler rate divisor for this execution (1.0 = nominal); applied
+    /// to both work and I/O rates on every refresh.
+    pub slowdown: f64,
 }
 
 /// A validated task completion, with the realized measurements the
@@ -43,6 +46,11 @@ pub(crate) struct SlotState<'p> {
     slots: Vec<Option<Running>>,
     slots_per_machine: usize,
     perf: &'p PerfTable,
+    /// Last version used per slot. Versions are monotone per *slot*, not
+    /// per occupancy: a new task starts past every version its
+    /// predecessor used, so a completion event left over from a previous
+    /// occupant can never validate against the current one.
+    base_version: Vec<u64>,
 }
 
 impl<'p> SlotState<'p> {
@@ -51,6 +59,7 @@ impl<'p> SlotState<'p> {
             slots: vec![None; n_machines * slots_per_machine],
             slots_per_machine,
             perf,
+            base_version: vec![0; n_machines * slots_per_machine],
         }
     }
 
@@ -85,9 +94,17 @@ impl<'p> SlotState<'p> {
         self.slots[self.index(vm)].is_some()
     }
 
-    /// Starts a task on a free slot. The rate fields are placeholders
-    /// until the caller refreshes the slot.
-    pub fn place(&mut self, vm: VmRef, app_idx: usize, neighbor_at_start: usize, now: f64) {
+    /// Starts a task on a free slot with the given straggler `slowdown`
+    /// (1.0 = nominal). The rate fields are placeholders until the caller
+    /// refreshes the slot.
+    pub fn place(
+        &mut self,
+        vm: VmRef,
+        app_idx: usize,
+        neighbor_at_start: usize,
+        now: f64,
+        slowdown: f64,
+    ) {
         let idx = self.index(vm);
         debug_assert!(self.slots[idx].is_none(), "scheduler placed onto occupied slot");
         self.slots[idx] = Some(Running {
@@ -99,7 +116,8 @@ impl<'p> SlotState<'p> {
             iops_rate: 0.0,
             io_ops: 0.0,
             last_update: now,
-            version: 0,
+            version: self.base_version[idx],
+            slowdown,
         });
     }
 
@@ -116,9 +134,10 @@ impl<'p> SlotState<'p> {
             r.progress += r.rate * dt;
             r.io_ops += r.iops_rate * dt;
             r.last_update = now;
-            r.rate = self.perf.rate(r.app_idx, nb);
-            r.iops_rate = self.perf.iops(r.app_idx, nb);
+            r.rate = self.perf.rate(r.app_idx, nb) / r.slowdown;
+            r.iops_rate = self.perf.iops(r.app_idx, nb) / r.slowdown;
             r.version += 1;
+            self.base_version[idx] = r.version;
             let remaining = (1.0 - r.progress).max(0.0);
             let eta = now + remaining / r.rate.max(1e-12);
             events.push(
@@ -150,5 +169,14 @@ impl<'p> SlotState<'p> {
             runtime,
             avg_iops,
         })
+    }
+
+    /// Forcibly removes the task on `vm` (machine crash): its progress is
+    /// lost and any outstanding completion event goes stale because the
+    /// slot is empty and later occupants start past its version. Returns
+    /// the evicted entry, or `None` for a free slot.
+    pub fn evict(&mut self, vm: VmRef) -> Option<Running> {
+        let idx = self.index(vm);
+        self.slots[idx].take()
     }
 }

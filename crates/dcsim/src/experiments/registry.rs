@@ -8,8 +8,8 @@
 //! campaign.
 
 use super::{
-    ext_ablation, ext_adaptive, ext_density, ext_storage, fig10, fig11, fig12, fig3, fig4, fig5_6,
-    fig7, fig8, fig9, table1, ExperimentConfig,
+    ext_ablation, ext_adaptive, ext_density, ext_faults, ext_storage, fig10, fig11, fig12, fig3,
+    fig4, fig5_6, fig7, fig8, fig9, table1, ExperimentConfig,
 };
 use crate::setup::Testbed;
 use std::sync::OnceLock;
@@ -345,6 +345,28 @@ impl Experiment for ExtAdaptiveExp {
     }
 }
 
+struct ExtFaultsExp;
+impl Experiment for ExtFaultsExp {
+    fn name(&self) -> &'static str {
+        "ext_faults"
+    }
+    fn description(&self) -> &'static str {
+        "scheduler comparison under machine churn and task failures (extension)"
+    }
+    fn run(&self, cfg: &ExperimentConfig, testbed: &TestbedCache<'_>) -> Report {
+        let mut f_cfg = if is_small(cfg) {
+            ext_faults::ExtFaultsConfig::small()
+        } else {
+            ext_faults::ExtFaultsConfig::full()
+        };
+        f_cfg.seed = cfg.seed;
+        Report {
+            name: self.name(),
+            rendered: ext_faults::run(testbed.get(), &f_cfg).render(),
+        }
+    }
+}
+
 /// Every experiment of the evaluation, in the paper's presentation
 /// order (motivation, models, schedulers, scale, extensions).
 pub static REGISTRY: &[&dyn Experiment] = &[
@@ -362,6 +384,7 @@ pub static REGISTRY: &[&dyn Experiment] = &[
     &ExtDensityExp,
     &ExtAblationExp,
     &ExtAdaptiveExp,
+    &ExtFaultsExp,
 ];
 
 /// Looks an experiment up by its registry name.
@@ -380,7 +403,7 @@ mod tests {
             assert!(seen.insert(e.name()), "duplicate name {}", e.name());
             assert!(!e.description().is_empty(), "{} undescribed", e.name());
         }
-        assert_eq!(REGISTRY.len(), 14);
+        assert_eq!(REGISTRY.len(), 15);
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!   arrival traces,
 //! * [`engine`] — the event-driven simulation and the paper's metrics
 //!   (Speedup, IOBoost, normalized throughput),
+//! * [`faults`] — seeded, deterministic fault plans (machine MTTF/MTTR
+//!   churn, per-attempt task failures, stragglers) injected through the
+//!   event kernel,
 //! * [`experiments`] — one driver per table/figure of the evaluation.
 
 #![warn(missing_docs)]
@@ -21,6 +24,7 @@
 pub mod arrival;
 pub mod engine;
 pub mod experiments;
+pub mod faults;
 pub mod oracle;
 pub mod perf;
 pub mod setup;
@@ -28,8 +32,10 @@ pub mod setup;
 pub use arrival::{poisson_n, poisson_trace, static_batch, ArrivalEvent, WorkloadMix};
 pub use engine::{
     io_boost, normalized_throughput, speedup, AdaptiveObserver, ArrivalInfo, CompletionInfo,
-    PlacementInfo, SchedulerKind, SimObserver, SimResult, Simulation, TaskObservation,
+    MachineCrashInfo, PlacementInfo, SchedulerKind, SimObserver, SimResult, Simulation,
+    TaskFailureInfo, TaskObservation,
 };
+pub use faults::{FaultConfig, FaultPlan, MachineFaultEvent};
 pub use oracle::oracle_predictor;
 pub use perf::{PerfTable, IDLE};
 pub use setup::{Testbed, TestbedConfig};

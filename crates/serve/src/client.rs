@@ -59,6 +59,13 @@ impl Client {
         self.read_line()
     }
 
+    /// Write raw bytes without a newline or reply read — the chaos
+    /// harness uses this to abandon a partial frame before killing the
+    /// connection.
+    pub fn send_raw_bytes(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
     fn read_line(&mut self) -> std::io::Result<String> {
         let mut chunk = [0u8; 4096];
         loop {

@@ -13,7 +13,7 @@
 use std::io::{ErrorKind as IoErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -70,6 +70,17 @@ pub struct DaemonHandle {
     conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
+/// Lock the service even if a connection thread died mid-update: the
+/// core's invariants are re-established before every unlock, so a
+/// poisoned mutex carries usable state — refusing to serve would turn
+/// one dead thread into a dead daemon.
+fn lock_service<'a>(service: &'a Arc<Mutex<Service>>) -> MutexGuard<'a, Service> {
+    match service.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
 impl DaemonHandle {
     /// The shared metrics registry (for in-process inspection).
     pub fn metrics(&self) -> &Arc<Metrics> {
@@ -95,13 +106,22 @@ impl DaemonHandle {
     /// Panics if any thread panicked, which would mean a protocol line
     /// escaped the decode layer's totality guarantee.
     pub fn join(mut self) {
+        let mut panicked = 0usize;
         for handle in self.core_threads.drain(..) {
-            handle.join().expect("daemon core thread panicked");
+            if handle.join().is_err() {
+                panicked += 1;
+            }
         }
-        let mut conns = self.conn_threads.lock().unwrap();
+        let mut conns = match self.conn_threads.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
         for handle in conns.drain(..) {
-            handle.join().expect("daemon connection thread panicked");
+            if handle.join().is_err() {
+                panicked += 1;
+            }
         }
+        assert!(panicked == 0, "{panicked} daemon thread(s) panicked");
     }
 }
 
@@ -109,7 +129,14 @@ impl DaemonHandle {
 /// ticker, and return once the ports are live.
 pub fn start(testbed: &Testbed, cfg: ServeConfig, net: NetConfig) -> std::io::Result<DaemonHandle> {
     let metrics = Arc::new(Metrics::new());
-    let service = Arc::new(Mutex::new(Service::new(testbed, cfg, Arc::clone(&metrics))));
+    // `open` recovers queue/in-flight state from the WAL when
+    // `cfg.wal_dir` is set; without it this is plain in-memory `new`.
+    let service = Arc::new(Mutex::new(Service::open(
+        testbed,
+        cfg,
+        Arc::clone(&metrics),
+        Instant::now(),
+    )?));
     let shutdown = Arc::new(AtomicBool::new(false));
     let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
@@ -141,7 +168,10 @@ pub fn start(testbed: &Testbed, cfg: ServeConfig, net: NetConfig) -> std::io::Re
                         let handle = std::thread::spawn(move || {
                             serve_connection(stream, &service, &metrics, &shutdown, &net);
                         });
-                        conn_threads.lock().unwrap().push(handle);
+                        match conn_threads.lock() {
+                            Ok(mut guard) => guard.push(handle),
+                            Err(poisoned) => poisoned.into_inner().push(handle),
+                        }
                     }
                     Err(e) if e.kind() == IoErrorKind::WouldBlock => std::thread::sleep(tick),
                     Err(_) => std::thread::sleep(tick),
@@ -174,7 +204,7 @@ pub fn start(testbed: &Testbed, cfg: ServeConfig, net: NetConfig) -> std::io::Re
         core_threads.push(std::thread::spawn(move || {
             while !shutdown.load(Ordering::SeqCst) {
                 {
-                    let mut svc = service.lock().unwrap();
+                    let mut svc = lock_service(&service);
                     svc.tick(Instant::now());
                     if svc.drained() {
                         shutdown.store(true, Ordering::SeqCst);
@@ -197,8 +227,12 @@ pub fn start(testbed: &Testbed, cfg: ServeConfig, net: NetConfig) -> std::io::Re
 }
 
 /// Per-connection loop: accumulate bytes, peel complete lines, answer
-/// each one. Returns (closing the connection) on EOF, idle timeout, an
-/// over-long line, a write failure, or daemon shutdown.
+/// each one. The buffer is bounded: a frame longer than
+/// `net.max_line_bytes` gets one structured `frame-too-large` error and
+/// the rest of that line is discarded without ever being buffered, so a
+/// misbehaving client can neither grow daemon memory nor kill its own
+/// connection mid-pipeline. Returns (closing the connection) on EOF,
+/// idle timeout, a write failure, or daemon shutdown.
 fn serve_connection(
     mut stream: TcpStream,
     service: &Arc<Mutex<Service>>,
@@ -219,6 +253,9 @@ fn serve_connection(
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
     let mut last_activity = Instant::now();
+    // True while skipping the tail of an oversized frame (the error reply
+    // for it has already been written).
+    let mut discarding = false;
     loop {
         if shutdown.load(Ordering::SeqCst) {
             return;
@@ -227,8 +264,46 @@ fn serve_connection(
             Ok(0) => return,
             Ok(count) => {
                 buf.extend_from_slice(&chunk[..count]);
-                while let Some(newline) = buf.iter().position(|b| *b == b'\n') {
+                loop {
+                    let Some(newline) = buf.iter().position(|b| *b == b'\n') else {
+                        if discarding {
+                            buf.clear();
+                        } else if buf.len() > net.max_line_bytes {
+                            let reply = Reply::error(
+                                None,
+                                ErrorKind::FrameTooLarge,
+                                format!(
+                                    "request line exceeds {} bytes; discarding until newline",
+                                    net.max_line_bytes
+                                ),
+                            );
+                            metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                            if write_reply(&mut stream, &reply).is_err() {
+                                return;
+                            }
+                            buf.clear();
+                            discarding = true;
+                        }
+                        break;
+                    };
                     let line_bytes: Vec<u8> = buf.drain(..=newline).collect();
+                    if discarding {
+                        // Tail of an already-rejected oversized frame.
+                        discarding = false;
+                        continue;
+                    }
+                    if line_bytes.len() > net.max_line_bytes {
+                        let reply = Reply::error(
+                            None,
+                            ErrorKind::FrameTooLarge,
+                            format!("request line exceeds {} bytes", net.max_line_bytes),
+                        );
+                        metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        if write_reply(&mut stream, &reply).is_err() {
+                            return;
+                        }
+                        continue;
+                    }
                     let line = String::from_utf8_lossy(&line_bytes);
                     let line = line.trim_end_matches(['\n', '\r']).trim();
                     if line.is_empty() {
@@ -239,16 +314,6 @@ fn serve_connection(
                     if write_reply(&mut stream, &reply).is_err() {
                         return;
                     }
-                }
-                if buf.len() > net.max_line_bytes {
-                    let reply = Reply::error(
-                        None,
-                        ErrorKind::Malformed,
-                        format!("request line exceeds {} bytes", net.max_line_bytes),
-                    );
-                    metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                    let _ = write_reply(&mut stream, &reply);
-                    return;
                 }
             }
             Err(e)
@@ -287,7 +352,7 @@ fn handle_line(
     };
     let id = envelope.id.clone();
     let now = Instant::now();
-    let mut svc = service.lock().unwrap();
+    let mut svc = lock_service(service);
     let reply = match envelope.request {
         Request::Submit { app } => match svc.submit(&app, now) {
             Ok(admitted) => {
@@ -341,6 +406,7 @@ fn handle_line(
                         neighbor,
                         predicted_score,
                         predicted_runtime,
+                        ..
                     } => {
                         pairs.push(("state", s("running")));
                         pairs.push(("machine", n(vm.machine as f64)));
@@ -354,10 +420,15 @@ fn handle_line(
                         ));
                         pairs.push(("predicted_score", n(*predicted_score)));
                         pairs.push(("predicted_runtime", n(*predicted_runtime)));
+                        pairs.push(("attempt", n(f64::from(record.attempts))));
                     }
                     TaskPhase::Completed { runtime } => {
                         pairs.push(("state", s("completed")));
                         pairs.push(("runtime", n(*runtime)));
+                    }
+                    TaskPhase::DeadLettered { attempts } => {
+                        pairs.push(("state", s("dead_lettered")));
+                        pairs.push(("attempts", n(f64::from(*attempts))));
                     }
                 }
                 Reply::ok(id, obj(pairs))
@@ -374,6 +445,7 @@ fn handle_line(
                 obj(vec![
                     ("draining", Value::Bool(true)),
                     ("queued", n(snapshot.queued as f64)),
+                    ("delayed", n(snapshot.delayed as f64)),
                     ("running", n(snapshot.running as f64)),
                 ]),
             )
@@ -422,8 +494,10 @@ fn status_value(svc: &Service) -> Value {
         ("apps", apps),
         ("scheduler", s(snapshot.scheduler)),
         ("queued", n(snapshot.queued as f64)),
+        ("delayed", n(snapshot.delayed as f64)),
         ("running", n(snapshot.running as f64)),
         ("completed", n(snapshot.completed as f64)),
+        ("dead_lettered", n(snapshot.dead_lettered as f64)),
         ("admitted", n(snapshot.admitted as f64)),
         ("rejected", n(snapshot.rejected as f64)),
         ("rebuilds", n(snapshot.rebuilds as f64)),
@@ -444,8 +518,15 @@ fn serve_http(mut stream: TcpStream, service: &Arc<Mutex<Service>>, metrics: &Ar
         .ok();
     let mut buf = Vec::new();
     let mut chunk = [0u8; 1024];
-    // Read until the header terminator; these are tiny GET requests.
+    // Read until the header terminator; these are tiny GET requests. The
+    // hard deadline reaps clients that trickle bytes to dodge the read
+    // timeout — this loop runs inline in the accept thread, so one slow
+    // connection must never stall /healthz for everyone else.
+    let deadline = Instant::now() + Duration::from_millis(2_000);
     loop {
+        if Instant::now() > deadline {
+            return;
+        }
         match stream.read(&mut chunk) {
             Ok(0) => break,
             Ok(count) => {
@@ -465,7 +546,7 @@ fn serve_http(mut stream: TcpStream, service: &Arc<Mutex<Service>>, metrics: &Ar
         .unwrap_or("");
     let (status, content_type, body) = match path {
         "/healthz" => {
-            let draining = service.lock().unwrap().draining();
+            let draining = lock_service(service).draining();
             (
                 "200 OK",
                 "application/json",

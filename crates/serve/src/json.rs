@@ -344,7 +344,10 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, ParseError> {
                 // are guaranteed valid).
                 let rest = std::str::from_utf8(&bytes[*pos..])
                     .map_err(|_| err(*pos, "invalid utf-8"))?;
-                let c = rest.chars().next().unwrap();
+                let c = rest
+                    .chars()
+                    .next()
+                    .ok_or_else(|| err(*pos, "truncated string"))?;
                 if (c as u32) < 0x20 {
                     return Err(err(*pos, "raw control character in string"));
                 }

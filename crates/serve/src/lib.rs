@@ -23,9 +23,17 @@
 //!   ticker; every thread is joined on shutdown.
 //! * [`client`] — a small blocking protocol client.
 //! * [`loadgen`] — open-/closed-loop Poisson load generation with
-//!   throughput and latency-percentile reporting.
+//!   throughput and latency-percentile reporting, plus a chaos mode that
+//!   attacks the daemon (killed connections, garbage bytes, partial
+//!   frames) while asserting task conservation.
+//! * [`wal`] — the append-only, checksummed write-ahead log and snapshot
+//!   compaction behind crash recovery.
 
 #![warn(missing_docs)]
+// The daemon request path must never panic on client input or I/O: a
+// panicking connection thread poisons the service mutex for everyone.
+// Unit tests (cfg(test)) keep their unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod client;
 pub mod daemon;
@@ -34,13 +42,15 @@ pub mod loadgen;
 pub mod metrics;
 pub mod proto;
 pub mod state;
+pub mod wal;
 
 pub use client::Client;
 pub use daemon::{start, DaemonHandle, NetConfig};
-pub use loadgen::{LoadMode, LoadgenConfig, LoadgenReport};
+pub use loadgen::{run_chaos, ChaosConfig, ChaosReport, LoadMode, LoadgenConfig, LoadgenReport};
 pub use metrics::Metrics;
 pub use proto::{
     decode_reply, decode_request, encode_reply, encode_request, Envelope, ErrorKind, Reply,
     Request, PROTOCOL_VERSION,
 };
 pub use state::{Refusal, SchedKind, ServeConfig, Service, StatusSnapshot, TaskPhase};
+pub use wal::{RecState, RecoveredTask, Recovery, Wal, WalRecord};

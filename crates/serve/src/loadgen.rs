@@ -347,6 +347,403 @@ fn exec_us(cfg: &LoadgenConfig, predicted_runtime_s: f64) -> u64 {
     (ms * 1_000.0) as u64
 }
 
+// ---------------------------------------------------------------------------
+// Chaos mode
+// ---------------------------------------------------------------------------
+
+/// Knobs for the adversarial load mode (`tracon loadgen --chaos`).
+///
+/// Instead of maximizing clean throughput, chaos mode attacks the daemon
+/// while submitting real work: it kills its own connections, abandons
+/// partial frames, injects garbage and oversized lines, deliberately
+/// orphans placed tasks so the lease machinery must reclaim them, and
+/// tolerates the daemon itself dying mid-run by failing over across
+/// `addrs` (a restarted daemon recovers from its WAL, possibly on a new
+/// port). Throughout and at the end it checks the task-conservation
+/// invariant from the daemon's own `status` counters: every admitted task
+/// is exactly one of queued/delayed/running/completed/dead-lettered.
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// Daemon addresses in failover order; reconnects try each in turn.
+    pub addrs: Vec<String>,
+    /// Submits to attempt.
+    pub requests: usize,
+    /// Seed for app choice, measurements, and probe scheduling.
+    pub seed: u64,
+    /// Kill and re-open the connection every N submits (0 disables).
+    pub kill_every: usize,
+    /// Send a garbage (non-JSON) line every N submits (0 disables).
+    pub garbage_every: usize,
+    /// Abandon a partial frame and kill the connection every N submits.
+    pub partial_every: usize,
+    /// Send an oversized (>64 KiB) line every N submits (0 disables).
+    pub oversized_every: usize,
+    /// Orphan (never complete) every Nth placed task, leaving it to the
+    /// daemon's lease expiry / dead-letter machinery (0 disables).
+    pub orphan_every: usize,
+    /// How long to wait at the end for the daemon to settle (all
+    /// non-terminal tasks resolved by completion or dead-lettering).
+    pub settle_timeout_ms: u64,
+    /// Total time budget for one reconnect (covers a daemon restart).
+    pub reconnect_timeout_ms: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            addrs: Vec::new(),
+            requests: 200,
+            seed: 0xC4A0,
+            kill_every: 17,
+            garbage_every: 13,
+            partial_every: 29,
+            oversized_every: 41,
+            orphan_every: 7,
+            settle_timeout_ms: 30_000,
+            reconnect_timeout_ms: 15_000,
+        }
+    }
+}
+
+/// What a chaos run observed. `conservation_violations == 0` and
+/// `settled` are the pass criteria; everything else is color.
+#[derive(Clone, Debug, Default)]
+pub struct ChaosReport {
+    /// Submits acknowledged (admitted) by the daemon.
+    pub acked_submits: usize,
+    /// Submits whose reply was lost to a dead connection; the daemon may
+    /// or may not have admitted them (they are never retried — the
+    /// server-side invariant covers both outcomes).
+    pub ambiguous_submits: usize,
+    /// Backpressure rejections (not retried in chaos mode).
+    pub backpressure: usize,
+    /// Completions acknowledged.
+    pub completions_acked: usize,
+    /// Completions refused (task no longer running: lease expired or the
+    /// daemon restarted and requeued it) — expected under chaos.
+    pub completion_refusals: usize,
+    /// Completion replies lost to a dead connection.
+    pub ambiguous_completes: usize,
+    /// Placed tasks deliberately never completed.
+    pub orphaned: usize,
+    /// Garbage lines sent and answered with a structured error.
+    pub garbage_probes: usize,
+    /// Oversized lines sent and answered with `frame-too-large`.
+    pub oversized_probes: usize,
+    /// Partial frames abandoned mid-write.
+    pub partial_frames: usize,
+    /// Connections killed by the generator.
+    pub connection_kills: usize,
+    /// Successful (re)connects, including the first.
+    pub reconnects: usize,
+    /// Probe replies that were not the expected structured error.
+    pub unexpected_replies: usize,
+    /// Conservation checks performed against `status`.
+    pub conservation_checks: usize,
+    /// Checks where admitted != completed+dead_lettered+queued+delayed+running.
+    pub conservation_violations: usize,
+    /// Whether all work reached a terminal state within the settle window.
+    pub settled: bool,
+    /// Final daemon counters (admitted, completed, dead-lettered).
+    pub final_counts: (u64, u64, u64),
+}
+
+impl ChaosReport {
+    /// Whether the run satisfied the invariant and fully settled.
+    pub fn passed(&self) -> bool {
+        self.conservation_violations == 0 && self.settled && self.conservation_checks > 0
+    }
+
+    /// Render the human-readable summary the CLI prints.
+    pub fn render(&self) -> String {
+        format!(
+            "chaos: {} submits acked ({} ambiguous, {} backpressure), \
+             {} completions ({} refused, {} ambiguous), {} orphaned\n\
+             probes: {} garbage, {} oversized, {} partial frames, {} kills, {} reconnects, {} unexpected replies\n\
+             conservation: {}/{} checks ok, settled: {} \
+             (admitted {}, completed {}, dead-lettered {})\n\
+             verdict: {}\n",
+            self.acked_submits,
+            self.ambiguous_submits,
+            self.backpressure,
+            self.completions_acked,
+            self.completion_refusals,
+            self.ambiguous_completes,
+            self.orphaned,
+            self.garbage_probes,
+            self.oversized_probes,
+            self.partial_frames,
+            self.connection_kills,
+            self.reconnects,
+            self.unexpected_replies,
+            self.conservation_checks - self.conservation_violations,
+            self.conservation_checks,
+            self.settled,
+            self.final_counts.0,
+            self.final_counts.1,
+            self.final_counts.2,
+            if self.passed() { "PASS" } else { "FAIL" },
+        )
+    }
+}
+
+/// One parsed `status` reply, server-side counters only.
+struct WireStatus {
+    queued: u64,
+    delayed: u64,
+    running: u64,
+    completed: u64,
+    dead_lettered: u64,
+    admitted: u64,
+}
+
+impl WireStatus {
+    fn conserved(&self) -> bool {
+        self.admitted
+            == self.completed + self.dead_lettered + self.queued + self.delayed + self.running
+    }
+
+    fn outstanding(&self) -> u64 {
+        self.queued + self.delayed + self.running
+    }
+}
+
+fn connect_failover(
+    addrs: &[String],
+    timeout_ms: u64,
+    reconnects: &mut usize,
+) -> Result<Client, String> {
+    let deadline = Instant::now() + Duration::from_millis(timeout_ms.max(1));
+    loop {
+        for addr in addrs {
+            if let Ok(client) = Client::connect_with_timeout(addr, Duration::from_secs(2)) {
+                *reconnects += 1;
+                return Ok(client);
+            }
+        }
+        if Instant::now() > deadline {
+            return Err(format!("no daemon reachable at any of {addrs:?}"));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn wire_status(client: &mut Client) -> Result<WireStatus, String> {
+    let reply = client
+        .request(Request::Status)
+        .map_err(|e| format!("status: {e}"))?;
+    let Reply::Ok { result, .. } = reply else {
+        return Err("status request failed".to_string());
+    };
+    let field = |key: &str| -> Result<u64, String> {
+        result
+            .get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("status reply missing '{key}'"))
+    };
+    Ok(WireStatus {
+        queued: field("queued")?,
+        delayed: field("delayed")?,
+        running: field("running")?,
+        completed: field("completed")?,
+        dead_lettered: field("dead_lettered")?,
+        admitted: field("admitted")?,
+    })
+}
+
+/// Run the chaos generator. A transport-level `Err` means the daemon
+/// stayed unreachable past the failover budget; an `Ok` report must still
+/// be checked with [`ChaosReport::passed`].
+pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
+    if cfg.addrs.is_empty() {
+        return Err("chaos mode needs at least one daemon address".to_string());
+    }
+    if cfg.requests == 0 {
+        return Err("chaos mode needs at least one request".to_string());
+    }
+    let mut report = ChaosReport::default();
+    let reconnect =
+        |reconnects: &mut usize| connect_failover(&cfg.addrs, cfg.reconnect_timeout_ms, reconnects);
+    let mut client = reconnect(&mut report.reconnects)?;
+    let apps = fetch_apps(&mut client)?;
+    if apps.is_empty() {
+        return Err("daemon reports no profiled applications".to_string());
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Placed tasks awaiting a synthesized completion: (task, predicted_runtime).
+    let mut pending: Vec<(u64, f64)> = Vec::new();
+    let mut placed_seen = 0usize;
+
+    let every = |n: usize, i: usize| n > 0 && i % n == n - 1;
+    for i in 0..cfg.requests {
+        if every(cfg.kill_every, i) {
+            report.connection_kills += 1;
+            client = reconnect(&mut report.reconnects)?;
+        }
+        if every(cfg.partial_every, i) {
+            // Leave a torn frame on the wire, then vanish.
+            let _ = client.send_raw_bytes(b"{\"v\":1,\"op\":\"subm");
+            report.partial_frames += 1;
+            report.connection_kills += 1;
+            client = reconnect(&mut report.reconnects)?;
+        }
+        if every(cfg.garbage_every, i) {
+            match client.raw_roundtrip("\u{1}garbage ][ not json \u{7f}") {
+                Ok(line) => {
+                    report.garbage_probes += 1;
+                    if !matches!(crate::proto::decode_reply(&line), Ok(Reply::Error { .. })) {
+                        report.unexpected_replies += 1;
+                    }
+                }
+                Err(_) => {
+                    client = reconnect(&mut report.reconnects)?;
+                }
+            }
+        }
+        if every(cfg.oversized_every, i) {
+            let big = "x".repeat(80 * 1024);
+            match client.raw_roundtrip(&big) {
+                Ok(line) => {
+                    report.oversized_probes += 1;
+                    let ok = matches!(
+                        crate::proto::decode_reply(&line),
+                        Ok(Reply::Error {
+                            kind: ErrorKind::FrameTooLarge,
+                            ..
+                        })
+                    );
+                    if !ok {
+                        report.unexpected_replies += 1;
+                    }
+                }
+                Err(_) => {
+                    client = reconnect(&mut report.reconnects)?;
+                }
+            }
+        }
+
+        let app = apps[rng.gen_range(0..apps.len())].clone();
+        match client.request(Request::Submit { app }) {
+            Ok(Reply::Ok { result, .. }) => {
+                report.acked_submits += 1;
+                if result.get("state").and_then(Value::as_str) == Some("placed") {
+                    if let Some(task) = result.get("task").and_then(Value::as_u64) {
+                        placed_seen += 1;
+                        if every(cfg.orphan_every, placed_seen - 1) {
+                            // Never complete this one: the lease must
+                            // reclaim it (requeue, then dead-letter).
+                            report.orphaned += 1;
+                        } else {
+                            let predicted = result
+                                .get("predicted_runtime")
+                                .and_then(Value::as_f64)
+                                .unwrap_or(1.0);
+                            pending.push((task, predicted));
+                        }
+                    }
+                }
+            }
+            Ok(Reply::Error {
+                kind: ErrorKind::Backpressure,
+                ..
+            }) => report.backpressure += 1,
+            Ok(Reply::Error {
+                kind: ErrorKind::Draining,
+                ..
+            }) => break,
+            Ok(Reply::Error { .. }) => report.unexpected_replies += 1,
+            Err(_) => {
+                // The reply is gone; the admission may have landed. Never
+                // retried — the server-side invariant covers both fates.
+                report.ambiguous_submits += 1;
+                client = reconnect(&mut report.reconnects)?;
+            }
+        }
+
+        // Keep completions flowing so the cluster does not clog: report
+        // all but the freshest couple, which stay in flight as churn.
+        while pending.len() > 2 {
+            let (task, predicted) = pending.remove(0);
+            let runtime = predicted.max(0.05) * rng.gen_range(0.85..1.15);
+            let iops = rng.gen_range(40.0..240.0);
+            let complete = Request::Complete {
+                task,
+                runtime,
+                iops,
+            };
+            match client.request(complete) {
+                Ok(Reply::Ok { .. }) => report.completions_acked += 1,
+                Ok(Reply::Error { .. }) => report.completion_refusals += 1,
+                Err(_) => {
+                    report.ambiguous_completes += 1;
+                    client = reconnect(&mut report.reconnects)?;
+                }
+            }
+        }
+
+        if i % 10 == 9 {
+            match wire_status(&mut client) {
+                Ok(st) => {
+                    report.conservation_checks += 1;
+                    if !st.conserved() {
+                        report.conservation_violations += 1;
+                    }
+                }
+                Err(_) => {
+                    client = reconnect(&mut report.reconnects)?;
+                }
+            }
+        }
+    }
+
+    // Flush remaining completions best-effort.
+    for (task, predicted) in pending.drain(..) {
+        let runtime = predicted.max(0.05) * rng.gen_range(0.85..1.15);
+        let iops = rng.gen_range(40.0..240.0);
+        let complete = Request::Complete {
+            task,
+            runtime,
+            iops,
+        };
+        match client.request(complete) {
+            Ok(Reply::Ok { .. }) => report.completions_acked += 1,
+            Ok(Reply::Error { .. }) => report.completion_refusals += 1,
+            Err(_) => {
+                report.ambiguous_completes += 1;
+                client = reconnect(&mut report.reconnects)?;
+            }
+        }
+    }
+
+    // Settle: wait for the daemon to resolve every non-terminal task —
+    // orphans and requeues drain through lease expiry into completion or
+    // the dead-letter queue. Each poll is also a conservation check.
+    let deadline = Instant::now() + Duration::from_millis(cfg.settle_timeout_ms.max(1));
+    loop {
+        match wire_status(&mut client) {
+            Ok(st) => {
+                report.conservation_checks += 1;
+                if !st.conserved() {
+                    report.conservation_violations += 1;
+                }
+                report.final_counts = (st.admitted, st.completed, st.dead_lettered);
+                if st.outstanding() == 0 {
+                    report.settled = true;
+                    break;
+                }
+            }
+            Err(_) => {
+                client = reconnect(&mut report.reconnects)?;
+            }
+        }
+        if Instant::now() > deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    Ok(report)
+}
+
 fn fetch_apps(client: &mut Client) -> Result<Vec<String>, String> {
     let reply = client
         .request(Request::Status)

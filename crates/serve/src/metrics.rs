@@ -30,6 +30,22 @@ pub struct Metrics {
     pub predictor_swaps: AtomicU64,
     /// Lines that failed to decode into a request.
     pub protocol_errors: AtomicU64,
+    /// Leases that expired before a completion was reported.
+    pub lease_expiries: AtomicU64,
+    /// Tasks re-queued (with backoff) after a lease expiry.
+    pub requeues: AtomicU64,
+    /// Tasks moved to the dead-letter queue after exhausting attempts.
+    pub dead_letters: AtomicU64,
+    /// Records appended to the write-ahead log.
+    pub wal_records: AtomicU64,
+    /// Records replayed from the log during crash recovery.
+    pub wal_replayed_records: AtomicU64,
+    /// Snapshot compactions written.
+    pub wal_snapshots: AtomicU64,
+    /// WAL append/snapshot failures (the daemon degrades to in-memory).
+    pub wal_errors: AtomicU64,
+    /// Adaptive model rebuilds that failed; the last-good predictor stays.
+    pub rebuild_failures: AtomicU64,
     /// Current admission queue depth (gauge).
     pub queue_depth: AtomicU64,
     /// Currently running (placed, not yet completed) tasks (gauge).
@@ -117,6 +133,54 @@ impl Metrics {
             "Request lines that failed to decode.",
             self.protocol_errors.load(Ordering::Relaxed),
         );
+        counter(
+            &mut out,
+            "lease_expiries_total",
+            "Task leases that expired before a completion was reported.",
+            self.lease_expiries.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "requeues_total",
+            "Tasks re-queued with backoff after a lease expiry.",
+            self.requeues.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "dead_letters_total",
+            "Tasks dead-lettered after exhausting their attempts.",
+            self.dead_letters.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "wal_records_total",
+            "Records appended to the write-ahead log.",
+            self.wal_records.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "wal_replayed_records_total",
+            "Log records replayed during crash recovery.",
+            self.wal_replayed_records.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "wal_snapshots_total",
+            "Snapshot compactions written.",
+            self.wal_snapshots.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "wal_errors_total",
+            "WAL append or snapshot failures.",
+            self.wal_errors.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "rebuild_failures_total",
+            "Adaptive model rebuilds that failed (last-good predictor kept).",
+            self.rebuild_failures.load(Ordering::Relaxed),
+        );
         gauge(
             &mut out,
             "queue_depth",
@@ -170,6 +234,35 @@ mod tests {
         assert!(text.contains("le=\"5\"} 2"), "{text}");
         assert!(text.contains("le=\"+Inf\"} 3"), "{text}");
         assert!(text.contains("dispatch_latency_seconds_count 3"), "{text}");
+    }
+
+    /// Pins the wire names of the fault/recovery series: dashboards and
+    /// the CI chaos job grep for these exact strings, so renaming one is
+    /// a breaking change that must fail here first.
+    #[test]
+    fn fault_and_recovery_metric_names_are_pinned() {
+        let m = Metrics::new();
+        m.lease_expiries.fetch_add(1, Ordering::Relaxed);
+        m.requeues.fetch_add(2, Ordering::Relaxed);
+        m.dead_letters.fetch_add(3, Ordering::Relaxed);
+        m.wal_records.fetch_add(4, Ordering::Relaxed);
+        m.wal_replayed_records.fetch_add(5, Ordering::Relaxed);
+        m.wal_snapshots.fetch_add(6, Ordering::Relaxed);
+        m.wal_errors.fetch_add(7, Ordering::Relaxed);
+        m.rebuild_failures.fetch_add(8, Ordering::Relaxed);
+        let text = m.render_prometheus();
+        for pinned in [
+            "tracond_lease_expiries_total 1",
+            "tracond_requeues_total 2",
+            "tracond_dead_letters_total 3",
+            "tracond_wal_records_total 4",
+            "tracond_wal_replayed_records_total 5",
+            "tracond_wal_snapshots_total 6",
+            "tracond_wal_errors_total 7",
+            "tracond_rebuild_failures_total 8",
+        ] {
+            assert!(text.contains(pinned), "missing series: {pinned}\n{text}");
+        }
     }
 
     #[test]

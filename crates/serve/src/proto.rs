@@ -71,6 +71,9 @@ pub enum ErrorKind {
     UnknownApp,
     /// The task id names no known task.
     UnknownTask,
+    /// The request line exceeded the daemon's frame bound; the rest of
+    /// the line is discarded but the connection stays open.
+    FrameTooLarge,
 }
 
 impl ErrorKind {
@@ -85,6 +88,7 @@ impl ErrorKind {
             ErrorKind::Draining => "draining",
             ErrorKind::UnknownApp => "unknown-app",
             ErrorKind::UnknownTask => "unknown-task",
+            ErrorKind::FrameTooLarge => "frame-too-large",
         }
     }
 
@@ -99,6 +103,7 @@ impl ErrorKind {
             "draining" => ErrorKind::Draining,
             "unknown-app" => ErrorKind::UnknownApp,
             "unknown-task" => ErrorKind::UnknownTask,
+            "frame-too-large" => ErrorKind::FrameTooLarge,
             _ => return None,
         })
     }
@@ -450,6 +455,7 @@ mod tests {
             ErrorKind::Draining,
             ErrorKind::UnknownApp,
             ErrorKind::UnknownTask,
+            ErrorKind::FrameTooLarge,
         ] {
             assert_eq!(ErrorKind::from_str(kind.as_str()), Some(kind));
         }

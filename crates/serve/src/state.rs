@@ -1,5 +1,6 @@
 //! The daemon's scheduling brain: bounded admission, wall-clock dispatch,
-//! and live model adaptation, all behind one mutex.
+//! task leases with retry/backoff, and live model adaptation, all behind
+//! one mutex.
 //!
 //! [`Service`] owns the pieces the simulator normally drives on virtual
 //! time — a [`ClusterState`], a [`Scheduler`], a [`ScoringPolicy`], and an
@@ -10,10 +11,27 @@
 //! reported by clients feed the drift monitor, and a triggered rebuild
 //! swaps the scoring policy in place, exactly like the simulator's
 //! adaptive arm but against live traffic.
+//!
+//! Failure handling (DESIGN.md §9): every placement carries a lease
+//! deadline scaled by the predicted runtime. A lease that expires without
+//! a completion frees the slot and re-queues the task after an
+//! exponential, jittered backoff; after `max_attempts` the task moves to
+//! the dead-letter queue instead of cycling forever. With a WAL directory
+//! configured, every transition is logged through [`crate::wal`] before
+//! the client sees the reply, so a `kill -9`'d daemon reconstructs its
+//! queue, in-flight set, and counters on restart — tasks leased at the
+//! time of the crash are requeued (the executor died with the daemon) and
+//! the interrupted attempt counts against their budget. A failed adaptive
+//! rebuild does not take the daemon down either: the panic is contained,
+//! the last-good predictor keeps serving placements, and the failure is
+//! surfaced as `tracond_rebuild_failures_total`.
 
-use std::collections::{HashMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use tracon_core::{
     AppId, ClusterState, Mibs, Mios, Mix, ModelKind, MonitorConfig, Objective, Scheduler,
@@ -23,6 +41,7 @@ use tracon_dcsim::setup::training_data;
 use tracon_dcsim::{AdaptiveObserver, SimObserver, Testbed, IDLE};
 
 use crate::metrics::Metrics;
+use crate::wal::{RecState, RecoveredTask, Recovery, Wal, WalRecord};
 
 /// Which scheduler the daemon runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -92,6 +111,20 @@ pub struct ServeConfig {
     pub retry_after_ms: u64,
     /// Live monitor configuration (rebuild cadence, drift thresholds).
     pub monitor: MonitorConfig,
+    /// Fixed part of every completion lease.
+    pub lease_base_ms: u64,
+    /// Lease extension per predicted second of runtime.
+    pub lease_per_predicted_s_ms: u64,
+    /// Executions (initial + retries) before a task is dead-lettered.
+    pub max_attempts: u32,
+    /// First requeue backoff; doubles per attempt.
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling.
+    pub backoff_cap_ms: u64,
+    /// Write-ahead-log directory; `None` runs in-memory only.
+    pub wal_dir: Option<PathBuf>,
+    /// WAL records between snapshot compactions.
+    pub wal_snapshot_every: u64,
 }
 
 impl Default for ServeConfig {
@@ -106,6 +139,13 @@ impl Default for ServeConfig {
             batch_deadline_ms: 100,
             retry_after_ms: 50,
             monitor: MonitorConfig::default(),
+            lease_base_ms: 30_000,
+            lease_per_predicted_s_ms: 2_000,
+            max_attempts: 5,
+            backoff_base_ms: 100,
+            backoff_cap_ms: 5_000,
+            wal_dir: None,
+            wal_snapshot_every: 4096,
         }
     }
 }
@@ -113,7 +153,9 @@ impl Default for ServeConfig {
 /// Where a task is in its lifecycle.
 #[derive(Clone, Debug, PartialEq)]
 pub enum TaskPhase {
-    /// Admitted, waiting in the queue.
+    /// Admitted, waiting in the queue (or backing off after a lease
+    /// expiry; the two are distinguished by the delayed heap, not the
+    /// phase).
     Queued,
     /// Placed on a VM and presumed executing.
     Running {
@@ -125,11 +167,18 @@ pub enum TaskPhase {
         predicted_score: f64,
         /// Model-predicted runtime (seconds) at placement time.
         predicted_runtime: f64,
+        /// When the lease expires if no completion is reported.
+        lease_deadline: Instant,
     },
     /// Completion reported by a client.
     Completed {
         /// Client-measured runtime in seconds.
         runtime: f64,
+    },
+    /// Exhausted its attempt budget; parked in the dead-letter queue.
+    DeadLettered {
+        /// Attempts consumed.
+        attempts: u32,
     },
 }
 
@@ -144,6 +193,9 @@ pub struct TaskRecord {
     pub phase: TaskPhase,
     /// When the submit was admitted.
     pub submitted: Instant,
+    /// Failed executions so far (lease expiries; a reported completion
+    /// never increments this).
+    pub attempts: u32,
 }
 
 /// Why a request was refused; the daemon maps these onto protocol errors.
@@ -200,10 +252,14 @@ pub struct Completed {
 pub struct StatusSnapshot {
     /// Tasks waiting in the admission queue.
     pub queued: usize,
+    /// Tasks backing off after a lease expiry, not yet re-queued.
+    pub delayed: usize,
     /// Tasks placed and not yet completed.
     pub running: usize,
     /// Tasks completed so far.
     pub completed: u64,
+    /// Tasks dead-lettered so far.
+    pub dead_lettered: u64,
     /// Total admissions.
     pub admitted: u64,
     /// Total backpressure rejections.
@@ -222,6 +278,18 @@ pub struct StatusSnapshot {
     pub scheduler: &'static str,
 }
 
+impl StatusSnapshot {
+    /// The task-conservation invariant: every admitted task is in exactly
+    /// one of queued/delayed/running/completed/dead-lettered. The chaos
+    /// harness asserts this across crash-restart cycles.
+    pub fn conserved(&self) -> bool {
+        self.admitted
+            == self.completed
+                + self.dead_lettered
+                + (self.queued + self.delayed + self.running) as u64
+    }
+}
+
 /// The mutex-guarded service core. All methods take `now` from the caller
 /// so the daemon controls the clock and tests stay deterministic.
 pub struct Service {
@@ -236,17 +304,31 @@ pub struct Service {
     next_task_id: u64,
     running: usize,
     completed: u64,
+    dead_lettered: u64,
     draining: bool,
+    /// Backoff parking lot: `(ready_at, task)`, earliest first.
+    delayed: BinaryHeap<Reverse<(Instant, u64)>>,
+    /// Lease expirations: `(deadline, task, attempt)`, earliest first.
+    /// Entries are lazily invalidated: one is live only while the task is
+    /// still `Running` at the same attempt number.
+    lease_q: BinaryHeap<Reverse<(Instant, u64, u32)>>,
+    wal: Option<Wal>,
+    rebuild_fail_injections: u32,
     metrics: Arc<Metrics>,
 }
 
 impl Service {
-    /// Build a service around a profiled testbed. The scoring predictor is
-    /// the monitor's own export so that later rebuild-driven swaps replace
-    /// like with like.
+    /// Build an in-memory service around a profiled testbed (ignores
+    /// `wal_dir`; use [`Service::open`] for a durable daemon). The scoring
+    /// predictor is the monitor's own export so that later rebuild-driven
+    /// swaps replace like with like.
     pub fn new(testbed: &Testbed, cfg: ServeConfig, metrics: Arc<Metrics>) -> Service {
-        assert!(cfg.machines > 0 && cfg.slots_per_machine > 0, "empty cluster");
+        assert!(
+            cfg.machines > 0 && cfg.slots_per_machine > 0,
+            "empty cluster"
+        );
         assert!(cfg.queue_capacity > 0, "queue capacity must be positive");
+        assert!(cfg.max_attempts > 0, "max_attempts must be positive");
         let init_rt: Vec<_> = testbed
             .profiles
             .iter()
@@ -289,9 +371,167 @@ impl Service {
             next_task_id: 1,
             running: 0,
             completed: 0,
+            dead_lettered: 0,
             draining: false,
+            delayed: BinaryHeap::new(),
+            lease_q: BinaryHeap::new(),
+            wal: None,
+            rebuild_fail_injections: 0,
             metrics,
             cfg,
+        }
+    }
+
+    /// Build a service and, when `cfg.wal_dir` is set, recover durable
+    /// state from the write-ahead log: completed and dead-lettered tasks
+    /// keep their records, queued tasks re-enter the admission queue, and
+    /// tasks that were leased when the previous daemon died are requeued
+    /// with the interrupted attempt counted against their budget. The
+    /// replayed history is compacted into a fresh snapshot immediately.
+    pub fn open(
+        testbed: &Testbed,
+        cfg: ServeConfig,
+        metrics: Arc<Metrics>,
+        now: Instant,
+    ) -> std::io::Result<Service> {
+        let wal_dir = cfg.wal_dir.clone();
+        let mut svc = Service::new(testbed, cfg, metrics);
+        if let Some(dir) = wal_dir {
+            let (wal, recovery) = Wal::open(&dir, svc.cfg.wal_snapshot_every)?;
+            svc.wal = Some(wal);
+            svc.restore(&recovery, now);
+            svc.write_snapshot();
+        }
+        Ok(svc)
+    }
+
+    fn restore(&mut self, recovery: &Recovery, now: Instant) {
+        self.metrics
+            .wal_replayed_records
+            .store(recovery.replayed_records, Ordering::Relaxed);
+        for t in &recovery.tasks {
+            // A task whose application is no longer profiled cannot be
+            // re-placed; drop it rather than wedge the queue.
+            let Some(app_id) = self.cluster.registry().id(&t.app) else {
+                continue;
+            };
+            let Some(app_idx) = self.perf_index.get(&app_id).copied() else {
+                continue;
+            };
+            let (phase, attempts, requeued) = match t.state {
+                RecState::Queued => (TaskPhase::Queued, t.attempts, false),
+                RecState::Leased => {
+                    let attempts = t.attempts + 1;
+                    if attempts >= self.cfg.max_attempts {
+                        (TaskPhase::DeadLettered { attempts }, attempts, false)
+                    } else {
+                        (TaskPhase::Queued, attempts, true)
+                    }
+                }
+                RecState::Completed => (
+                    TaskPhase::Completed { runtime: t.runtime },
+                    t.attempts,
+                    false,
+                ),
+                RecState::DeadLettered => (
+                    TaskPhase::DeadLettered {
+                        attempts: t.attempts,
+                    },
+                    t.attempts,
+                    false,
+                ),
+            };
+            self.metrics.admissions.fetch_add(1, Ordering::Relaxed);
+            match &phase {
+                TaskPhase::Queued => self.queue.push_back(Task::new(t.task, app_id)),
+                TaskPhase::Completed { .. } => {
+                    self.completed += 1;
+                    self.metrics.completions.fetch_add(1, Ordering::Relaxed);
+                }
+                TaskPhase::DeadLettered { .. } => {
+                    self.dead_lettered += 1;
+                    self.metrics.dead_letters.fetch_add(1, Ordering::Relaxed);
+                }
+                TaskPhase::Running { .. } => {}
+            }
+            if requeued {
+                self.metrics.requeues.fetch_add(1, Ordering::Relaxed);
+            }
+            self.tasks.insert(
+                t.task,
+                TaskRecord {
+                    app: app_id,
+                    app_idx,
+                    phase,
+                    submitted: now,
+                    attempts,
+                },
+            );
+            self.next_task_id = self.next_task_id.max(t.task + 1);
+        }
+        self.next_task_id = self.next_task_id.max(recovery.next_task_id).max(1);
+        self.sync_gauges();
+    }
+
+    /// Append one record; a failed write degrades to in-memory operation
+    /// (counted, never fatal — availability over durability once the disk
+    /// is gone).
+    fn wal_append(&mut self, rec: &WalRecord) {
+        let due = match self.wal.as_mut() {
+            None => return,
+            Some(wal) => match wal.append(rec) {
+                Ok(()) => {
+                    self.metrics.wal_records.fetch_add(1, Ordering::Relaxed);
+                    wal.snapshot_due()
+                }
+                Err(_) => {
+                    self.metrics.wal_errors.fetch_add(1, Ordering::Relaxed);
+                    false
+                }
+            },
+        };
+        if due {
+            self.write_snapshot();
+        }
+    }
+
+    /// Serialize the full task table into `snapshot.json` and truncate
+    /// the log.
+    fn write_snapshot(&mut self) {
+        if self.wal.is_none() {
+            return;
+        }
+        let mut ids: Vec<u64> = self.tasks.keys().copied().collect();
+        ids.sort_unstable();
+        let entries: Vec<RecoveredTask> = ids
+            .iter()
+            .filter_map(|id| {
+                let r = self.tasks.get(id)?;
+                let (state, runtime) = match &r.phase {
+                    TaskPhase::Queued => (RecState::Queued, 0.0),
+                    TaskPhase::Running { .. } => (RecState::Leased, 0.0),
+                    TaskPhase::Completed { runtime } => (RecState::Completed, *runtime),
+                    TaskPhase::DeadLettered { .. } => (RecState::DeadLettered, 0.0),
+                };
+                Some(RecoveredTask {
+                    task: *id,
+                    app: self.observer.app_names()[r.app_idx].clone(),
+                    attempts: r.attempts,
+                    state,
+                    runtime,
+                })
+            })
+            .collect();
+        let next = self.next_task_id;
+        if let Some(wal) = self.wal.as_mut() {
+            match wal.snapshot(&entries, next) {
+                Ok(()) => {
+                    self.metrics.wal_snapshots.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    self.metrics.wal_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
     }
 
@@ -300,7 +540,7 @@ impl Service {
         if self.draining {
             self.metrics
                 .drain_rejections
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                .fetch_add(1, Ordering::Relaxed);
             return Err(Refusal::Draining);
         }
         let app_id = match self.cluster.registry().id(app) {
@@ -312,16 +552,21 @@ impl Service {
             }
         };
         if self.queue.len() >= self.cfg.queue_capacity {
-            self.metrics
-                .rejections
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.metrics.rejections.fetch_add(1, Ordering::Relaxed);
             return Err(Refusal::QueueFull {
                 depth: self.queue.len(),
             });
         }
         let task_id = self.next_task_id;
         self.next_task_id += 1;
-        let app_idx = self.perf_index[&app_id];
+        let app_idx = match self.perf_index.get(&app_id) {
+            Some(idx) => *idx,
+            None => {
+                return Err(Refusal::UnknownApp {
+                    name: app.to_string(),
+                })
+            }
+        };
         self.queue.push_back(Task::new(task_id, app_id));
         self.tasks.insert(
             task_id,
@@ -330,11 +575,15 @@ impl Service {
                 app_idx,
                 phase: TaskPhase::Queued,
                 submitted: now,
+                attempts: 0,
             },
         );
-        self.metrics
-            .admissions
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.metrics.admissions.fetch_add(1, Ordering::Relaxed);
+        // Durable before the client learns the id (write-ahead).
+        self.wal_append(&WalRecord::Submit {
+            task: task_id,
+            app: app.to_string(),
+        });
         // MIOS places on every arrival; batch schedulers wait for a full
         // window (the deadline path runs from the ticker).
         if matches!(self.cfg.scheduler, SchedKind::Mios)
@@ -343,14 +592,13 @@ impl Service {
             self.dispatch(now);
         }
         self.sync_gauges();
-        let record = &self.tasks[&task_id];
-        let placement = match record.phase {
-            TaskPhase::Running {
+        let placement = match self.tasks.get(&task_id).map(|r| &r.phase) {
+            Some(TaskPhase::Running {
                 vm,
                 predicted_score,
                 predicted_runtime,
                 ..
-            } => Some((vm, predicted_score, predicted_runtime)),
+            }) => Some((*vm, *predicted_score, *predicted_runtime)),
             _ => None,
         };
         Ok(Admitted {
@@ -360,8 +608,8 @@ impl Service {
         })
     }
 
-    /// Run the scheduler over the current queue, recording placements and
-    /// dispatch latencies. Returns how many tasks were placed.
+    /// Run the scheduler over the current queue, recording placements,
+    /// leases, and dispatch latencies. Returns how many tasks were placed.
     pub fn dispatch(&mut self, now: Instant) -> usize {
         if self.queue.is_empty() {
             return 0;
@@ -370,47 +618,168 @@ impl Service {
             self.scheduler
                 .schedule(&mut self.queue, &mut self.cluster, &self.scoring);
         for assignment in &assignments {
-            let neighbor = self.neighbor_of(assignment.vm, assignment.task.id);
-            let record = self
-                .tasks
-                .get_mut(&assignment.task.id)
-                .expect("scheduler placed a task the service never admitted");
+            let task_id = assignment.task.id;
+            let neighbor = self.neighbor_of(assignment.vm, task_id);
+            let Some(record) = self.tasks.get_mut(&task_id) else {
+                // A scheduler handing back a task the service never
+                // admitted is a bug, not client input; reclaim the slot
+                // and keep serving.
+                self.cluster.clear(assignment.vm);
+                continue;
+            };
+            let attempt = record.attempts;
             let predicted_runtime = self
                 .observer
                 .predict_runtime(record.app_idx, neighbor.unwrap_or(IDLE));
+            let lease_ms = self.cfg.lease_base_ms.saturating_add(
+                (predicted_runtime.max(0.0) * self.cfg.lease_per_predicted_s_ms as f64)
+                    .min(3_600_000.0) as u64,
+            );
+            let lease_deadline = now + Duration::from_millis(lease_ms);
             record.phase = TaskPhase::Running {
                 vm: assignment.vm,
                 neighbor,
                 predicted_score: assignment.predicted_score,
                 predicted_runtime,
+                lease_deadline,
             };
             let waited = now.duration_since(record.submitted);
             self.metrics
                 .observe_dispatch_latency(waited.as_micros().min(u128::from(u64::MAX)) as u64);
             self.running += 1;
+            self.lease_q
+                .push(Reverse((lease_deadline, task_id, attempt)));
+            self.wal_append(&WalRecord::Lease {
+                task: task_id,
+                attempt,
+            });
         }
         self.sync_gauges();
         assignments.len()
     }
 
-    /// Batch-deadline check, driven by the daemon's ticker: dispatch a
-    /// partial window once the oldest queued task has waited long enough.
+    /// Deterministic exponential backoff with hash jitter: doubling from
+    /// `backoff_base_ms`, capped, plus up to 50% jitter derived from
+    /// `(task, attempt)` so synchronized expiries fan out identically on
+    /// every run.
+    fn backoff_ms(&self, task: u64, attempt: u32) -> u64 {
+        let base = self.cfg.backoff_base_ms.max(1);
+        let doubled = base.saturating_mul(1u64 << attempt.saturating_sub(1).min(16));
+        let backoff = doubled.min(self.cfg.backoff_cap_ms.max(base));
+        let mut x = task ^ (u64::from(attempt) << 32) ^ 0x9E37_79B9_7F4A_7C15;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        backoff + x % (backoff / 2 + 1)
+    }
+
+    /// Expire overdue leases: free the slot, then either park the task
+    /// for a backoff or dead-letter it once its attempts are spent.
+    /// Returns how many leases expired.
+    pub fn expire_leases(&mut self, now: Instant) -> usize {
+        let mut expired = 0;
+        loop {
+            match self.lease_q.peek() {
+                Some(Reverse((deadline, _, _))) if *deadline <= now => {}
+                _ => break,
+            }
+            let Some(Reverse((_, task, attempt))) = self.lease_q.pop() else {
+                break;
+            };
+            let Some(record) = self.tasks.get(&task) else {
+                continue;
+            };
+            let vm = match record.phase {
+                // Stale entries (completed, or re-leased under a newer
+                // attempt) fall through silently.
+                TaskPhase::Running { vm, .. } if record.attempts == attempt => vm,
+                _ => continue,
+            };
+            self.cluster.clear(vm);
+            self.running -= 1;
+            expired += 1;
+            self.metrics.lease_expiries.fetch_add(1, Ordering::Relaxed);
+            let attempts = attempt + 1;
+            if attempts >= self.cfg.max_attempts {
+                if let Some(r) = self.tasks.get_mut(&task) {
+                    r.attempts = attempts;
+                    r.phase = TaskPhase::DeadLettered { attempts };
+                }
+                self.dead_lettered += 1;
+                self.metrics.dead_letters.fetch_add(1, Ordering::Relaxed);
+                self.wal_append(&WalRecord::DeadLetter { task, attempts });
+            } else {
+                if let Some(r) = self.tasks.get_mut(&task) {
+                    r.attempts = attempts;
+                    r.phase = TaskPhase::Queued;
+                }
+                let ready = now + Duration::from_millis(self.backoff_ms(task, attempts));
+                self.delayed.push(Reverse((ready, task)));
+                self.metrics.requeues.fetch_add(1, Ordering::Relaxed);
+                self.wal_append(&WalRecord::Requeue {
+                    task,
+                    attempt: attempts,
+                });
+            }
+        }
+        if expired > 0 {
+            self.sync_gauges();
+        }
+        expired
+    }
+
+    /// Move backed-off tasks whose ready time has passed into the
+    /// admission queue (a draining daemon promotes immediately so the
+    /// drain can finish). Returns how many were promoted.
+    fn promote_delayed(&mut self, now: Instant) -> usize {
+        let mut promoted = 0;
+        loop {
+            match self.delayed.peek() {
+                Some(Reverse((ready, _))) if *ready <= now || self.draining => {}
+                _ => break,
+            }
+            let Some(Reverse((_, task))) = self.delayed.pop() else {
+                break;
+            };
+            let Some(record) = self.tasks.get(&task) else {
+                continue;
+            };
+            if matches!(record.phase, TaskPhase::Queued) {
+                self.queue.push_back(Task::new(task, record.app));
+                promoted += 1;
+            }
+        }
+        promoted
+    }
+
+    /// The daemon's periodic maintenance pass: expire leases, promote
+    /// backed-off tasks, and run batch-deadline dispatch. Returns how
+    /// many tasks were dispatched.
     pub fn tick(&mut self, now: Instant) -> usize {
-        if matches!(self.cfg.scheduler, SchedKind::Mios) {
-            // MIOS dispatches eagerly; the ticker only matters when a
-            // previous dispatch stalled on a full cluster, which the
-            // completion path already retries.
+        self.expire_leases(now);
+        self.promote_delayed(now);
+        if self.queue.is_empty() {
+            self.sync_gauges();
             return 0;
         }
-        let Some(front) = self.queue.front() else {
-            return 0;
+        let dispatch_now = match self.cfg.scheduler {
+            // MIOS is eager; the tick retries dispatch stalled on a full
+            // cluster and places freshly promoted requeues.
+            SchedKind::Mios => true,
+            _ => {
+                let overdue = self
+                    .queue
+                    .front()
+                    .and_then(|front| self.tasks.get(&front.id))
+                    .map(|r| {
+                        now.duration_since(r.submitted).as_millis() as u64
+                            >= self.cfg.batch_deadline_ms
+                    })
+                    .unwrap_or(false);
+                self.queue.len() >= self.cfg.scheduler.window() || overdue || self.draining
+            }
         };
-        let overdue = self
-            .tasks
-            .get(&front.id)
-            .map(|r| now.duration_since(r.submitted).as_millis() as u64 >= self.cfg.batch_deadline_ms)
-            .unwrap_or(false);
-        if self.queue.len() >= self.cfg.scheduler.window() || overdue || self.draining {
+        if dispatch_now {
             self.dispatch(now)
         } else {
             0
@@ -419,7 +788,9 @@ impl Service {
 
     /// Record a client-reported completion: free the slot, feed the
     /// monitor, swap the predictor if a rebuild fired, and dispatch onto
-    /// the freed capacity.
+    /// the freed capacity. A panicking rebuild is contained: the
+    /// completion still counts, the last-good predictor keeps serving,
+    /// and `rebuild_failures` is incremented.
     pub fn complete(
         &mut self,
         task: u64,
@@ -427,35 +798,51 @@ impl Service {
         iops: f64,
         now: Instant,
     ) -> Result<Completed, Refusal> {
-        let record = self
-            .tasks
-            .get(&task)
-            .ok_or(Refusal::UnknownTask { task })?;
+        let record = self.tasks.get(&task).ok_or(Refusal::UnknownTask { task })?;
         let (vm, neighbor) = match record.phase {
             TaskPhase::Running { vm, neighbor, .. } => (vm, neighbor),
             _ => return Err(Refusal::NotRunning { task }),
         };
         let app_idx = record.app_idx;
         self.cluster.clear(vm);
-        self.tasks.get_mut(&task).unwrap().phase = TaskPhase::Completed { runtime };
+        if let Some(r) = self.tasks.get_mut(&task) {
+            r.phase = TaskPhase::Completed { runtime };
+        }
         self.running -= 1;
         self.completed += 1;
-        self.metrics
-            .completions
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let rebuilt = self.observer.record(app_idx, neighbor, runtime, iops);
+        self.metrics.completions.fetch_add(1, Ordering::Relaxed);
+        self.wal_append(&WalRecord::Complete { task, runtime });
+        let inject = self.rebuild_fail_injections > 0;
+        let observer = &mut self.observer;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let rebuilt = observer.record(app_idx, neighbor, runtime, iops);
+            if inject && rebuilt {
+                panic!("injected rebuild failure");
+            }
+            rebuilt
+        }));
+        let rebuilt = match outcome {
+            Ok(rebuilt) => rebuilt,
+            Err(_) => {
+                if inject {
+                    self.rebuild_fail_injections -= 1;
+                }
+                self.metrics
+                    .rebuild_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        };
         if rebuilt {
-            self.metrics
-                .rebuilds
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.metrics.rebuilds.fetch_add(1, Ordering::Relaxed);
         }
         let mut swapped = false;
-        if let Some(predictor) = self.observer.updated_predictor() {
-            self.scoring = ScoringPolicy::new_owned(predictor, self.cfg.objective);
-            self.metrics
-                .predictor_swaps
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            swapped = true;
+        if rebuilt {
+            if let Some(predictor) = self.observer.updated_predictor() {
+                self.scoring = ScoringPolicy::new_owned(predictor, self.cfg.objective);
+                self.metrics.predictor_swaps.fetch_add(1, Ordering::Relaxed);
+                swapped = true;
+            }
         }
         // The freed slot may unblock queued work regardless of scheduler:
         // batch windows still apply, but a stalled full-cluster dispatch
@@ -476,15 +863,17 @@ impl Service {
     /// Stop admitting new work. Returns the current snapshot.
     pub fn drain(&mut self, now: Instant) -> StatusSnapshot {
         self.draining = true;
-        // Flush any partial batch immediately rather than waiting for the
-        // deadline tick.
+        // Flush backed-off tasks and any partial batch immediately rather
+        // than waiting for the deadline tick.
+        self.promote_delayed(now);
         self.dispatch(now);
         self.status()
     }
 
-    /// True once a draining daemon has no queued or running work left.
+    /// True once a draining daemon has no queued, delayed, or running
+    /// work left (dead-lettered tasks never block a drain).
     pub fn drained(&self) -> bool {
-        self.draining && self.queue.is_empty() && self.running == 0
+        self.draining && self.queue.is_empty() && self.delayed.is_empty() && self.running == 0
     }
 
     /// Whether the daemon has been asked to drain.
@@ -496,16 +885,12 @@ impl Service {
     pub fn status(&self) -> StatusSnapshot {
         StatusSnapshot {
             queued: self.queue.len(),
+            delayed: self.delayed.len(),
             running: self.running,
             completed: self.completed,
-            admitted: self
-                .metrics
-                .admissions
-                .load(std::sync::atomic::Ordering::Relaxed),
-            rejected: self
-                .metrics
-                .rejections
-                .load(std::sync::atomic::Ordering::Relaxed),
+            dead_lettered: self.dead_lettered,
+            admitted: self.metrics.admissions.load(Ordering::Relaxed),
+            rejected: self.metrics.rejections.load(Ordering::Relaxed),
             rebuilds: self.observer.total_rebuilds(),
             swaps: self.observer.predictor_swaps(),
             draining: self.draining,
@@ -540,6 +925,13 @@ impl Service {
         self.cfg.retry_after_ms
     }
 
+    /// Test hook: make the next `n` triggered rebuilds fail, exercising
+    /// the keep-last-good-predictor degradation path.
+    #[doc(hidden)]
+    pub fn fail_next_rebuild(&mut self, n: u32) {
+        self.rebuild_fail_injections = n;
+    }
+
     fn neighbor_of(&self, vm: VmRef, own_task: u64) -> Option<usize> {
         for slot in 0..self.cluster.slots_per_machine() {
             if slot == vm.slot {
@@ -551,7 +943,7 @@ impl Service {
             };
             if let Some(resident) = self.cluster.resident(other) {
                 if resident.task_id != own_task {
-                    return Some(self.perf_index[&resident.app]);
+                    return self.perf_index.get(&resident.app).copied();
                 }
             }
         }
@@ -561,10 +953,10 @@ impl Service {
     fn sync_gauges(&self) {
         self.metrics
             .queue_depth
-            .store(self.queue.len() as u64, std::sync::atomic::Ordering::Relaxed);
+            .store(self.queue.len() as u64, Ordering::Relaxed);
         self.metrics
             .running
-            .store(self.running as u64, std::sync::atomic::Ordering::Relaxed);
+            .store(self.running as u64, Ordering::Relaxed);
     }
 }
 
@@ -608,6 +1000,7 @@ mod tests {
         assert_eq!(placed, 4);
         assert_eq!(svc.status().queued, 2);
         assert_eq!(svc.status().running, 4);
+        assert!(svc.status().conserved());
     }
 
     #[test]
@@ -696,7 +1089,9 @@ mod tests {
         let mut swaps = 0;
         for round in 0..20 {
             let out = svc.submit(&app, now).unwrap();
-            let done = svc.complete(out.task, 1.0 + round as f64 * 0.1, 90.0, now).unwrap();
+            let done = svc
+                .complete(out.task, 1.0 + round as f64 * 0.1, 90.0, now)
+                .unwrap();
             if done.swapped {
                 swaps += 1;
             }
@@ -717,5 +1112,162 @@ mod tests {
             svc.complete(999, 1.0, 1.0, now),
             Err(Refusal::UnknownTask { task: 999 })
         ));
+    }
+
+    #[test]
+    fn expired_lease_requeues_with_backoff_then_dead_letters() {
+        let testbed = tiny_testbed();
+        let cfg = ServeConfig {
+            machines: 1,
+            slots_per_machine: 1,
+            scheduler: SchedKind::Mios,
+            queue_capacity: 8,
+            lease_base_ms: 10,
+            lease_per_predicted_s_ms: 0,
+            max_attempts: 2,
+            backoff_base_ms: 5,
+            backoff_cap_ms: 20,
+            ..ServeConfig::default()
+        };
+        let metrics = Arc::new(Metrics::new());
+        let mut svc = Service::new(&testbed, cfg, Arc::clone(&metrics));
+        let now = Instant::now();
+        let app = svc.observer.app_names()[0].clone();
+        let out = svc.submit(&app, now).unwrap();
+        assert!(out.placement.is_some());
+
+        // First expiry: attempt 1 of 2 -> backoff, not dead-letter.
+        let t1 = now + Duration::from_millis(100);
+        svc.tick(t1);
+        let st = svc.status();
+        assert_eq!(st.running, 0);
+        assert_eq!(st.delayed + st.queued, 1, "requeued, possibly promoted");
+        assert_eq!(metrics.lease_expiries.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.requeues.load(Ordering::Relaxed), 1);
+        assert!(st.conserved());
+
+        // Backoff elapses -> re-placed.
+        let t2 = t1 + Duration::from_secs(1);
+        svc.tick(t2);
+        assert_eq!(svc.status().running, 1, "requeued task re-placed");
+        match svc.task_info(out.task).map(|r| &r.phase) {
+            Some(TaskPhase::Running { .. }) => {}
+            other => panic!("expected Running, got {other:?}"),
+        }
+
+        // Second expiry exhausts the budget -> dead-letter.
+        let t3 = t2 + Duration::from_secs(1);
+        svc.tick(t3);
+        let st = svc.status();
+        assert_eq!(st.dead_lettered, 1);
+        assert_eq!(st.running + st.queued + st.delayed, 0);
+        assert_eq!(metrics.dead_letters.load(Ordering::Relaxed), 1);
+        assert!(st.conserved());
+        assert!(matches!(
+            svc.task_info(out.task).map(|r| &r.phase),
+            Some(TaskPhase::DeadLettered { attempts: 2 })
+        ));
+        // A dead-lettered task refuses late completions.
+        assert!(matches!(
+            svc.complete(out.task, 1.0, 1.0, t3),
+            Err(Refusal::NotRunning { .. })
+        ));
+        // And never blocks a drain.
+        svc.drain(t3);
+        assert!(svc.drained());
+    }
+
+    #[test]
+    fn wal_recovery_restores_queue_counters_and_ids() {
+        let dir = std::env::temp_dir().join(format!("tracond-recover-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let testbed = tiny_testbed();
+        let cfg = ServeConfig {
+            machines: 1,
+            slots_per_machine: 1,
+            scheduler: SchedKind::Mios,
+            queue_capacity: 8,
+            wal_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        };
+        let now = Instant::now();
+        let first_task;
+        {
+            let metrics = Arc::new(Metrics::new());
+            let mut svc = Service::open(&testbed, cfg.clone(), Arc::clone(&metrics), now).unwrap();
+            let app = svc.observer.app_names()[0].clone();
+            let a = svc.submit(&app, now).unwrap(); // placed (1 slot)
+            first_task = a.task;
+            svc.submit(&app, now).unwrap(); // queued
+            svc.submit(&app, now).unwrap(); // queued
+            svc.complete(a.task, 2.5, 90.0, now).unwrap(); // frees slot, places next
+                                                           // svc dropped here without any drain: simulated crash.
+        }
+        let metrics = Arc::new(Metrics::new());
+        let mut svc = Service::open(&testbed, cfg, Arc::clone(&metrics), now).unwrap();
+        let st = svc.status();
+        assert_eq!(st.admitted, 3, "all admissions recovered");
+        assert_eq!(st.completed, 1, "completion recovered");
+        // One task was leased at crash time: requeued. One was queued.
+        assert_eq!(st.queued, 2);
+        assert_eq!(st.running, 0);
+        assert_eq!(metrics.requeues.load(Ordering::Relaxed), 1);
+        assert!(st.conserved(), "conservation across restart: {st:?}");
+        assert!(matches!(
+            svc.task_info(first_task).map(|r| &r.phase),
+            Some(TaskPhase::Completed { .. })
+        ));
+        // Ids keep advancing from where the dead daemon stopped.
+        let app = svc.observer.app_names()[0].clone();
+        let next = svc.submit(&app, now).unwrap();
+        assert_eq!(next.task, 4);
+        // Recovery compacted history into a snapshot.
+        assert!(dir.join("snapshot.json").exists());
+        assert!(metrics.wal_replayed_records.load(Ordering::Relaxed) > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_rebuild_keeps_last_good_predictor_and_daemon_alive() {
+        let testbed = tiny_testbed();
+        let cfg = ServeConfig {
+            machines: 2,
+            slots_per_machine: 2,
+            scheduler: SchedKind::Mios,
+            queue_capacity: 8,
+            monitor: MonitorConfig {
+                rebuild_every: 6,
+                ..MonitorConfig::default()
+            },
+            ..ServeConfig::default()
+        };
+        let metrics = Arc::new(Metrics::new());
+        let mut svc = Service::new(&testbed, cfg, Arc::clone(&metrics));
+        let now = Instant::now();
+        let app = svc.observer.app_names()[0].clone();
+        svc.fail_next_rebuild(1);
+        let mut saw_failure = false;
+        let mut swaps_after_failure = 0;
+        for round in 0..30 {
+            let out = svc.submit(&app, now).unwrap();
+            let done = svc
+                .complete(out.task, 1.0 + round as f64 * 0.1, 90.0, now)
+                .unwrap();
+            let failures = metrics.rebuild_failures.load(Ordering::Relaxed);
+            if failures > 0 {
+                saw_failure = true;
+            }
+            if saw_failure && done.swapped {
+                swaps_after_failure += 1;
+            }
+            assert!(!done.swapped || failures == 0 || saw_failure);
+        }
+        assert!(saw_failure, "injected rebuild failure never fired");
+        assert_eq!(metrics.rebuild_failures.load(Ordering::Relaxed), 1);
+        assert!(
+            swaps_after_failure > 0,
+            "daemon must recover and swap on a later successful rebuild"
+        );
+        assert_eq!(svc.status().completed, 30, "every completion recorded");
     }
 }

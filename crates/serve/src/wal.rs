@@ -1,0 +1,611 @@
+//! Crash recovery for tracond: an append-only, fsync'd write-ahead log
+//! with periodic snapshot compaction.
+//!
+//! Every admission-state transition (submit, lease, requeue, dead-letter,
+//! complete) is appended as one length-prefixed, CRC32-checksummed frame
+//! *before* the daemon replies to the client, and the file is synced per
+//! append — a `kill -9` can lose at most a record the client was never
+//! told about. On restart, [`Wal::open`] replays `snapshot.json` plus the
+//! log tail and hands the service a [`Recovery`] from which it rebuilds
+//! its admission queue and in-flight set; a torn tail (partial frame,
+//! bad checksum) ends the replay and is truncated away rather than
+//! aborting recovery.
+//!
+//! Frame layout (little-endian):
+//!
+//! ```text
+//! [u32 payload_len][u32 crc32(payload)][payload: one JSON object]
+//! ```
+//!
+//! Records (see DESIGN.md §9 for the full format):
+//!
+//! ```text
+//! {"op":"submit","task":7,"app":"grep"}
+//! {"op":"lease","task":7,"attempt":0}
+//! {"op":"requeue","task":7,"attempt":1}
+//! {"op":"dead","task":7,"attempts":5}
+//! {"op":"complete","task":7,"runtime":12.5}
+//! ```
+//!
+//! Every `snapshot_every` records the service serializes its task table
+//! into `snapshot.json` (atomic tmp + rename) and the log is truncated,
+//! bounding both replay time and disk use.
+
+use crate::json::{self, Value};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Upper bound on one record's payload; anything larger is corruption.
+const MAX_RECORD_BYTES: u32 = 1 << 20;
+const SNAPSHOT_FILE: &str = "snapshot.json";
+const LOG_FILE: &str = "wal.log";
+
+/// CRC-32 (IEEE 802.3, reflected) — dependency-free, bitwise.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// One logged admission-state transition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A task was admitted.
+    Submit {
+        /// Task id.
+        task: u64,
+        /// Application name.
+        app: String,
+    },
+    /// A task was dispatched and leased to an executor.
+    Lease {
+        /// Task id.
+        task: u64,
+        /// Which execution this is (failed attempts so far).
+        attempt: u32,
+    },
+    /// A lease expired and the task re-entered the (delayed) queue.
+    Requeue {
+        /// Task id.
+        task: u64,
+        /// Failed attempts after the expiry.
+        attempt: u32,
+    },
+    /// A task exhausted its attempts and moved to the dead-letter queue.
+    DeadLetter {
+        /// Task id.
+        task: u64,
+        /// Total failed attempts.
+        attempts: u32,
+    },
+    /// A task completed.
+    Complete {
+        /// Task id.
+        task: u64,
+        /// Realized runtime, seconds.
+        runtime: f64,
+    },
+}
+
+impl WalRecord {
+    fn encode(&self) -> Value {
+        match self {
+            WalRecord::Submit { task, app } => json::obj(vec![
+                ("op", json::s("submit")),
+                ("task", json::n(*task as f64)),
+                ("app", json::s(app.clone())),
+            ]),
+            WalRecord::Lease { task, attempt } => json::obj(vec![
+                ("op", json::s("lease")),
+                ("task", json::n(*task as f64)),
+                ("attempt", json::n(f64::from(*attempt))),
+            ]),
+            WalRecord::Requeue { task, attempt } => json::obj(vec![
+                ("op", json::s("requeue")),
+                ("task", json::n(*task as f64)),
+                ("attempt", json::n(f64::from(*attempt))),
+            ]),
+            WalRecord::DeadLetter { task, attempts } => json::obj(vec![
+                ("op", json::s("dead")),
+                ("task", json::n(*task as f64)),
+                ("attempts", json::n(f64::from(*attempts))),
+            ]),
+            WalRecord::Complete { task, runtime } => json::obj(vec![
+                ("op", json::s("complete")),
+                ("task", json::n(*task as f64)),
+                ("runtime", json::n(*runtime)),
+            ]),
+        }
+    }
+
+    fn decode(v: &Value) -> Option<WalRecord> {
+        let task = v.get("task")?.as_u64()?;
+        match v.get("op")?.as_str()? {
+            "submit" => Some(WalRecord::Submit {
+                task,
+                app: v.get("app")?.as_str()?.to_string(),
+            }),
+            "lease" => Some(WalRecord::Lease {
+                task,
+                attempt: v.get("attempt")?.as_u64()? as u32,
+            }),
+            "requeue" => Some(WalRecord::Requeue {
+                task,
+                attempt: v.get("attempt")?.as_u64()? as u32,
+            }),
+            "dead" => Some(WalRecord::DeadLetter {
+                task,
+                attempts: v.get("attempts")?.as_u64()? as u32,
+            }),
+            "complete" => Some(WalRecord::Complete {
+                task,
+                runtime: v.get("runtime")?.as_f64()?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// The durable state of one task, as reconstructed by replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecState {
+    /// Admitted, waiting for dispatch.
+    Queued,
+    /// Dispatched under a lease when the daemon stopped — the executor's
+    /// connection died with the daemon, so recovery requeues it.
+    Leased,
+    /// Completed.
+    Completed,
+    /// Dead-lettered.
+    DeadLettered,
+}
+
+/// One task's recovered record.
+#[derive(Debug, Clone)]
+pub struct RecoveredTask {
+    /// Task id.
+    pub task: u64,
+    /// Application name.
+    pub app: String,
+    /// Failed attempts so far.
+    pub attempts: u32,
+    /// Durable state.
+    pub state: RecState,
+    /// Realized runtime for completed tasks (0 otherwise).
+    pub runtime: f64,
+}
+
+/// What [`Wal::open`] reconstructed.
+#[derive(Debug, Clone, Default)]
+pub struct Recovery {
+    /// Every known task, in original submit order.
+    pub tasks: Vec<RecoveredTask>,
+    /// First unused task id (ids stay unique across restarts).
+    pub next_task_id: u64,
+    /// Log records replayed (snapshot entries not included).
+    pub replayed_records: u64,
+    /// Bytes dropped from a torn tail, if any.
+    pub truncated_bytes: u64,
+    /// Checksummed-but-undecodable records skipped (version skew).
+    pub skipped_records: u64,
+}
+
+/// The open write-ahead log.
+pub struct Wal {
+    file: File,
+    dir: PathBuf,
+    records_since_snapshot: u64,
+    snapshot_every: u64,
+}
+
+fn read_snapshot(dir: &Path, recovery: &mut Recovery) -> io::Result<()> {
+    let path = dir.join(SNAPSHOT_FILE);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e),
+    };
+    let v = json::parse(&text)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("snapshot: {e}")))?;
+    recovery.next_task_id = v.get("next_task_id").and_then(Value::as_u64).unwrap_or(0);
+    if let Some(tasks) = v.get("tasks").and_then(Value::as_arr) {
+        for t in tasks {
+            let (Some(task), Some(app)) = (
+                t.get("task").and_then(Value::as_u64),
+                t.get("app").and_then(Value::as_str),
+            ) else {
+                recovery.skipped_records += 1;
+                continue;
+            };
+            let state = match t.get("state").and_then(Value::as_str) {
+                Some("queued") => RecState::Queued,
+                Some("leased") => RecState::Leased,
+                Some("completed") => RecState::Completed,
+                Some("dead") => RecState::DeadLettered,
+                _ => {
+                    recovery.skipped_records += 1;
+                    continue;
+                }
+            };
+            recovery.tasks.push(RecoveredTask {
+                task,
+                app: app.to_string(),
+                attempts: t.get("attempts").and_then(Value::as_u64).unwrap_or(0) as u32,
+                state,
+                runtime: t.get("runtime").and_then(Value::as_f64).unwrap_or(0.0),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn apply(recovery: &mut Recovery, rec: WalRecord) {
+    let find = |tasks: &mut Vec<RecoveredTask>, id: u64| -> Option<usize> {
+        tasks.iter().position(|t| t.task == id)
+    };
+    match rec {
+        WalRecord::Submit { task, app } => {
+            if find(&mut recovery.tasks, task).is_none() {
+                recovery.tasks.push(RecoveredTask {
+                    task,
+                    app,
+                    attempts: 0,
+                    state: RecState::Queued,
+                    runtime: 0.0,
+                });
+            }
+        }
+        WalRecord::Lease { task, attempt } => {
+            if let Some(i) = find(&mut recovery.tasks, task) {
+                recovery.tasks[i].state = RecState::Leased;
+                recovery.tasks[i].attempts = attempt;
+            }
+        }
+        WalRecord::Requeue { task, attempt } => {
+            if let Some(i) = find(&mut recovery.tasks, task) {
+                recovery.tasks[i].state = RecState::Queued;
+                recovery.tasks[i].attempts = attempt;
+            }
+        }
+        WalRecord::DeadLetter { task, attempts } => {
+            if let Some(i) = find(&mut recovery.tasks, task) {
+                recovery.tasks[i].state = RecState::DeadLettered;
+                recovery.tasks[i].attempts = attempts;
+            }
+        }
+        WalRecord::Complete { task, runtime } => {
+            if let Some(i) = find(&mut recovery.tasks, task) {
+                recovery.tasks[i].state = RecState::Completed;
+                recovery.tasks[i].runtime = runtime;
+            }
+        }
+    }
+}
+
+impl Wal {
+    /// Opens (creating if needed) the log in `dir`, replaying snapshot +
+    /// log into a [`Recovery`]. A torn or corrupt tail ends the replay
+    /// and is truncated so the next append starts on a clean frame
+    /// boundary.
+    pub fn open(dir: &Path, snapshot_every: u64) -> io::Result<(Wal, Recovery)> {
+        std::fs::create_dir_all(dir)?;
+        let mut recovery = Recovery::default();
+        read_snapshot(dir, &mut recovery)?;
+
+        let log_path = dir.join(LOG_FILE);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .create(true)
+            .append(true)
+            .open(&log_path)?;
+        let mut buf = Vec::new();
+        file.seek(SeekFrom::Start(0))?;
+        file.read_to_end(&mut buf)?;
+        let mut off = 0usize;
+        let valid_end = loop {
+            if off + 8 > buf.len() {
+                break off;
+            }
+            let len_bytes: [u8; 4] = match buf[off..off + 4].try_into() {
+                Ok(b) => b,
+                Err(_) => break off,
+            };
+            let crc_bytes: [u8; 4] = match buf[off + 4..off + 8].try_into() {
+                Ok(b) => b,
+                Err(_) => break off,
+            };
+            let len = u32::from_le_bytes(len_bytes);
+            if len == 0 || len > MAX_RECORD_BYTES || off + 8 + len as usize > buf.len() {
+                break off;
+            }
+            let payload = &buf[off + 8..off + 8 + len as usize];
+            if crc32(payload) != u32::from_le_bytes(crc_bytes) {
+                break off;
+            }
+            match std::str::from_utf8(payload)
+                .ok()
+                .and_then(|t| json::parse(t).ok())
+                .as_ref()
+                .and_then(WalRecord::decode)
+            {
+                Some(rec) => {
+                    apply(&mut recovery, rec);
+                    recovery.replayed_records += 1;
+                }
+                None => recovery.skipped_records += 1,
+            }
+            off += 8 + len as usize;
+        };
+        if valid_end < buf.len() {
+            recovery.truncated_bytes = (buf.len() - valid_end) as u64;
+            file.set_len(valid_end as u64)?;
+            file.sync_data()?;
+        }
+        let max_id = recovery.tasks.iter().map(|t| t.task + 1).max().unwrap_or(0);
+        recovery.next_task_id = recovery.next_task_id.max(max_id);
+        Ok((
+            Wal {
+                file,
+                dir: dir.to_path_buf(),
+                records_since_snapshot: recovery.replayed_records,
+                snapshot_every: snapshot_every.max(1),
+            },
+            recovery,
+        ))
+    }
+
+    /// Appends one record and syncs it to disk (write-ahead: call before
+    /// acknowledging the transition to the client).
+    pub fn append(&mut self, rec: &WalRecord) -> io::Result<()> {
+        let payload = rec.encode().to_string().into_bytes();
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.file.write_all(&frame)?;
+        self.file.sync_data()?;
+        self.records_since_snapshot += 1;
+        Ok(())
+    }
+
+    /// Whether enough records accumulated that the owner should snapshot.
+    pub fn snapshot_due(&self) -> bool {
+        self.records_since_snapshot >= self.snapshot_every
+    }
+
+    /// Writes a full-state snapshot (atomically: tmp + rename) and
+    /// truncates the log. `tasks` must be in submit order.
+    pub fn snapshot(&mut self, tasks: &[RecoveredTask], next_task_id: u64) -> io::Result<()> {
+        let entries: Vec<Value> = tasks
+            .iter()
+            .map(|t| {
+                json::obj(vec![
+                    ("task", json::n(t.task as f64)),
+                    ("app", json::s(t.app.clone())),
+                    ("attempts", json::n(f64::from(t.attempts))),
+                    (
+                        "state",
+                        json::s(match t.state {
+                            RecState::Queued => "queued",
+                            RecState::Leased => "leased",
+                            RecState::Completed => "completed",
+                            RecState::DeadLettered => "dead",
+                        }),
+                    ),
+                    ("runtime", json::n(t.runtime)),
+                ])
+            })
+            .collect();
+        let doc = json::obj(vec![
+            ("v", json::n(1.0)),
+            ("next_task_id", json::n(next_task_id as f64)),
+            ("tasks", Value::Arr(entries)),
+        ]);
+        let tmp = self.dir.join("snapshot.tmp");
+        let mut f = File::create(&tmp)?;
+        f.write_all(doc.to_string().as_bytes())?;
+        f.sync_data()?;
+        drop(f);
+        std::fs::rename(&tmp, self.dir.join(SNAPSHOT_FILE))?;
+        // Make the rename durable (best effort — not all platforms allow
+        // syncing a directory handle).
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        self.file.set_len(0)?;
+        self.file.sync_data()?;
+        self.records_since_snapshot = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("tracon-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn roundtrip_replays_all_records() {
+        let dir = tmpdir("roundtrip");
+        {
+            let (mut wal, rec) = Wal::open(&dir, 1000).unwrap();
+            assert_eq!(rec.tasks.len(), 0);
+            wal.append(&WalRecord::Submit {
+                task: 0,
+                app: "grep".into(),
+            })
+            .unwrap();
+            wal.append(&WalRecord::Submit {
+                task: 1,
+                app: "sort".into(),
+            })
+            .unwrap();
+            wal.append(&WalRecord::Lease {
+                task: 0,
+                attempt: 0,
+            })
+            .unwrap();
+            wal.append(&WalRecord::Complete {
+                task: 0,
+                runtime: 3.5,
+            })
+            .unwrap();
+            wal.append(&WalRecord::Requeue {
+                task: 1,
+                attempt: 1,
+            })
+            .unwrap();
+        }
+        let (_, rec) = Wal::open(&dir, 1000).unwrap();
+        assert_eq!(rec.replayed_records, 5);
+        assert_eq!(rec.next_task_id, 2);
+        assert_eq!(rec.tasks.len(), 2);
+        assert_eq!(rec.tasks[0].state, RecState::Completed);
+        assert_eq!(rec.tasks[0].runtime, 3.5);
+        assert_eq!(rec.tasks[1].state, RecState::Queued);
+        assert_eq!(rec.tasks[1].attempts, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let dir = tmpdir("torn");
+        {
+            let (mut wal, _) = Wal::open(&dir, 1000).unwrap();
+            wal.append(&WalRecord::Submit {
+                task: 0,
+                app: "grep".into(),
+            })
+            .unwrap();
+        }
+        // Append garbage simulating a frame cut mid-write.
+        {
+            let mut f = OpenOptions::new()
+                .append(true)
+                .open(dir.join(LOG_FILE))
+                .unwrap();
+            f.write_all(&[0x20, 0x00, 0x00, 0x00, 0xde, 0xad]).unwrap();
+        }
+        let (mut wal, rec) = Wal::open(&dir, 1000).unwrap();
+        assert_eq!(rec.replayed_records, 1);
+        assert_eq!(rec.tasks.len(), 1);
+        assert!(rec.truncated_bytes > 0);
+        // The log is writable again on a clean boundary.
+        wal.append(&WalRecord::Lease {
+            task: 0,
+            attempt: 0,
+        })
+        .unwrap();
+        drop(wal);
+        let (_, rec) = Wal::open(&dir, 1000).unwrap();
+        assert_eq!(rec.replayed_records, 2);
+        assert_eq!(rec.tasks[0].state, RecState::Leased);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_checksum_stops_replay_at_frame() {
+        let dir = tmpdir("crc");
+        {
+            let (mut wal, _) = Wal::open(&dir, 1000).unwrap();
+            for i in 0..3u64 {
+                wal.append(&WalRecord::Submit {
+                    task: i,
+                    app: "a".into(),
+                })
+                .unwrap();
+            }
+        }
+        // Flip one payload byte of the *second* frame.
+        {
+            let mut bytes = std::fs::read(dir.join(LOG_FILE)).unwrap();
+            let first_len = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+            let second_payload = 8 + first_len + 8;
+            bytes[second_payload] ^= 0xFF;
+            std::fs::write(dir.join(LOG_FILE), &bytes).unwrap();
+        }
+        let (_, rec) = Wal::open(&dir, 1000).unwrap();
+        assert_eq!(rec.replayed_records, 1, "replay stops at the bad frame");
+        assert!(rec.truncated_bytes > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_compacts_and_survives_restart() {
+        let dir = tmpdir("snap");
+        {
+            let (mut wal, _) = Wal::open(&dir, 2).unwrap();
+            wal.append(&WalRecord::Submit {
+                task: 0,
+                app: "grep".into(),
+            })
+            .unwrap();
+            wal.append(&WalRecord::Submit {
+                task: 1,
+                app: "sort".into(),
+            })
+            .unwrap();
+            assert!(wal.snapshot_due());
+            let tasks = vec![
+                RecoveredTask {
+                    task: 0,
+                    app: "grep".into(),
+                    attempts: 0,
+                    state: RecState::Queued,
+                    runtime: 0.0,
+                },
+                RecoveredTask {
+                    task: 1,
+                    app: "sort".into(),
+                    attempts: 2,
+                    state: RecState::DeadLettered,
+                    runtime: 0.0,
+                },
+            ];
+            wal.snapshot(&tasks, 2).unwrap();
+            assert!(!wal.snapshot_due());
+            // Post-snapshot records land in the truncated log.
+            wal.append(&WalRecord::Lease {
+                task: 0,
+                attempt: 0,
+            })
+            .unwrap();
+        }
+        let (_, rec) = Wal::open(&dir, 2).unwrap();
+        assert_eq!(rec.next_task_id, 2);
+        assert_eq!(rec.replayed_records, 1, "only the post-snapshot record");
+        assert_eq!(rec.tasks.len(), 2);
+        assert_eq!(rec.tasks[0].state, RecState::Leased);
+        assert_eq!(rec.tasks[1].state, RecState::DeadLettered);
+        assert_eq!(rec.tasks[1].attempts, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_dir_recovers_empty() {
+        let dir = tmpdir("empty");
+        let (_, rec) = Wal::open(&dir, 10).unwrap();
+        assert_eq!(rec.tasks.len(), 0);
+        assert_eq!(rec.next_task_id, 0);
+        assert_eq!(rec.replayed_records, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

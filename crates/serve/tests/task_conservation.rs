@@ -1,0 +1,171 @@
+//! Property test: the task-conservation invariant — every admitted task
+//! is in exactly one of queued/delayed/running/completed/dead-lettered —
+//! holds under random interleavings of submits, completions, lease
+//! expiries, backoff promotion, and crash-recovery cycles through the
+//! WAL, and all work eventually reaches a terminal state.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+use tracon_dcsim::{Testbed, TestbedConfig};
+use tracon_serve::{Metrics, SchedKind, ServeConfig, Service};
+
+/// One shared testbed: profiling it dominates the cost of a case.
+fn testbed() -> &'static Testbed {
+    static TB: OnceLock<Testbed> = OnceLock::new();
+    TB.get_or_init(|| {
+        let mut cfg = TestbedConfig::small();
+        cfg.calibration_points = 6;
+        cfg.time_scale = 0.05;
+        Testbed::build(&cfg)
+    })
+}
+
+fn fresh_dir() -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("tracon-conserve-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Tight leases and budgets so a short virtual-time jump drives tasks
+/// through requeue and into the dead-letter queue.
+fn cfg(dir: &Path) -> ServeConfig {
+    ServeConfig {
+        machines: 2,
+        slots_per_machine: 2,
+        scheduler: SchedKind::Mios,
+        queue_capacity: 8,
+        lease_base_ms: 40,
+        lease_per_predicted_s_ms: 0,
+        max_attempts: 2,
+        backoff_base_ms: 5,
+        backoff_cap_ms: 20,
+        wal_dir: Some(dir.to_path_buf()),
+        wal_snapshot_every: 16,
+        ..ServeConfig::default()
+    }
+}
+
+fn open(dir: &Path, now: Instant) -> Service {
+    Service::open(testbed(), cfg(dir), Arc::new(Metrics::new()), now)
+        .expect("service must open its WAL")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn conservation_holds_under_random_interleavings(
+        ops in proptest::collection::vec((0u8..5, 0u16..1024), 1..40)
+    ) {
+        let tb = testbed();
+        let napps = tb.perf.names.len();
+        let dir = fresh_dir();
+        let mut now = Instant::now();
+        let mut svc = open(&dir, now);
+        let mut ids: Vec<u64> = Vec::new();
+        for (op, x) in ops {
+            let x = x as usize;
+            match op {
+                // Submit: backpressure refusals are part of the model.
+                0 => {
+                    let app = tb.perf.names[x % napps].clone();
+                    if let Ok(admitted) = svc.submit(&app, now) {
+                        ids.push(admitted.task);
+                    }
+                }
+                // Complete a known task; NotRunning refusals (still
+                // queued, already done, lease already expired) are fine.
+                1 => {
+                    if !ids.is_empty() {
+                        let task = ids[x % ids.len()];
+                        let _ = svc.complete(task, 5.0 + (x % 7) as f64, 80.0, now);
+                    }
+                }
+                // Small time step: may promote backoffs, may expire some
+                // leases.
+                2 => {
+                    now += Duration::from_millis((x % 30 + 1) as u64);
+                    svc.tick(now);
+                }
+                // Crash: drop the service with no shutdown path; the next
+                // incarnation recovers from the WAL alone.
+                3 => {
+                    drop(svc);
+                    now += Duration::from_millis(1);
+                    svc = open(&dir, now);
+                }
+                // Jump past every lease and backoff deadline.
+                _ => {
+                    now += Duration::from_millis(2_000);
+                    svc.tick(now);
+                }
+            }
+            let st = svc.status();
+            prop_assert!(
+                st.conserved(),
+                "op {} broke conservation: admitted {} = completed {} + dead {} + queued {} + delayed {} + running {}",
+                op, st.admitted, st.completed, st.dead_lettered, st.queued, st.delayed, st.running
+            );
+        }
+        // Left alone, the lease machinery must drive every survivor to a
+        // terminal state (completed earlier, or dead-lettered now).
+        for _ in 0..64 {
+            now += Duration::from_millis(2_000);
+            svc.tick(now);
+            if svc.status().queued + svc.status().delayed + svc.status().running == 0 {
+                break;
+            }
+        }
+        let st = svc.status();
+        prop_assert!(st.conserved());
+        prop_assert_eq!(
+            st.queued + st.delayed + st.running, 0,
+            "work wedged: queued {} delayed {} running {}",
+            st.queued, st.delayed, st.running
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A crash at an arbitrary point never loses or duplicates a task:
+    /// the recovered counters match a straight replay of what happened.
+    #[test]
+    fn recovery_preserves_admission_count(
+        submits in 1usize..12,
+        completes in 0usize..12,
+    ) {
+        let tb = testbed();
+        let dir = fresh_dir();
+        let now = Instant::now();
+        let mut svc = open(&dir, now);
+        let mut placed: Vec<u64> = Vec::new();
+        for i in 0..submits {
+            let app = tb.perf.names[i % tb.perf.names.len()].clone();
+            if let Ok(admitted) = svc.submit(&app, now) {
+                if admitted.placement.is_some() {
+                    placed.push(admitted.task);
+                }
+            }
+        }
+        let mut completed = 0u64;
+        for task in placed.iter().take(completes) {
+            if svc.complete(*task, 6.0, 90.0, now).is_ok() {
+                completed += 1;
+            }
+        }
+        let before = svc.status();
+        drop(svc);
+
+        let svc = open(&dir, Instant::now());
+        let after = svc.status();
+        prop_assert!(after.conserved());
+        prop_assert_eq!(after.admitted, before.admitted, "admissions changed");
+        prop_assert_eq!(after.completed, completed, "completions changed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
