@@ -1,0 +1,156 @@
+//! CI regression gate for the `BENCH_*.json` trajectory.
+//!
+//! ```text
+//! cargo run --release -p tracon-bench --bin bench_gate -- --fresh BENCH_quick.json
+//! ```
+//!
+//! Finds the latest committed artifact (`BENCH_<N>.json` with the highest
+//! `N` in `--baseline-dir`, default the current directory), loads the
+//! fresh artifact from `--fresh`, and compares every throughput row —
+//! rows whose `unit` is `events/s`, where higher is better — that appears
+//! in both. A fresh value more than 20% below the committed one fails the
+//! gate (exit 1). When no committed artifact exists yet the gate skips
+//! gracefully (exit 0), so the first artifact of a repository bootstraps
+//! the trajectory instead of breaking CI.
+//!
+//! Only throughput rows are gated: the `ns`- and `s`-unit rows mix
+//! machine speed into the comparison too directly for a hard CI gate
+//! across heterogeneous runners, while events/s regressions of >20% have
+//! so far only come from real algorithmic regressions.
+
+use serde_json::Value;
+use std::path::{Path, PathBuf};
+
+/// Fractional slowdown tolerated before the gate fails.
+const TOLERANCE: f64 = 0.20;
+
+/// Units gated by this binary (higher is better).
+const GATED_UNITS: &[&str] = &["events/s"];
+
+/// Returns the `BENCH_<N>.json` path with the highest `N` in `dir`.
+fn latest_artifact(dir: &Path) -> Option<PathBuf> {
+    let mut best: Option<(u64, PathBuf)> = None;
+    for entry in std::fs::read_dir(dir).ok()?.flatten() {
+        let path = entry.path();
+        let Some(n) = path
+            .file_name()
+            .and_then(|f| f.to_str())
+            .and_then(|f| f.strip_prefix("BENCH_"))
+            .and_then(|f| f.strip_suffix(".json"))
+            .and_then(|f| f.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        if best.as_ref().is_none_or(|(bn, _)| n > *bn) {
+            best = Some((n, path));
+        }
+    }
+    best.map(|(_, p)| p)
+}
+
+/// Loads an artifact's gated rows as `(suite/name, value)` pairs.
+fn gated_rows(path: &Path) -> Result<Vec<(String, f64)>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let doc: Value =
+        serde_json::from_str(&text).map_err(|e| format!("parse {}: {e:?}", path.display()))?;
+    let results = doc
+        .get("results")
+        .and_then(|r| r.as_array())
+        .ok_or_else(|| format!("{}: no results array", path.display()))?;
+    let mut rows = Vec::new();
+    for row in results {
+        let unit = row.get("unit").and_then(|v| v.as_str()).unwrap_or("");
+        if !GATED_UNITS.contains(&unit) {
+            continue;
+        }
+        let suite = row.get("suite").and_then(|v| v.as_str()).unwrap_or("?");
+        let name = row.get("name").and_then(|v| v.as_str()).unwrap_or("?");
+        let value = row
+            .get("value")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("{}: {suite}/{name} has no numeric value", path.display()))?;
+        rows.push((format!("{suite}/{name}"), value));
+    }
+    Ok(rows)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let arg_after = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let Some(fresh_path) = arg_after("--fresh") else {
+        eprintln!("usage: bench_gate --fresh <BENCH.json> [--baseline-dir <dir>]");
+        std::process::exit(2);
+    };
+    let baseline_dir = arg_after("--baseline-dir").unwrap_or_else(|| ".".to_string());
+
+    let Some(baseline_path) = latest_artifact(Path::new(&baseline_dir)) else {
+        println!(
+            "bench_gate: no committed BENCH_<N>.json under {baseline_dir}; \
+             skipping regression gate"
+        );
+        return;
+    };
+    let baseline = match gated_rows(&baseline_path) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            std::process::exit(2);
+        }
+    };
+    let fresh = match gated_rows(Path::new(&fresh_path)) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            std::process::exit(2);
+        }
+    };
+    if baseline.is_empty() {
+        println!(
+            "bench_gate: {} has no throughput rows to gate on; skipping",
+            baseline_path.display()
+        );
+        return;
+    }
+
+    println!(
+        "bench_gate: comparing {fresh_path} against {}",
+        baseline_path.display()
+    );
+    let mut failures = Vec::new();
+    for (key, base_value) in &baseline {
+        let Some((_, fresh_value)) = fresh.iter().find(|(k, _)| k == key) else {
+            println!("  {key}: missing from fresh artifact (skipped)");
+            continue;
+        };
+        let ratio = fresh_value / base_value.max(1e-12);
+        let verdict = if ratio < 1.0 - TOLERANCE {
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {key}: committed {base_value:.0}, fresh {fresh_value:.0} \
+             ({:+.1}%) {verdict}",
+            (ratio - 1.0) * 100.0
+        );
+        if ratio < 1.0 - TOLERANCE {
+            failures.push(key.clone());
+        }
+    }
+    if !failures.is_empty() {
+        eprintln!(
+            "bench_gate: {} throughput metric(s) regressed more than {:.0}%: {}",
+            failures.len(),
+            TOLERANCE * 100.0,
+            failures.join(", ")
+        );
+        std::process::exit(1);
+    }
+    println!("bench_gate: all throughput metrics within tolerance");
+}

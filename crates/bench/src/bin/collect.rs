@@ -10,8 +10,11 @@
 //!
 //! The micro suites mirror `benches/schedulers.rs` (batch scheduling of
 //! 32 tasks on 16 machines; MIBS_8 across cluster sizes) plus a warm
-//! score-lookup probe; the macro suite times a reduced Fig 9 dynamic
-//! sweep single-threaded versus multi-threaded and reports the speedup.
+//! score-lookup probe; the kernel suite times the event-kernel hot paths
+//! (end-to-end `kernel_events_per_sec`, raw `queue_push_pop_ns` for both
+//! queue backends, `mix_head_search_ns`); the macro suite times a reduced
+//! Fig 9 dynamic sweep single-threaded versus multi-threaded and reports
+//! the speedup.
 
 use serde_json::json;
 use std::collections::{HashMap, VecDeque};
@@ -22,9 +25,12 @@ use tracon_core::{
     InterferenceModel, Mibs, Mios, Mix, ModelKind, Objective, Predictor, Scheduler, ScoringPolicy,
     Task,
 };
+use tracon_dcsim::engine::queue_roundtrip_checksum;
 use tracon_dcsim::experiments::registry::{find, TestbedCache, REGISTRY};
 use tracon_dcsim::experiments::{fig9, sweep, ExperimentConfig};
-use tracon_dcsim::{Testbed, TestbedConfig, WorkloadMix};
+use tracon_dcsim::{
+    poisson_trace, QueueBackend, SchedulerKind, Simulation, Testbed, TestbedConfig, WorkloadMix,
+};
 
 /// A cheap synthetic model (product interference) so the collector
 /// measures scheduler logic rather than model evaluation — the same
@@ -223,16 +229,129 @@ fn micro_suite(quick: bool, results: &mut Vec<serde_json::Value>) {
     eprintln!("scoring/warm_score_lookup: {per_lookup:.1} ns");
 }
 
-fn macro_suite(quick: bool, results: &mut Vec<serde_json::Value>) {
-    eprintln!("building reduced testbed for the macro sweep ...");
-    let tb = Testbed::build(&TestbedConfig::small());
+/// Times the event-kernel hot paths: end-to-end simulator event
+/// throughput (the metric the timing-wheel swap is gated on), raw queue
+/// push/pop round-trips for both backends, and MIX's per-head search
+/// cost after the flat-scoring rewrite.
+fn kernel_suite(quick: bool, tb: &Testbed, results: &mut Vec<serde_json::Value>) {
+    // End-to-end kernel throughput: a fig9-style horizon-bounded dynamic
+    // run on 16 machines under MIBS_8 — the regime every registry sweep
+    // exercises — reported as events drained per wall-clock second
+    // (`SimResult::events_processed` over elapsed time).
+    let horizon = if quick { 600.0 } else { 3600.0 };
+    let reps = if quick { 10 } else { 20 };
+    let trace = poisson_trace(600.0, horizon, WorkloadMix::Medium, 42);
+    for (name, backend) in [
+        ("kernel_events_per_sec", QueueBackend::TimingWheel),
+        ("kernel_events_per_sec_heap", QueueBackend::BinaryHeap),
+    ] {
+        let sim = Simulation::new(tb, 16, SchedulerKind::Mibs(8)).with_queue_backend(backend);
+        // One warm pass so both backends time the same warmed caches,
+        // then aggregate over repetitions: a single run drains in
+        // milliseconds, too short for a stable throughput figure.
+        sim.run(&trace, Some(horizon));
+        let mut events = 0usize;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            events += sim.run(&trace, Some(horizon)).events_processed;
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        let eps = events as f64 / elapsed.max(1e-9);
+        results.push(json!({
+            "suite": "kernel",
+            "name": name,
+            "metric": "event_throughput",
+            "unit": "events/s",
+            "value": eps,
+            "events": events,
+            "reps": reps,
+        }));
+        eprintln!("kernel/{name}: {eps:.0} events/s ({events} events in {elapsed:.3} s)");
+    }
+
+    // Raw queue push/pop round-trip over a workload-like time stream:
+    // monotone arrivals with jitter and ~5% exact coincidences, the same
+    // shape the simulator feeds the queue.
+    let n_events: usize = if quick { 50_000 } else { 500_000 };
+    let times = {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut t = 0.0f64;
+        let mut out: Vec<f64> = Vec::with_capacity(n_events);
+        for _ in 0..n_events {
+            if !out.is_empty() && rng.gen_range(0..20) == 0 {
+                out.push(*out.last().unwrap());
+            } else {
+                t += rng.gen_range(0.0..2.0);
+                out.push(t + rng.gen_range(-0.5..0.5));
+            }
+        }
+        out
+    };
+    for (name, backend) in [
+        ("queue_push_pop_ns", QueueBackend::TimingWheel),
+        ("queue_push_pop_ns_heap", QueueBackend::BinaryHeap),
+    ] {
+        // Warm pass so the first allocation of the arena is not timed.
+        queue_roundtrip_checksum(&times, backend);
+        let t0 = Instant::now();
+        let checksum = queue_roundtrip_checksum(&times, backend);
+        let per_op = t0.elapsed().as_nanos() as f64 / (2 * n_events) as f64;
+        results.push(json!({
+            "suite": "kernel",
+            "name": name,
+            "metric": "queue_roundtrip",
+            "unit": "ns",
+            "value": per_op,
+            "events": n_events,
+            "checksum": checksum,
+        }));
+        eprintln!("kernel/{name}: {per_op:.1} ns per push+pop");
+    }
+
+    // MIX head search: one schedule() call over a 32-task window on 16
+    // machines, reported per head candidate (32 heads per call).
+    let (predictor, chars) = synthetic_world(8);
+    let (warmup, iters) = if quick { (3, 20) } else { (10, 200) };
+    let ns = bench(
+        warmup,
+        iters,
+        || {
+            (
+                Mix::new(32),
+                batch(32, 8, 5),
+                ClusterState::new(16, 2, chars.clone()),
+                ScoringPolicy::new(&predictor, Objective::MinRuntime),
+            )
+        },
+        |(mut s, mut q, mut cl, sc)| {
+            s.schedule(&mut q, &mut cl, &sc);
+        },
+    );
+    let per_head = ns / 32.0;
+    results.push(json!({
+        "suite": "kernel",
+        "name": "mix_head_search_ns",
+        "metric": "head_search",
+        "unit": "ns",
+        "value": per_head,
+        "iters": iters,
+    }));
+    eprintln!(
+        "kernel/mix_head_search_ns: {:.1} us per head candidate",
+        per_head / 1e3
+    );
+}
+
+fn macro_suite(quick: bool, tb: &Testbed, results: &mut Vec<serde_json::Value>) {
     let lambdas: &[f64] = if quick { &[10.0] } else { &[10.0, 20.0] };
     let mixes = [WorkloadMix::Light, WorkloadMix::Medium];
     let horizon = if quick { 1800.0 } else { 3600.0 };
     let reps = 2;
     let run = || {
         sweep::dynamic_sweep(
-            &tb,
+            tb,
             16,
             lambdas,
             &mixes,
@@ -326,7 +445,10 @@ fn main() {
 
     let mut results = Vec::new();
     micro_suite(quick, &mut results);
-    macro_suite(quick, &mut results);
+    eprintln!("building reduced testbed for the kernel and macro suites ...");
+    let tb = Testbed::build(&TestbedConfig::small());
+    kernel_suite(quick, &tb, &mut results);
+    macro_suite(quick, &tb, &mut results);
     registry_suite(quick, &mut results);
 
     // A measurement of exactly zero means the clock never ran — a
@@ -364,11 +486,11 @@ fn main() {
         "suite": "tracon-bench/collect",
         "mode": if quick { "quick" } else { "full" },
         "unix_time": unix_time,
-        "host": {
+        "host": json!({
             "os": std::env::consts::OS,
             "arch": std::env::consts::ARCH,
             "cpus": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
-        },
+        }),
         "results": results,
     });
     let rendered = serde_json::to_string_pretty(&doc).expect("serialize benchmark document");

@@ -507,8 +507,7 @@ pub fn submit(args: &Args) -> Result<String, String> {
         .or_else(|| args.positionals.first().cloned())
         .ok_or("missing --app NAME (see `tracon apps`)")?;
     let count: usize = args.num_or("count", 1)?;
-    let mut client =
-        Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let mut client = Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
     let mut out = String::new();
     for _ in 0..count.max(1) {
         let reply = client
@@ -547,7 +546,10 @@ pub fn submit(args: &Args) -> Result<String, String> {
                 let hint = retry_after_ms
                     .map(|ms| format!(" (retry after {ms} ms)"))
                     .unwrap_or_default();
-                return Err(format!("daemon rejected submit ({}): {message}{hint}", kind.as_str()));
+                return Err(format!(
+                    "daemon rejected submit ({}): {message}{hint}",
+                    kind.as_str()
+                ));
             }
         }
     }
@@ -559,8 +561,7 @@ pub fn drain(args: &Args) -> Result<String, String> {
     use tracon_serve::{Client, Reply, Request};
 
     let addr = args.require("addr")?;
-    let mut client =
-        Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let mut client = Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
     match client
         .request(Request::Drain)
         .map_err(|e| format!("drain failed: {e}"))?

@@ -12,7 +12,9 @@ fn main() {
         Ok(output) => {
             use std::io::Write as _;
             let mut stdout = std::io::stdout().lock();
-            let result = stdout.write_all(output.as_bytes()).and_then(|()| stdout.flush());
+            let result = stdout
+                .write_all(output.as_bytes())
+                .and_then(|()| stdout.flush());
             if let Err(e) = result {
                 // `tracon ... | head` closes the pipe early; that is not a
                 // failure of the command itself.

@@ -6,6 +6,7 @@
 use crate::characteristics::{joint_features, Characteristics};
 use crate::interner::{AppId, AppRegistry, ClassKey};
 use crate::model::InterferenceModel;
+use crate::sched::FreeClass;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -328,6 +329,37 @@ impl<'a> ScoringPolicy<'a> {
     /// for every slot.
     pub fn excess_score(&self, app: AppId, key: ClassKey, background: &Characteristics) -> f64 {
         self.score(app, key, background) - self.solo[app.index()]
+    }
+
+    /// Number of applications in the registry — the row length of the
+    /// batch scoring methods below.
+    pub fn n_apps(&self) -> usize {
+        self.n_apps
+    }
+
+    /// Fills `out` with [`ScoringPolicy::score`] of `app` against every
+    /// class in `classes`, in order: one contiguous row the batch
+    /// schedulers scan as a flat array walk instead of chasing a scoring
+    /// call per candidate. Values and evaluation order are identical to
+    /// calling [`ScoringPolicy::score`] per class.
+    pub fn scores_into(&self, app: AppId, classes: &[FreeClass], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(
+            classes
+                .iter()
+                .map(|c| self.score(app, c.key, &c.background)),
+        );
+    }
+
+    /// Like [`ScoringPolicy::scores_into`] but with the interference
+    /// excess ([`ScoringPolicy::excess_score`]), written into the first
+    /// `classes.len()` entries of `out` — the caller owns the flat
+    /// `[n_apps x n_classes]` matrix the row belongs to.
+    pub fn excess_scores_into(&self, app: AppId, classes: &[FreeClass], out: &mut [f64]) {
+        debug_assert!(out.len() >= classes.len());
+        for (o, c) in out.iter_mut().zip(classes) {
+            *o = self.excess_score(app, c.key, &c.background);
+        }
     }
 
     /// Number of memoized placement scores (diagnostics): filled dense

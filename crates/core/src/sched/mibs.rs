@@ -35,12 +35,26 @@ use std::collections::VecDeque;
 pub struct Mibs {
     /// Nominal batch size (used in the display name).
     pub queue_len: usize,
+    /// Scratch: the free classes, listed once per round.
+    classes: Vec<FreeClass>,
+    /// Scratch: flat `[n_apps x n_classes]` excess matrix, rows filled
+    /// lazily per distinct app in the window. Tasks of the same app share
+    /// a row, so the double-Min scan is a contiguous array walk with one
+    /// scoring call per (app, class) instead of one per (task, class).
+    excess: Vec<f64>,
+    /// Scratch: which rows of `excess` are filled this round.
+    row_filled: Vec<bool>,
 }
 
 impl Mibs {
     /// Creates a MIBS scheduler with the given nominal batch size.
     pub fn new(queue_len: usize) -> Self {
-        Mibs { queue_len }
+        Mibs {
+            queue_len,
+            classes: Vec::new(),
+            excess: Vec::new(),
+            row_filled: Vec::new(),
+        }
     }
 }
 
@@ -66,12 +80,15 @@ impl Scheduler for Mibs {
     ) -> Vec<Assignment> {
         let mut out = Vec::new();
         let mut window: Vec<Task> = queue.drain(..).collect();
-        // Reused across rounds so each round's class listing costs no
-        // fresh allocation.
-        let mut classes: Vec<FreeClass> = Vec::new();
+        let n_apps = scoring.n_apps();
 
         while !window.is_empty() && cluster.n_free() > 0 {
-            cluster.free_classes_into(&mut classes);
+            cluster.free_classes_into(&mut self.classes);
+            let nc = self.classes.len();
+            self.row_filled.clear();
+            self.row_filled.resize(n_apps, false);
+            self.excess.clear();
+            self.excess.resize(n_apps * nc, 0.0);
             // The double Min: over every (task, slot-class) pair, find the
             // minimum interference excess. Tie-breaking matters because on
             // benign workloads almost everything ties at zero excess:
@@ -85,9 +102,19 @@ impl Scheduler for Mibs {
             //     throughput under overload.
             let mut best: Option<((f64, f64, usize), usize, usize)> = None;
             for (ti, t) in window.iter().enumerate() {
+                let a = t.app.index();
+                if !self.row_filled[a] {
+                    scoring.excess_scores_into(
+                        t.app,
+                        &self.classes,
+                        &mut self.excess[a * nc..(a + 1) * nc],
+                    );
+                    self.row_filled[a] = true;
+                }
                 let fragility = scoring.pair_score(t.app, t.app);
-                for (ci, c) in classes.iter().enumerate() {
-                    let excess = scoring.excess_score(t.app, c.key, &c.background);
+                let row = &self.excess[a * nc..(a + 1) * nc];
+                for (ci, c) in self.classes.iter().enumerate() {
+                    let excess = row[ci];
                     // Lexicographic key: excess, then idle-with-fragility
                     // preference, then window age.
                     let tie = if c.key.is_idle() {
@@ -111,7 +138,7 @@ impl Scheduler for Mibs {
             }
             let Some((_, ti, ci)) = best else { break };
             let task = window.swap_remove(ti);
-            let class = &classes[ci];
+            let class = &self.classes[ci];
             let score = scoring.score(task.app, class.key, &class.background);
             let vm = class.example;
             cluster.place(

@@ -13,7 +13,7 @@
 //! are reduced in head order, making the result bit-identical to the
 //! serial place/undo evaluation for any thread count.
 
-use super::{place_best, Assignment, ClusterState, Mibs, Scheduler, Task};
+use super::{place_best_with, Assignment, ClusterState, FreeClass, Mibs, Scheduler, Task};
 use crate::par;
 use crate::predictor::ScoringPolicy;
 use std::collections::{HashSet, VecDeque};
@@ -47,6 +47,27 @@ fn total_score(assignments: &[Assignment]) -> f64 {
     assignments.iter().map(|a| a.predicted_score).sum()
 }
 
+/// Per-evaluation scratch for the head search: a reusable MIBS instance
+/// (which owns its own flat scoring buffers) plus the class/score rows
+/// for the forced head placement. The serial path carries one `Scratch`
+/// across every head candidate; the parallel path gives each worker its
+/// own, since candidates run concurrently.
+struct Scratch {
+    mibs: Mibs,
+    classes: Vec<FreeClass>,
+    scores: Vec<f64>,
+}
+
+impl Scratch {
+    fn new(queue_len: usize) -> Self {
+        Scratch {
+            mibs: Mibs::new(queue_len),
+            classes: Vec::new(),
+            scores: Vec::new(),
+        }
+    }
+}
+
 impl Scheduler for Mix {
     fn name(&self) -> String {
         format!("MIX_{}", self.queue_len)
@@ -65,33 +86,45 @@ impl Scheduler for Mix {
         let queue_len = self.queue_len;
         // Force task `head` to be placed first (by MIOS), then let MIBS
         // schedule the remainder on the given cluster.
-        let evaluate = |head: usize, cluster: &mut ClusterState| -> Option<Vec<Assignment>> {
-            let mut placed = vec![place_best(tasks[head], cluster, scoring)?];
+        let evaluate = |head: usize,
+                        cluster: &mut ClusterState,
+                        scratch: &mut Scratch|
+         -> Option<Vec<Assignment>> {
+            let mut placed = vec![place_best_with(
+                tasks[head],
+                cluster,
+                scoring,
+                &mut scratch.classes,
+                &mut scratch.scores,
+            )?];
             let mut rest: VecDeque<Task> = tasks
                 .iter()
                 .enumerate()
                 .filter(|(i, _)| *i != head)
                 .map(|(_, t)| *t)
                 .collect();
-            placed.extend(Mibs::new(queue_len).schedule(&mut rest, cluster, scoring));
+            placed.extend(scratch.mibs.schedule(&mut rest, cluster, scoring));
             Some(placed)
         };
 
         let candidates: Vec<Option<Vec<Assignment>>> =
             if cluster.n_machines() >= PAR_MACHINES_THRESHOLD && tasks.len() > 1 {
-                // Each head candidate gets its own cluster clone, so the
-                // evaluations can run on worker threads.
+                // Each head candidate gets its own cluster clone and
+                // scratch, so the evaluations can run on worker threads.
                 let shared: &ClusterState = cluster;
                 par::map((0..tasks.len()).collect(), |head| {
-                    let mut scratch = shared.clone();
-                    evaluate(head, &mut scratch)
+                    let mut scratch_cluster = shared.clone();
+                    let mut scratch = Scratch::new(queue_len);
+                    evaluate(head, &mut scratch_cluster, &mut scratch)
                 })
             } else {
                 // Evaluate on the live cluster and undo (place/clear are
                 // exact inverses, cheaper than cloning small clusters).
+                // One scratch serves every head: the buffers stay warm.
+                let mut scratch = Scratch::new(queue_len);
                 (0..tasks.len())
                     .map(|head| {
-                        let placed = evaluate(head, cluster)?;
+                        let placed = evaluate(head, cluster, &mut scratch)?;
                         for a in placed.iter().rev() {
                             cluster.clear(a.vm);
                         }

@@ -98,6 +98,43 @@ pub fn place_best(
     })
 }
 
+/// [`place_best`] with caller-owned scratch: the free classes are listed
+/// once into `classes` and scored as one contiguous row in `scores`, so
+/// the minimum search is a flat array walk with no per-candidate scoring
+/// indirection. Bit-identical to [`place_best`] — same class order, same
+/// score values, same first-strict-minimum rule — but reusable buffers
+/// make it the right entry point for hot callers like MIX's head search.
+pub fn place_best_with(
+    task: Task,
+    cluster: &mut ClusterState,
+    scoring: &ScoringPolicy<'_>,
+    classes: &mut Vec<FreeClass>,
+    scores: &mut Vec<f64>,
+) -> Option<Assignment> {
+    cluster.free_classes_into(classes);
+    scoring.scores_into(task.app, classes, scores);
+    let mut best: Option<(f64, usize)> = None;
+    for (ci, &score) in scores.iter().enumerate() {
+        if best.is_none_or(|(b, _)| score < b) {
+            best = Some((score, ci));
+        }
+    }
+    let (score, ci) = best?;
+    let vm = classes[ci].example;
+    cluster.place(
+        vm,
+        Resident {
+            task_id: task.id,
+            app: task.app,
+        },
+    );
+    Some(Assignment {
+        task,
+        vm,
+        predicted_score: score,
+    })
+}
+
 #[cfg(test)]
 pub(crate) mod test_support {
     //! Shared fixtures for scheduler tests: a tiny synthetic "world" with

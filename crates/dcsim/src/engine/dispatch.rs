@@ -1,7 +1,7 @@
 //! When and how the scheduler is invoked: the batch-window trigger logic
 //! and the queue-window drain that limits what batch schedulers see.
 
-use super::event::EventQueue;
+use super::event::COINCIDENCE_EPS;
 use std::collections::VecDeque;
 use tracon_core::{Assignment, ClusterState, Scheduler, ScoringPolicy, Task};
 
@@ -19,6 +19,11 @@ use tracon_core::{Assignment, ClusterState, Scheduler, ScoringPolicy, Task};
 /// utilization — measurably ~5% of throughput on benign workloads). A
 /// single free slot with a short queue waits for either more tasks
 /// (choice) or another slot (pairing).
+///
+/// The gate observes the event kernel only through `next_event_time` —
+/// the `(time of the earliest pending event)` peek — so it works
+/// unchanged over every [`KernelQueue`](super::event::KernelQueue)
+/// backend and over the main loop's buffered coincidence groups.
 pub(crate) struct DispatchPolicy {
     window: Option<usize>,
 }
@@ -29,12 +34,18 @@ impl DispatchPolicy {
     }
 
     /// Whether the batch window is satisfied (always true for online
-    /// schedulers).
-    fn window_ready(&self, queue_len: usize, events: &EventQueue, cluster: &ClusterState) -> bool {
+    /// schedulers). `next_event_time == None` means the arrival trace is
+    /// exhausted and nothing is running, so the queue must drain.
+    fn window_ready(
+        &self,
+        queue_len: usize,
+        next_event_time: Option<f64>,
+        cluster: &ClusterState,
+    ) -> bool {
         match self.window {
             Some(w) => {
                 queue_len >= w
-                    || events.is_empty()
+                    || next_event_time.is_none()
                     || cluster.has_idle_machine()
                     || cluster.n_free() >= 2
             }
@@ -45,18 +56,19 @@ impl DispatchPolicy {
     /// The full dispatch gate. Simultaneous events (a static batch
     /// arriving at t = 0, or a machine's two slots completing together)
     /// must all be processed before the scheduler runs, or a batch
-    /// scheduler would see its window one task at a time.
+    /// scheduler would see its window one task at a time — hence the
+    /// [`COINCIDENCE_EPS`] hold-off when the next event is at `now`.
     pub fn should_dispatch(
         &self,
         schedule_needed: bool,
         now: f64,
-        events: &EventQueue,
+        next_event_time: Option<f64>,
         queue: &VecDeque<Task>,
         cluster: &ClusterState,
     ) -> bool {
         schedule_needed
-            && self.window_ready(queue.len(), events, cluster)
-            && !events.has_event_at(now)
+            && self.window_ready(queue.len(), next_event_time, cluster)
+            && !next_event_time.is_some_and(|t| (t - now).abs() < COINCIDENCE_EPS)
             && !queue.is_empty()
             && cluster.n_free() > 0
     }

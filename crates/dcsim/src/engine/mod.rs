@@ -13,7 +13,7 @@
 //! ```text
 //!            ┌─────────────────────────────────────────────┐
 //!            │                event kernel                 │
-//!            │  EventQueue ──► main loop ──► DispatchPolicy│
+//!            │  KernelQueue ──► main loop ──► DispatchPolicy│
 //!            │      ▲             │               │        │
 //!            │      └── SlotState ┘          Scheduler     │
 //!            └──────────┬──────────────────────────────────┘
@@ -26,7 +26,13 @@
 //!            └─────────────────────────────────────────────┘
 //! ```
 //!
-//! * [`event`](self) — the totally-ordered event queue,
+//! * [`event`](self) — the totally-ordered event queue behind the
+//!   `KernelQueue` trait, with two backends selected via
+//!   [`QueueBackend`]: the default arena-backed timing wheel and the
+//!   reference binary heap it is gated against bit-for-bit. The main
+//!   loop drains *coincidence groups* (runs of events within
+//!   [`COINCIDENCE_EPS`]) in one batched call instead of re-peeking the
+//!   queue per event,
 //! * [`slots`](self) — per-slot running state and remaining-work
 //!   rescaling,
 //! * [`dispatch`](self) — the batch-window trigger and queue-window
@@ -39,6 +45,7 @@ mod event;
 pub mod observer;
 mod slots;
 
+pub use event::COINCIDENCE_EPS;
 pub use observer::{
     AdaptiveObserver, ArrivalInfo, CompletionInfo, MachineCrashInfo, PlacementInfo, SimObserver,
     TaskFailureInfo,
@@ -48,7 +55,7 @@ use crate::arrival::ArrivalEvent;
 use crate::faults::FaultPlan;
 use crate::setup::Testbed;
 use dispatch::DispatchPolicy;
-use event::{EventKind, EventQueue};
+use event::{Event, EventKind, HeapQueue, KernelQueue, TimingWheel};
 use observer::{MetricsObserver, ObservationCollector};
 use slots::SlotState;
 use std::collections::VecDeque;
@@ -115,6 +122,43 @@ impl fmt::Display for SchedulerKind {
     }
 }
 
+/// Which event-queue backend drives the kernel (see the [`event`](self)
+/// module docs). The backends are gated to produce bit-identical
+/// simulations; the heap is retained as the equivalence oracle and for
+/// apples-to-apples queue microbenchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QueueBackend {
+    /// Arena-backed calendar-queue timing wheel — O(1) amortized push
+    /// and pop (the default).
+    #[default]
+    TimingWheel,
+    /// The reference `BinaryHeap` kernel.
+    BinaryHeap,
+}
+
+/// Bench hook, not public API: round-trips `times` through a fresh queue
+/// of the chosen backend and returns a drain-order checksum (so the
+/// optimizer cannot elide the work). Used by the bench collector's
+/// `queue_push_pop_ns` metric.
+#[doc(hidden)]
+pub fn queue_roundtrip_checksum(times: &[f64], backend: QueueBackend) -> u64 {
+    fn go<Q: KernelQueue>(times: &[f64]) -> u64 {
+        let mut q = Q::with_capacity(times.len());
+        for (i, &t) in times.iter().enumerate() {
+            q.push(t, EventKind::Arrival(i));
+        }
+        let mut sum = 0u64;
+        while let Some(e) = q.pop() {
+            sum = sum.wrapping_mul(0x100000001b3) ^ e.time.to_bits() ^ e.seq;
+        }
+        sum
+    }
+    match backend {
+        QueueBackend::TimingWheel => go::<TimingWheel>(times),
+        QueueBackend::BinaryHeap => go::<HeapQueue>(times),
+    }
+}
+
 /// Simulation outcome metrics.
 #[derive(Debug, Clone)]
 pub struct SimResult {
@@ -152,6 +196,10 @@ pub struct SimResult {
     pub requeues: usize,
     /// Tasks that exhausted their attempts and left the system.
     pub abandoned: usize,
+    /// Kernel events delivered by the event queue within the horizon
+    /// (arrivals, completions including stale ones, fault transitions) —
+    /// the denominator behind the collector's `kernel_events_per_sec`.
+    pub events_processed: usize,
 }
 
 /// One realized task observation collected by the monitor: the joint
@@ -201,6 +249,8 @@ pub struct Simulation<'tb> {
     /// Fault schedule injected into the event kernel (`None` = the
     /// failure-free paper setting).
     faults: Option<&'tb FaultPlan>,
+    /// Event-queue backend driving the kernel.
+    pub queue_backend: QueueBackend,
 }
 
 impl<'tb> Simulation<'tb> {
@@ -216,7 +266,16 @@ impl<'tb> Simulation<'tb> {
             queue_capacity: None,
             collect_observations: false,
             faults: None,
+            queue_backend: QueueBackend::default(),
         }
+    }
+
+    /// Selects the event-queue backend (default: the timing wheel). The
+    /// backends are bit-identical by construction; the heap exists as the
+    /// equivalence oracle for tests and benchmarks.
+    pub fn with_queue_backend(mut self, backend: QueueBackend) -> Self {
+        self.queue_backend = backend;
+        self
     }
 
     /// Sets the optimization objective.
@@ -275,6 +334,18 @@ impl<'tb> Simulation<'tb> {
         horizon_s: Option<f64>,
         observer: &mut dyn SimObserver,
     ) -> SimResult {
+        match self.queue_backend {
+            QueueBackend::TimingWheel => self.run_impl::<TimingWheel>(trace, horizon_s, observer),
+            QueueBackend::BinaryHeap => self.run_impl::<HeapQueue>(trace, horizon_s, observer),
+        }
+    }
+
+    fn run_impl<Q: KernelQueue>(
+        &self,
+        trace: &[ArrivalEvent],
+        horizon_s: Option<f64>,
+        observer: &mut dyn SimObserver,
+    ) -> SimResult {
         let perf = &self.testbed.perf;
         let names = &perf.names;
         let mut scheduler = self.scheduler.build();
@@ -298,7 +369,7 @@ impl<'tb> Simulation<'tb> {
         let mut slots = SlotState::new(self.n_machines, self.slots_per_machine, perf);
 
         let n_fault_events = self.faults.map_or(0, |p| p.machine_events.len());
-        let mut events = EventQueue::with_capacity(trace.len() + n_slots + n_fault_events);
+        let mut events = Q::with_capacity(trace.len() + n_slots + n_fault_events);
         for (i, a) in trace.iter().enumerate() {
             events.push(a.time, EventKind::Arrival(i));
         }
@@ -338,13 +409,40 @@ impl<'tb> Simulation<'tb> {
         });
 
         // --- main loop ------------------------------------------------
-        while let Some(ev) = events.pop() {
+        // Events are drained in coincidence groups: one batched
+        // `pop_coincident_into` call pulls a whole run of simultaneous
+        // events (a static batch at t = 0, sibling completions) instead
+        // of re-peeking the queue after every event. `group[gi..]` is the
+        // unprocessed tail, always sorted by `(time, seq)`.
+        let mut events_processed = 0usize;
+        let mut group: Vec<Event> = Vec::new();
+        let mut gi = 0usize;
+        loop {
+            if gi >= group.len() {
+                group.clear();
+                gi = 0;
+                if !events.pop_coincident_into(&mut group) {
+                    break;
+                }
+            } else if let Some(t) = events.next_time() {
+                // Processing an event can schedule a completion at (or
+                // before) the next buffered timestamp — e.g. a refresh
+                // with zero remaining work lands at `now` itself. Pull it
+                // in so the global `(time, seq)` order is preserved; ties
+                // stay with the buffered event, whose seq is lower.
+                if t.total_cmp(&group[gi].time).is_lt() {
+                    let ev = events.pop().expect("peeked a pending event");
+                    group.insert(gi, ev);
+                }
+            }
+            let ev = group[gi];
             let now = ev.time;
             if let Some(h) = horizon_s {
                 if now > h {
                     break;
                 }
             }
+            events_processed += 1;
             let mut schedule_needed = false;
             match ev.kind {
                 EventKind::Arrival(i) => {
@@ -369,6 +467,7 @@ impl<'tb> Simulation<'tb> {
                 }
                 EventKind::Completion { vm, version } => {
                     let Some(done) = slots.complete(vm, version, now) else {
+                        gi += 1;
                         continue; // stale event from before a neighbour change
                     };
                     let resident = cluster.clear(vm);
@@ -471,7 +570,14 @@ impl<'tb> Simulation<'tb> {
                 scoring = ScoringPolicy::new_owned(p, self.objective);
             }
 
-            if dispatch.should_dispatch(schedule_needed, now, &events, &queue, &cluster) {
+            // The earliest still-pending event: the head of the buffered
+            // group tail or of the kernel queue, whichever comes first.
+            let next_event_time = match (group.get(gi + 1).map(|e| e.time), events.next_time()) {
+                (Some(a), Some(b)) => Some(if b.total_cmp(&a).is_lt() { b } else { a }),
+                (a, b) => a.or(b),
+            };
+
+            if dispatch.should_dispatch(schedule_needed, now, next_event_time, &queue, &cluster) {
                 // Batch schedulers only see their queue window.
                 let assignments =
                     dispatch.dispatch(scheduler.as_mut(), &mut queue, &mut cluster, &scoring);
@@ -510,6 +616,7 @@ impl<'tb> Simulation<'tb> {
                     observer.on_placement(&info);
                 }
             }
+            gi += 1;
         }
 
         SimResult {
@@ -529,6 +636,7 @@ impl<'tb> Simulation<'tb> {
             task_failures: metrics.task_failures,
             requeues: metrics.requeues,
             abandoned: metrics.abandoned,
+            events_processed,
         }
     }
 }
@@ -788,11 +896,8 @@ mod tests {
         let tb = shared();
         let trace = static_batch(12, WorkloadMix::Medium, 13);
         let mut obs = Counting::default();
-        let r = Simulation::new(tb, 4, SchedulerKind::Mibs(8)).run_with_observer(
-            &trace,
-            None,
-            &mut obs,
-        );
+        let r = Simulation::new(tb, 4, SchedulerKind::Mibs(8))
+            .run_with_observer(&trace, None, &mut obs);
         assert_eq!(obs.arrivals, r.arrived);
         assert_eq!(obs.completions, r.completed);
         assert_eq!(obs.placements, r.completed, "static run places all tasks");

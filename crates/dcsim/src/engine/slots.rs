@@ -3,7 +3,7 @@
 //! is banked at the old rate and the remainder continues at the new
 //! pair rate, with a fresh completion event superseding the stale one.
 
-use super::event::{EventKind, EventQueue};
+use super::event::{EventKind, KernelQueue};
 use crate::perf::{PerfTable, IDLE};
 use tracon_core::VmRef;
 
@@ -106,7 +106,10 @@ impl<'p> SlotState<'p> {
         slowdown: f64,
     ) {
         let idx = self.index(vm);
-        debug_assert!(self.slots[idx].is_none(), "scheduler placed onto occupied slot");
+        debug_assert!(
+            self.slots[idx].is_none(),
+            "scheduler placed onto occupied slot"
+        );
         self.slots[idx] = Some(Running {
             app_idx,
             neighbor_at_start,
@@ -126,7 +129,7 @@ impl<'p> SlotState<'p> {
     /// bumps the version (invalidating the outstanding completion event),
     /// and schedules a new completion at the rescaled ETA. No-op on an
     /// empty slot.
-    pub fn refresh(&mut self, vm: VmRef, now: f64, events: &mut EventQueue) {
+    pub fn refresh<Q: KernelQueue>(&mut self, vm: VmRef, now: f64, events: &mut Q) {
         let nb = self.neighbor_app(vm);
         let idx = self.index(vm);
         if let Some(r) = &mut self.slots[idx] {

@@ -223,7 +223,8 @@ impl SegmentTracker {
                 errors.push(tracon_core::relative_error(pred, group_mean));
             }
         }
-        self.done.push((self.completed, tracon_stats::mean(&errors)));
+        self.done
+            .push((self.completed, tracon_stats::mean(&errors)));
         self.groups.clear();
         self.completed = 0;
         self.snapshot = self.inner.export_predictor();
@@ -394,11 +395,7 @@ impl ExtAdaptive {
             "\nmonitor: {} completions observed, {} model rebuilds, {} drift events,",
             self.observed, self.rebuilds, self.drifts
         );
-        let _ = writeln!(
-            out,
-            "{} mid-run predictor swaps",
-            self.predictor_swaps
-        );
+        let _ = writeln!(out, "{} mid-run predictor swaps", self.predictor_swaps);
         let _ = writeln!(
             out,
             "\nThe adaptive arm starts from the stale (wrong-storage) models and adapts"

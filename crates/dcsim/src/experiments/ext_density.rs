@@ -126,7 +126,10 @@ impl ExtDensity {
             out,
             "I/O-intensive co-resident. It is exact at two guests and a lower bound"
         );
-        let _ = writeln!(out, "beyond that; the gap quantifies the approximation error.");
+        let _ = writeln!(
+            out,
+            "beyond that; the gap quantifies the approximation error."
+        );
         out
     }
 

@@ -119,7 +119,8 @@ impl Fig3 {
             for kind in ModelKind::ALL {
                 match self.cell(cells, app, kind) {
                     Some(c) => {
-                        let _ = write!(out, " {:>22}", super::fmt_pm(c.error.mean, c.error.std_dev));
+                        let _ =
+                            write!(out, " {:>22}", super::fmt_pm(c.error.mean, c.error.std_dev));
                     }
                     None => {
                         let _ = write!(out, " {:>22}", "-");

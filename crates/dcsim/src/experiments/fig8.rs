@@ -96,7 +96,10 @@ impl Fig8 {
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "Fig 8: static-workload Speedup / IOBoost of MIBS over FIFO");
+        let _ = writeln!(
+            out,
+            "Fig 8: static-workload Speedup / IOBoost of MIBS over FIFO"
+        );
         let _ = writeln!(
             out,
             "{:>8} {:>12} {:>10} {:>22} {:>22}",

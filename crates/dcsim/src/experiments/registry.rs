@@ -175,8 +175,13 @@ impl Experiment for Fig8Exp {
     fn run(&self, cfg: &ExperimentConfig, testbed: &TestbedCache<'_>) -> Report {
         Report {
             name: self.name(),
-            rendered: fig8::run(testbed.get(), &cfg.machine_counts, cfg.repetitions, cfg.seed)
-                .render(),
+            rendered: fig8::run(
+                testbed.get(),
+                &cfg.machine_counts,
+                cfg.repetitions,
+                cfg.seed,
+            )
+            .render(),
         }
     }
 }

@@ -48,7 +48,10 @@ impl Table1 {
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "Table 1: normalized App1 runtime under App2 interference");
+        let _ = writeln!(
+            out,
+            "Table 1: normalized App1 runtime under App2 interference"
+        );
         let _ = write!(out, "{:10}", "App1\\App2");
         for c in self.columns {
             let _ = write!(out, " {c:>14}");

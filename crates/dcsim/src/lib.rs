@@ -32,8 +32,8 @@ pub mod setup;
 pub use arrival::{poisson_n, poisson_trace, static_batch, ArrivalEvent, WorkloadMix};
 pub use engine::{
     io_boost, normalized_throughput, speedup, AdaptiveObserver, ArrivalInfo, CompletionInfo,
-    MachineCrashInfo, PlacementInfo, SchedulerKind, SimObserver, SimResult, Simulation,
-    TaskFailureInfo, TaskObservation,
+    MachineCrashInfo, PlacementInfo, QueueBackend, SchedulerKind, SimObserver, SimResult,
+    Simulation, TaskFailureInfo, TaskObservation,
 };
 pub use faults::{FaultConfig, FaultPlan, MachineFaultEvent};
 pub use oracle::oracle_predictor;

@@ -13,28 +13,33 @@ use tracon_vmsim::PairMatrix;
 pub const IDLE: usize = usize::MAX;
 
 /// Replayable pair-performance statistics.
+///
+/// The pair tables are flat row-major `[n x n]` arrays (`a * n + b`), so
+/// the kernel's hot refresh path reads them with one multiply-add and no
+/// nested-`Vec` pointer chase.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct PerfTable {
     /// Application names, index-aligned with the table axes.
     pub names: Vec<String>,
     solo_runtime: Vec<f64>,
     solo_iops: Vec<f64>,
-    /// `runtime[a][b]`: steady-state runtime of `a` next to a continuously
-    /// running `b`.
-    runtime: Vec<Vec<f64>>,
-    /// `iops[a][b]`: steady-state IOPS of `a` next to `b`.
-    iops: Vec<Vec<f64>>,
+    /// Row-major `[n x n]`: steady-state runtime of `a` next to a
+    /// continuously running `b` at index `a * n + b`.
+    runtime: Vec<f64>,
+    /// Row-major `[n x n]`: steady-state IOPS of `a` next to `b`.
+    iops: Vec<f64>,
 }
 
 impl PerfTable {
-    /// Builds the table from a measured [`PairMatrix`].
+    /// Builds the table from a measured [`PairMatrix`], flattening its
+    /// nested rows.
     pub fn from_pair_matrix(m: &PairMatrix) -> Self {
         PerfTable {
             names: m.names.clone(),
             solo_runtime: m.solo_runtime.clone(),
             solo_iops: m.solo_iops.clone(),
-            runtime: m.runtime.clone(),
-            iops: m.iops.clone(),
+            runtime: m.runtime.iter().flatten().copied().collect(),
+            iops: m.iops.iter().flatten().copied().collect(),
         }
     }
 
@@ -69,7 +74,7 @@ impl PerfTable {
         if b == IDLE {
             self.solo_runtime[a]
         } else {
-            self.runtime[a][b]
+            self.runtime[a * self.names.len() + b]
         }
     }
 
@@ -78,7 +83,7 @@ impl PerfTable {
         if b == IDLE {
             self.solo_iops[a]
         } else {
-            self.iops[a][b]
+            self.iops[a * self.names.len() + b]
         }
     }
 
@@ -117,8 +122,8 @@ mod tests {
             names: vec!["io".into(), "cpu".into()],
             solo_runtime: vec![100.0, 100.0],
             solo_iops: vec![200.0, 10.0],
-            runtime: vec![vec![800.0, 120.0], vec![110.0, 200.0]],
-            iops: vec![vec![25.0, 170.0], vec![9.0, 5.0]],
+            runtime: vec![800.0, 120.0, 110.0, 200.0],
+            iops: vec![25.0, 170.0, 9.0, 5.0],
         }
     }
 

@@ -316,9 +316,7 @@ fn serve_connection(
                     }
                 }
             }
-            Err(e)
-                if e.kind() == IoErrorKind::WouldBlock || e.kind() == IoErrorKind::TimedOut =>
-            {
+            Err(e) if e.kind() == IoErrorKind::WouldBlock || e.kind() == IoErrorKind::TimedOut => {
                 if last_activity.elapsed() > idle_limit {
                     return;
                 }

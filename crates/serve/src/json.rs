@@ -342,8 +342,8 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, ParseError> {
             Some(_) => {
                 // Consume one UTF-8 scalar (input is a &str, so boundaries
                 // are guaranteed valid).
-                let rest = std::str::from_utf8(&bytes[*pos..])
-                    .map_err(|_| err(*pos, "invalid utf-8"))?;
+                let rest =
+                    std::str::from_utf8(&bytes[*pos..]).map_err(|_| err(*pos, "invalid utf-8"))?;
                 let c = rest
                     .chars()
                     .next()
@@ -428,10 +428,7 @@ mod tests {
         let v = parse("{\"a\": 3, \"b\": \"x\", \"c\": [true]}").unwrap();
         assert_eq!(v.get("a").and_then(Value::as_u64), Some(3));
         assert_eq!(v.get("b").and_then(Value::as_str), Some("x"));
-        assert_eq!(
-            v.get("c").and_then(Value::as_arr).map(|a| a.len()),
-            Some(1)
-        );
+        assert_eq!(v.get("c").and_then(Value::as_arr).map(|a| a.len()), Some(1));
         assert_eq!(v.get("missing"), None);
         assert_eq!(n(1.5).as_u64(), None);
         assert_eq!(n(-1.0).as_u64(), None);

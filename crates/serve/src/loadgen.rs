@@ -156,7 +156,8 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
     if cfg.requests == 0 {
         return Err("loadgen needs at least one request".to_string());
     }
-    let mut client = Client::connect(&cfg.addr).map_err(|e| format!("connect {}: {e}", cfg.addr))?;
+    let mut client =
+        Client::connect(&cfg.addr).map_err(|e| format!("connect {}: {e}", cfg.addr))?;
     // The daemon's status reply carries the profiled application list in
     // pair-table order, which is exactly the index space `poisson_n`
     // samples over.
@@ -230,7 +231,11 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
                         );
                         let now = start.elapsed().as_micros() as u64;
                         if result.get("state").and_then(Value::as_str) == Some("placed") {
-                            push(&mut heap, now + exec_us(cfg, predicted), Action::Complete(task));
+                            push(
+                                &mut heap,
+                                now + exec_us(cfg, predicted),
+                                Action::Complete(task),
+                            );
                         } else {
                             push(&mut heap, now + cfg.poll_ms * 1_000, Action::Poll(task));
                         }
@@ -268,7 +273,11 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
                         if let Some(entry) = in_flight.get_mut(&task) {
                             entry.predicted_runtime = predicted;
                         }
-                        push(&mut heap, now + exec_us(cfg, predicted), Action::Complete(task));
+                        push(
+                            &mut heap,
+                            now + exec_us(cfg, predicted),
+                            Action::Complete(task),
+                        );
                     }
                     Some("queued") => {
                         push(&mut heap, now + cfg.poll_ms * 1_000, Action::Poll(task))

@@ -93,6 +93,7 @@ impl ErrorKind {
     }
 
     /// Inverse of [`ErrorKind::as_str`].
+    #[allow(clippy::should_implement_trait)]
     pub fn from_str(text: &str) -> Option<ErrorKind> {
         Some(match text {
             "malformed" => ErrorKind::Malformed,
@@ -149,7 +150,11 @@ impl Reply {
     }
 
     /// Build a backpressure rejection with a retry hint.
-    pub fn backpressure(id: Option<String>, message: impl Into<String>, retry_after_ms: u64) -> Reply {
+    pub fn backpressure(
+        id: Option<String>,
+        message: impl Into<String>,
+        retry_after_ms: u64,
+    ) -> Reply {
         Reply::Error {
             id,
             kind: ErrorKind::Backpressure,
@@ -177,7 +182,11 @@ pub fn encode_request(envelope: &Envelope) -> String {
             pairs.push(("op", s("submit")));
             pairs.push(("app", s(app.clone())));
         }
-        Request::Complete { task, runtime, iops } => {
+        Request::Complete {
+            task,
+            runtime,
+            iops,
+        } => {
             pairs.push(("op", s("complete")));
             pairs.push(("task", n(*task as f64)));
             pairs.push(("runtime", n(*runtime)));
@@ -213,11 +222,13 @@ impl DecodeError {
 }
 
 fn field_u64(doc: &Value, id: &Option<String>, key: &str) -> Result<u64, DecodeError> {
-    doc.get(key).and_then(Value::as_u64).ok_or_else(|| DecodeError {
-        id: id.clone(),
-        kind: ErrorKind::BadField,
-        message: format!("missing or invalid '{key}' (expected non-negative integer)"),
-    })
+    doc.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| DecodeError {
+            id: id.clone(),
+            kind: ErrorKind::BadField,
+            message: format!("missing or invalid '{key}' (expected non-negative integer)"),
+        })
 }
 
 fn field_f64(doc: &Value, id: &Option<String>, key: &str) -> Result<f64, DecodeError> {
@@ -255,7 +266,9 @@ pub fn decode_request(line: &str) -> Result<Envelope, DecodeError> {
             return Err(DecodeError {
                 id,
                 kind: ErrorKind::BadVersion,
-                message: format!("unsupported protocol version {other} (daemon speaks {PROTOCOL_VERSION})"),
+                message: format!(
+                    "unsupported protocol version {other} (daemon speaks {PROTOCOL_VERSION})"
+                ),
             })
         }
         None => {
@@ -431,8 +444,8 @@ mod tests {
         assert_eq!(e.kind, ErrorKind::UnknownOp);
         let e = decode_request("{\"v\":1,\"op\":\"submit\"}").unwrap_err();
         assert_eq!(e.kind, ErrorKind::BadField);
-        let e = decode_request("{\"v\":1,\"op\":\"complete\",\"task\":1,\"runtime\":1.0}")
-            .unwrap_err();
+        let e =
+            decode_request("{\"v\":1,\"op\":\"complete\",\"task\":1,\"runtime\":1.0}").unwrap_err();
         assert_eq!(e.kind, ErrorKind::BadField);
     }
 

@@ -3,11 +3,10 @@
 //! lines always yield a structured error, never a panic.
 
 use proptest::prelude::*;
-use tracon_serve::proto::{
-    decode_reply, decode_request, encode_reply, encode_request, Envelope, ErrorKind, Reply,
-    Request,
-};
 use tracon_serve::json::{self, n, obj, s, Value};
+use tracon_serve::proto::{
+    decode_reply, decode_request, encode_reply, encode_request, Envelope, ErrorKind, Reply, Request,
+};
 
 /// Characters chosen to stress the JSON string escaper: quotes,
 /// backslashes, control characters, and multibyte UTF-8.
@@ -37,7 +36,11 @@ fn request() -> impl Strategy<Value = Request> {
         .prop_map(|(op, text, task, (runtime, iops))| match op {
             0 => Request::Submit {
                 // Submits require a non-empty app name.
-                app: if text.is_empty() { "x".to_string() } else { text },
+                app: if text.is_empty() {
+                    "x".to_string()
+                } else {
+                    text
+                },
             },
             1 => Request::Complete {
                 task,
@@ -58,28 +61,26 @@ fn request_id() -> impl Strategy<Value = Option<String>> {
 /// An op-specific result payload like the ones the daemon actually
 /// builds: flat objects of strings, numbers, bools, and nulls.
 fn result_payload() -> impl Strategy<Value = Value> {
-    proptest::collection::vec(
-        (0usize..26, 0u8..4, wire_string(8), 0u64..(1 << 53)),
-        0..6,
-    )
-    .prop_map(|fields| {
-        let mut pairs: Vec<(String, Value)> = Vec::new();
-        for (key_idx, tag, text, num) in fields {
-            let key = format!("k{key_idx}");
-            // Later duplicates would be dropped by get(); keep keys unique.
-            if pairs.iter().any(|(k, _)| *k == key) {
-                continue;
+    proptest::collection::vec((0usize..26, 0u8..4, wire_string(8), 0u64..(1 << 53)), 0..6).prop_map(
+        |fields| {
+            let mut pairs: Vec<(String, Value)> = Vec::new();
+            for (key_idx, tag, text, num) in fields {
+                let key = format!("k{key_idx}");
+                // Later duplicates would be dropped by get(); keep keys unique.
+                if pairs.iter().any(|(k, _)| *k == key) {
+                    continue;
+                }
+                let value = match tag {
+                    0 => s(text),
+                    1 => n(num as f64),
+                    2 => Value::Bool(num % 2 == 0),
+                    _ => Value::Null,
+                };
+                pairs.push((key, value));
             }
-            let value = match tag {
-                0 => s(text),
-                1 => n(num as f64),
-                2 => Value::Bool(num % 2 == 0),
-                _ => Value::Null,
-            };
-            pairs.push((key, value));
-        }
-        Value::Obj(pairs)
-    })
+            Value::Obj(pairs)
+        },
+    )
 }
 
 fn error_kind() -> impl Strategy<Value = ErrorKind> {

@@ -201,7 +201,10 @@ fn drain_refuses_new_work_then_exits_when_idle() {
             iops: 80.0,
         })
         .expect("complete roundtrip");
-    assert!(matches!(done, Reply::Ok { .. }), "completion rejected: {done:?}");
+    assert!(
+        matches!(done, Reply::Ok { .. }),
+        "completion rejected: {done:?}"
+    );
     handle.join();
 }
 
@@ -227,7 +230,9 @@ fn malformed_lines_get_structured_errors_and_the_connection_survives() {
     }
 
     // The connection thread must still be alive and serving.
-    let status = client.request(Request::Status).expect("status after garbage");
+    let status = client
+        .request(Request::Status)
+        .expect("status after garbage");
     assert!(matches!(status, Reply::Ok { .. }));
 
     handle.stop();

@@ -10,7 +10,7 @@ use std::sync::OnceLock;
 use tracon::core::{MibsVariant, Objective};
 use tracon::dcsim::arrival::{poisson_trace, static_batch, ArrivalEvent, WorkloadMix};
 use tracon::dcsim::engine::{ArrivalInfo, CompletionInfo, PlacementInfo, SimObserver};
-use tracon::dcsim::{SchedulerKind, SimResult, Simulation, Testbed, TestbedConfig};
+use tracon::dcsim::{QueueBackend, SchedulerKind, SimResult, Simulation, Testbed, TestbedConfig};
 
 /// `(scenario, scheduler, objective, completed, refused, total_runtime,
 /// total_iops, makespan, mean_wait)` — float fields as raw bits.
@@ -138,6 +138,84 @@ fn observed_runs_match_bare_runs_bit_for_bit() {
     }
 }
 
+/// An observer that records the full decision streams of a run:
+/// placements and completions with every field reduced to raw bits, so
+/// two runs compare byte-for-byte.
+#[derive(Default)]
+struct Recording {
+    /// `(time, machine, slot, task_id, app_idx, neighbor_at_start, wait)`.
+    placements: Vec<(u64, usize, usize, u64, usize, usize, u64)>,
+    /// `(time, machine, slot, app_idx, runtime, avg_iops)`.
+    completions: Vec<(u64, usize, usize, usize, u64, u64)>,
+}
+
+impl SimObserver for Recording {
+    fn on_placement(&mut self, info: &PlacementInfo) {
+        self.placements.push((
+            info.time.to_bits(),
+            info.vm.machine,
+            info.vm.slot,
+            info.task_id,
+            info.app_idx,
+            info.neighbor_at_start,
+            info.wait.to_bits(),
+        ));
+    }
+    fn on_completion(&mut self, info: &CompletionInfo) {
+        self.completions.push((
+            info.time.to_bits(),
+            info.vm.machine,
+            info.vm.slot,
+            info.app_idx,
+            info.runtime.to_bits(),
+            info.avg_iops.to_bits(),
+        ));
+    }
+}
+
+/// The tentpole gate for the timing-wheel kernel: over the full 32-row
+/// matrix (2 scenarios x 8 scheduler kinds x 2 objectives) the wheel and
+/// the reference binary heap must produce byte-identical placement and
+/// completion streams — the optimization is not allowed to change a
+/// single scheduling decision.
+#[test]
+fn timing_wheel_matches_binary_heap_bit_for_bit() {
+    let tb = testbed();
+    let mut rows = 0;
+    for (scenario, machines, trace, horizon) in scenarios() {
+        for kind in all_kinds() {
+            for objective in [Objective::MinRuntime, Objective::MaxIops] {
+                let mut heap_obs = Recording::default();
+                let heap = Simulation::new(tb, machines, kind)
+                    .with_objective(objective)
+                    .with_queue_backend(QueueBackend::BinaryHeap)
+                    .run_with_observer(&trace, horizon, &mut heap_obs);
+                let mut wheel_obs = Recording::default();
+                let wheel = Simulation::new(tb, machines, kind)
+                    .with_objective(objective)
+                    .with_queue_backend(QueueBackend::TimingWheel)
+                    .run_with_observer(&trace, horizon, &mut wheel_obs);
+                let ctx = format!("{scenario}/{}/{}", heap.scheduler, objective.suffix());
+                assert_eq!(
+                    heap_obs.placements, wheel_obs.placements,
+                    "placement streams diverged: {ctx}"
+                );
+                assert_eq!(
+                    heap_obs.completions, wheel_obs.completions,
+                    "completion streams diverged: {ctx}"
+                );
+                assert_eq!(fingerprint(&heap), fingerprint(&wheel), "{ctx}");
+                assert_eq!(
+                    heap.events_processed, wheel.events_processed,
+                    "kernel event counts diverged: {ctx}"
+                );
+                rows += 1;
+            }
+        }
+    }
+    assert_eq!(rows, 32, "the golden matrix must cover all 32 rows");
+}
+
 #[test]
 fn engine_fingerprints_are_reproducible_and_match_pins() {
     let tb = testbed();
@@ -153,9 +231,10 @@ fn engine_fingerprints_are_reproducible_and_match_pins() {
                     fingerprint(&b),
                     "kernel not deterministic: {ctx}"
                 );
-                if let Some(row) = GOLDEN.iter().find(|g| {
-                    g.0 == scenario && g.1 == a.scheduler && g.2 == objective.suffix()
-                }) {
+                if let Some(row) = GOLDEN
+                    .iter()
+                    .find(|g| g.0 == scenario && g.1 == a.scheduler && g.2 == objective.suffix())
+                {
                     assert_eq!(
                         (a.completed, a.refused),
                         (row.3, row.4),
