@@ -7,9 +7,12 @@
 //! Finds the latest committed artifact (`BENCH_<N>.json` with the highest
 //! `N` in `--baseline-dir`, default the current directory), loads the
 //! fresh artifact from `--fresh`, and compares every throughput row —
-//! rows whose `unit` is `events/s`, where higher is better — that appears
-//! in both. A fresh value more than 20% below the committed one fails the
-//! gate (exit 1). When no committed artifact exists yet the gate skips
+//! where higher is better — that appears in both. Throughput rows are
+//! the `events/s` kernel figures, the `req/s` tracond loopback figures,
+//! and the `records/s` WAL fsync figures; each unit carries its own
+//! tolerance band (see `GATED_UNITS`), and a fresh value below the
+//! committed one by more than its band fails the gate (exit 1). When no
+//! committed artifact exists yet the gate skips
 //! gracefully (exit 0), so the first artifact of a repository bootstraps
 //! the trajectory instead of breaking CI.
 //!
@@ -21,11 +24,13 @@
 use serde_json::Value;
 use std::path::{Path, PathBuf};
 
-/// Fractional slowdown tolerated before the gate fails.
-const TOLERANCE: f64 = 0.20;
-
-/// Units gated by this binary (higher is better).
-const GATED_UNITS: &[&str] = &["events/s"];
+/// Units gated by this binary (higher is better), each with the
+/// fractional slowdown tolerated before the gate fails. The CPU-clean
+/// kernel rows get a tight band; the tracond and WAL rows are bounded by
+/// device fsync latency, which drifts by tens of percent run to run on
+/// shared runners, so their band is wide enough to only catch
+/// architectural regressions (a lost fsync batch, a serialized shard).
+const GATED_UNITS: &[(&str, f64)] = &[("events/s", 0.20), ("req/s", 0.45), ("records/s", 0.45)];
 
 /// Returns the `BENCH_<N>.json` path with the highest `N` in `dir`.
 fn latest_artifact(dir: &Path) -> Option<PathBuf> {
@@ -48,8 +53,8 @@ fn latest_artifact(dir: &Path) -> Option<PathBuf> {
     best.map(|(_, p)| p)
 }
 
-/// Loads an artifact's gated rows as `(suite/name, value)` pairs.
-fn gated_rows(path: &Path) -> Result<Vec<(String, f64)>, String> {
+/// Loads an artifact's gated rows as `(suite/name, value, tolerance)`.
+fn gated_rows(path: &Path) -> Result<Vec<(String, f64, f64)>, String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
     let doc: Value =
@@ -61,16 +66,16 @@ fn gated_rows(path: &Path) -> Result<Vec<(String, f64)>, String> {
     let mut rows = Vec::new();
     for row in results {
         let unit = row.get("unit").and_then(|v| v.as_str()).unwrap_or("");
-        if !GATED_UNITS.contains(&unit) {
+        let Some(&(_, tolerance)) = GATED_UNITS.iter().find(|(u, _)| *u == unit) else {
             continue;
-        }
+        };
         let suite = row.get("suite").and_then(|v| v.as_str()).unwrap_or("?");
         let name = row.get("name").and_then(|v| v.as_str()).unwrap_or("?");
         let value = row
             .get("value")
             .and_then(|v| v.as_f64())
             .ok_or_else(|| format!("{}: {suite}/{name} has no numeric value", path.display()))?;
-        rows.push((format!("{suite}/{name}"), value));
+        rows.push((format!("{suite}/{name}"), value, tolerance));
     }
     Ok(rows)
 }
@@ -123,31 +128,31 @@ fn main() {
         baseline_path.display()
     );
     let mut failures = Vec::new();
-    for (key, base_value) in &baseline {
-        let Some((_, fresh_value)) = fresh.iter().find(|(k, _)| k == key) else {
+    for (key, base_value, tolerance) in &baseline {
+        let Some((_, fresh_value, _)) = fresh.iter().find(|(k, _, _)| k == key) else {
             println!("  {key}: missing from fresh artifact (skipped)");
             continue;
         };
         let ratio = fresh_value / base_value.max(1e-12);
-        let verdict = if ratio < 1.0 - TOLERANCE {
+        let verdict = if ratio < 1.0 - tolerance {
             "FAIL"
         } else {
             "ok"
         };
         println!(
             "  {key}: committed {base_value:.0}, fresh {fresh_value:.0} \
-             ({:+.1}%) {verdict}",
-            (ratio - 1.0) * 100.0
+             ({:+.1}%, band {:.0}%) {verdict}",
+            (ratio - 1.0) * 100.0,
+            tolerance * 100.0
         );
-        if ratio < 1.0 - TOLERANCE {
+        if ratio < 1.0 - tolerance {
             failures.push(key.clone());
         }
     }
     if !failures.is_empty() {
         eprintln!(
-            "bench_gate: {} throughput metric(s) regressed more than {:.0}%: {}",
+            "bench_gate: {} throughput metric(s) regressed beyond tolerance: {}",
             failures.len(),
-            TOLERANCE * 100.0,
             failures.join(", ")
         );
         std::process::exit(1);

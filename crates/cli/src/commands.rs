@@ -36,6 +36,8 @@ COMMANDS:
              full matches the paper-scale figures and can take hours)
   serve      Run tracond, the online scheduling daemon, until drained
              [--port N=0] [--http-port N=0] [--machines N=4] [--slots N=2]
+             [--shards N=1]  (scheduler shards behind one connection
+                           reactor; each owns a machine slice and WAL file)
              [--scheduler mios|mibs[:W]|mix[:W]] [--objective rt|io]
              [--queue-cap N=64] [--rebuild-every N] [--batch-deadline-ms N=100]
              [--wal DIR]  (persist admissions to an fsync'd write-ahead log
@@ -48,7 +50,7 @@ COMMANDS:
   loadgen    Drive a running tracond with Poisson load, print latency stats
              --addr HOST:PORT [--requests N=100] [--lambda TASKS/MIN=60]
              [--mix light|medium|heavy|uniform] [--mode open|closed]
-             [--concurrency N=8] [--seed N] [--quick]
+             [--concurrency N=8] [--seed N] [--quick] [--idle-conns N=0]
              [--chaos]    (adversarial mode: killed connections, garbage and
                            oversized lines, partial frames, orphaned tasks;
                            asserts task conservation from daemon counters.
@@ -432,6 +434,12 @@ pub fn serve(args: &Args) -> Result<String, String> {
     if machines == 0 || slots == 0 {
         return Err("--machines and --slots must be positive".into());
     }
+    let shards: usize = args.num_or("shards", 1)?;
+    if shards == 0 || shards > machines {
+        return Err(format!(
+            "--shards must be 1..=--machines (got {shards} shards over {machines} machines)"
+        ));
+    }
     let sched = SchedKind::parse(args.get_or("scheduler", "mios"))
         .ok_or("unknown scheduler (mios, mibs[:W], mix[:W])")?;
     let obj = objective(args.get_or("objective", "rt"))?;
@@ -463,6 +471,7 @@ pub fn serve(args: &Args) -> Result<String, String> {
         wal_dir: args.options.get("wal").map(std::path::PathBuf::from),
         wal_snapshot_every: args.num_or("wal-snapshot-every", 4_096)?,
         monitor,
+        shards,
     };
     let net = NetConfig {
         addr: format!("127.0.0.1:{}", args.num_or::<u16>("port", 0)?),
@@ -608,6 +617,7 @@ pub fn loadgen(args: &Args) -> Result<String, String> {
         task_ms_per_s: args.num_or("task-ms-per-s", if quick { 2.0 } else { 5.0 })?,
         max_task_ms: args.num_or("max-task-ms", if quick { 40 } else { 60 })?,
         poll_ms: args.num_or("poll-ms", if quick { 5 } else { 10 })?,
+        idle_conns: args.num_or("idle-conns", 0)?,
     };
     if cfg.requests == 0 || cfg.lambda_per_min <= 0.0 {
         return Err("--requests and --lambda must be positive".into());
@@ -834,6 +844,10 @@ mod tests {
         assert!(err.contains("unknown mode"), "{err}");
         let err = serve(&parse_str("serve --max-attempts 0")).unwrap_err();
         assert!(err.contains("max-attempts"), "{err}");
+        let err = serve(&parse_str("serve --shards 0")).unwrap_err();
+        assert!(err.contains("--shards"), "{err}");
+        let err = serve(&parse_str("serve --machines 4 --shards 5")).unwrap_err();
+        assert!(err.contains("--shards"), "{err}");
         let err = loadgen(&parse_str(
             "loadgen --chaos --addr 127.0.0.1:1 --requests 0",
         ))

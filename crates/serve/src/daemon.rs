@@ -1,28 +1,36 @@
-//! The tracond network front end: a submission listener speaking the
-//! newline-delimited JSON protocol and a minimal HTTP listener for
-//! `/healthz` and `/metrics`.
+//! The tracond network front end: the poll-based connection reactor for
+//! the newline-delimited JSON protocol, `N` scheduler-shard worker
+//! threads, and a minimal HTTP listener for `/healthz` and `/metrics`.
 //!
-//! Everything is hand-rolled on `std::net`: both listeners run
-//! non-blocking accept loops polled against a shared shutdown flag, each
-//! connection gets its own thread with read/write timeouts and a bounded
-//! line buffer, and every spawned thread's `JoinHandle` is kept so
-//! [`DaemonHandle::join`] can prove a clean exit — no leaked threads. A
-//! ticker thread drives batch-deadline dispatch and notices when a
-//! draining daemon has gone idle.
+//! Everything is hand-rolled on `std::net` and `std::sync::mpsc`. The
+//! [`crate::reactor`] thread owns every protocol socket and decodes and
+//! routes requests; each worker thread exclusively owns one
+//! [`Service`] shard — no mutex anywhere on the request path. Workers
+//! self-tick on their channel's receive timeout, so batch-deadline
+//! dispatch and lease expiry keep running under load or silence alike.
+//! The HTTP listener stays thread-per-connection (two tiny GET
+//! endpoints), reaping finished handles on every accept pass so a
+//! long-lived daemon cannot accumulate dead threads.
 
+use std::collections::HashMap;
 use std::io::{ErrorKind as IoErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use tracon_core::AppId;
 use tracon_dcsim::Testbed;
 
 use crate::json::{n, obj, s, Value};
 use crate::metrics::Metrics;
-use crate::proto::{self, ErrorKind, Reply, Request};
+use crate::proto::{ErrorKind, Reply, Request};
+use crate::reactor::{self, OutMsg, OutSender, ReactorConfig, ShardMsg};
+use crate::shard::{recover_dir, route_app, shard_machines};
 use crate::state::{Refusal, ServeConfig, Service, TaskPhase};
+use crate::wal::remove_shard_files;
 
 /// Network-layer knobs, separate from the scheduling policy in
 /// [`ServeConfig`].
@@ -38,7 +46,8 @@ pub struct NetConfig {
     pub write_timeout_ms: u64,
     /// Longest accepted request line; longer lines are rejected.
     pub max_line_bytes: usize,
-    /// Poll interval for accept loops, shutdown checks, and the ticker.
+    /// Poll interval for the reactor, worker self-ticks, and the HTTP
+    /// accept loop.
     pub tick_ms: u64,
 }
 
@@ -64,32 +73,15 @@ pub struct DaemonHandle {
     /// Actual HTTP listener address.
     pub http_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    service: Arc<Mutex<Service>>,
     metrics: Arc<Metrics>,
     core_threads: Vec<JoinHandle<()>>,
     conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
-}
-
-/// Lock the service even if a connection thread died mid-update: the
-/// core's invariants are re-established before every unlock, so a
-/// poisoned mutex carries usable state — refusing to serve would turn
-/// one dead thread into a dead daemon.
-fn lock_service<'a>(service: &'a Arc<Mutex<Service>>) -> MutexGuard<'a, Service> {
-    match service.lock() {
-        Ok(guard) => guard,
-        Err(poisoned) => poisoned.into_inner(),
-    }
 }
 
 impl DaemonHandle {
     /// The shared metrics registry (for in-process inspection).
     pub fn metrics(&self) -> &Arc<Metrics> {
         &self.metrics
-    }
-
-    /// Lock the service core (for in-process tests and assertions).
-    pub fn service(&self) -> &Arc<Mutex<Service>> {
-        &self.service
     }
 
     /// True once the daemon has been asked to stop.
@@ -125,19 +117,76 @@ impl DaemonHandle {
     }
 }
 
-/// Boot a daemon: bind both listeners, spawn the accept loops and the
-/// ticker, and return once the ports are live.
+/// Boot a daemon: build the shard services (recovering from every WAL in
+/// `cfg.wal_dir` when set), bind both listeners, spawn the reactor, the
+/// workers, and the HTTP accept loop, and return once the ports are live.
 pub fn start(testbed: &Testbed, cfg: ServeConfig, net: NetConfig) -> std::io::Result<DaemonHandle> {
-    let metrics = Arc::new(Metrics::new());
-    // `open` recovers queue/in-flight state from the WAL when
-    // `cfg.wal_dir` is set; without it this is plain in-memory `new`.
-    let service = Arc::new(Mutex::new(Service::open(
-        testbed,
-        cfg,
-        Arc::clone(&metrics),
-        Instant::now(),
-    )?));
+    let shards = cfg.shards.max(1);
+    if shards > cfg.machines {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!(
+                "{} shards over {} machines: every shard needs at least one machine",
+                shards, cfg.machines
+            ),
+        ));
+    }
+    let metrics = Arc::new(Metrics::with_shards(shards));
+    let slices = shard_machines(cfg.machines, shards);
+    let mut services: Vec<Service> = slices
+        .iter()
+        .enumerate()
+        .map(|(shard, &(base, count))| {
+            let mut shard_cfg = cfg.clone();
+            shard_cfg.machines = count;
+            Service::new_shard(
+                testbed,
+                shard_cfg,
+                Arc::clone(&metrics),
+                shard,
+                shards,
+                base,
+            )
+        })
+        .collect();
+
+    // Decode-time routing table: profiled name -> interned id. Every
+    // shard builds the identical registry, so shard 0's will do.
+    let app_ids: HashMap<String, AppId> = services[0]
+        .app_list()
+        .to_vec()
+        .into_iter()
+        .filter_map(|name| services[0].app_id(&name).map(|id| (name, id)))
+        .collect();
+
+    if let Some(dir) = cfg.wal_dir.clone() {
+        let route = |name: &str| app_ids.get(name).map(|&id| route_app(id, shards));
+        let (wals, recovery) = recover_dir(&dir, shards, cfg.wal_snapshot_every, &route)?;
+        metrics
+            .wal_replayed_records
+            .store(recovery.replayed_records, Ordering::Relaxed);
+        let now = Instant::now();
+        for (shard, wal) in wals.into_iter().enumerate() {
+            let homed: Vec<_> = recovery
+                .tasks
+                .iter()
+                .filter(|t| t.home == shard)
+                .map(|t| t.rec.clone())
+                .collect();
+            services[shard].attach_wal(wal);
+            services[shard].adopt_recovered(&homed, now);
+            services[shard].align_next_task_id(recovery.next_task_id);
+            services[shard].write_snapshot();
+        }
+        // Only now that every survivor is snapshotted under the new
+        // layout can files from a larger previous shard count go.
+        for stale in shards..recovery.old_shards {
+            remove_shard_files(&dir, stale)?;
+        }
+    }
+
     let shutdown = Arc::new(AtomicBool::new(false));
+    let draining = Arc::new(AtomicBool::new(false));
     let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
     let listener = TcpListener::bind(&net.addr)?;
@@ -150,67 +199,67 @@ pub fn start(testbed: &Testbed, cfg: ServeConfig, net: NetConfig) -> std::io::Re
     let tick = Duration::from_millis(net.tick_ms.max(1));
     let mut core_threads = Vec::new();
 
-    // Submission accept loop.
-    {
+    // Worker channels and the shared out channel + wake pipe.
+    let (out_tx, out_rx) = mpsc::channel::<OutMsg>();
+    let (wake_rx, wake_tx) = std::os::unix::net::UnixStream::pair()?;
+    wake_rx.set_nonblocking(true)?;
+    wake_tx.set_nonblocking(true)?;
+    let out = OutSender::new(out_tx, wake_tx);
+
+    let mut shard_txs = Vec::with_capacity(shards);
+    for svc in services {
+        let (tx, rx) = mpsc::channel::<ShardMsg>();
+        shard_txs.push(tx);
+        let out = out.clone();
         let shutdown = Arc::clone(&shutdown);
-        let service = Arc::clone(&service);
-        let metrics = Arc::clone(&metrics);
-        let conn_threads = Arc::clone(&conn_threads);
-        let net = net.clone();
         core_threads.push(std::thread::spawn(move || {
-            while !shutdown.load(Ordering::SeqCst) {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        let shutdown = Arc::clone(&shutdown);
-                        let service = Arc::clone(&service);
-                        let metrics = Arc::clone(&metrics);
-                        let net = net.clone();
-                        let handle = std::thread::spawn(move || {
-                            serve_connection(stream, &service, &metrics, &shutdown, &net);
-                        });
-                        match conn_threads.lock() {
-                            Ok(mut guard) => guard.push(handle),
-                            Err(poisoned) => poisoned.into_inner().push(handle),
-                        }
-                    }
-                    Err(e) if e.kind() == IoErrorKind::WouldBlock => std::thread::sleep(tick),
-                    Err(_) => std::thread::sleep(tick),
-                }
-            }
+            shard_worker(svc, rx, out, shutdown, tick);
         }));
     }
 
-    // HTTP accept loop: tiny request-per-connection responses, handled
-    // inline (no per-connection thread needed for two GET endpoints).
+    // The reactor thread: owns the protocol listener and every client.
+    {
+        let reactor_cfg = ReactorConfig {
+            listener,
+            net: net.clone(),
+            shard_txs,
+            out_rx,
+            wake_rx,
+            shutdown: Arc::clone(&shutdown),
+            draining: Arc::clone(&draining),
+            metrics: Arc::clone(&metrics),
+            app_ids,
+        };
+        core_threads.push(std::thread::spawn(move || reactor::run(reactor_cfg)));
+    }
+
+    // HTTP accept loop: one short-lived thread per connection, finished
+    // handles reaped every pass so the Vec stays bounded by concurrency,
+    // not by daemon lifetime.
     {
         let shutdown = Arc::clone(&shutdown);
-        let service = Arc::clone(&service);
+        let draining = Arc::clone(&draining);
         let metrics = Arc::clone(&metrics);
+        let conn_threads = Arc::clone(&conn_threads);
         core_threads.push(std::thread::spawn(move || {
             while !shutdown.load(Ordering::SeqCst) {
                 match http_listener.accept() {
-                    Ok((stream, _)) => serve_http(stream, &service, &metrics),
+                    Ok((stream, _)) => {
+                        let draining = Arc::clone(&draining);
+                        let metrics = Arc::clone(&metrics);
+                        let handle = std::thread::spawn(move || {
+                            serve_http(stream, &draining, &metrics);
+                        });
+                        let mut guard = match conn_threads.lock() {
+                            Ok(guard) => guard,
+                            Err(poisoned) => poisoned.into_inner(),
+                        };
+                        guard.push(handle);
+                        reap_finished(&mut guard);
+                    }
                     Err(e) if e.kind() == IoErrorKind::WouldBlock => std::thread::sleep(tick),
                     Err(_) => std::thread::sleep(tick),
                 }
-            }
-        }));
-    }
-
-    // Ticker: batch-deadline dispatch + drained-daemon detection.
-    {
-        let shutdown = Arc::clone(&shutdown);
-        let service = Arc::clone(&service);
-        core_threads.push(std::thread::spawn(move || {
-            while !shutdown.load(Ordering::SeqCst) {
-                {
-                    let mut svc = lock_service(&service);
-                    svc.tick(Instant::now());
-                    if svc.drained() {
-                        shutdown.store(true, Ordering::SeqCst);
-                    }
-                }
-                std::thread::sleep(tick);
             }
         }));
     }
@@ -219,146 +268,152 @@ pub fn start(testbed: &Testbed, cfg: ServeConfig, net: NetConfig) -> std::io::Re
         addr,
         http_addr,
         shutdown,
-        service,
         metrics,
         core_threads,
         conn_threads,
     })
 }
 
-/// Per-connection loop: accumulate bytes, peel complete lines, answer
-/// each one. The buffer is bounded: a frame longer than
-/// `net.max_line_bytes` gets one structured `frame-too-large` error and
-/// the rest of that line is discarded without ever being buffered, so a
-/// misbehaving client can neither grow daemon memory nor kill its own
-/// connection mid-pipeline. Returns (closing the connection) on EOF,
-/// idle timeout, a write failure, or daemon shutdown.
-fn serve_connection(
-    mut stream: TcpStream,
-    service: &Arc<Mutex<Service>>,
-    metrics: &Arc<Metrics>,
-    shutdown: &Arc<AtomicBool>,
-    net: &NetConfig,
-) {
-    stream.set_nodelay(true).ok();
-    // Short read timeout so the loop can poll the shutdown flag; the idle
-    // timeout is enforced separately against the last complete line.
-    stream
-        .set_read_timeout(Some(Duration::from_millis(100)))
-        .ok();
-    stream
-        .set_write_timeout(Some(Duration::from_millis(net.write_timeout_ms.max(1))))
-        .ok();
-    let idle_limit = Duration::from_millis(net.idle_timeout_ms.max(1));
-    let mut buf: Vec<u8> = Vec::new();
-    let mut chunk = [0u8; 4096];
-    let mut last_activity = Instant::now();
-    // True while skipping the tail of an oversized frame (the error reply
-    // for it has already been written).
-    let mut discarding = false;
-    loop {
-        if shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        match stream.read(&mut chunk) {
-            Ok(0) => return,
-            Ok(count) => {
-                buf.extend_from_slice(&chunk[..count]);
-                loop {
-                    let Some(newline) = buf.iter().position(|b| *b == b'\n') else {
-                        if discarding {
-                            buf.clear();
-                        } else if buf.len() > net.max_line_bytes {
-                            let reply = Reply::error(
-                                None,
-                                ErrorKind::FrameTooLarge,
-                                format!(
-                                    "request line exceeds {} bytes; discarding until newline",
-                                    net.max_line_bytes
-                                ),
-                            );
-                            metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                            if write_reply(&mut stream, &reply).is_err() {
-                                return;
-                            }
-                            buf.clear();
-                            discarding = true;
-                        }
-                        break;
-                    };
-                    let line_bytes: Vec<u8> = buf.drain(..=newline).collect();
-                    if discarding {
-                        // Tail of an already-rejected oversized frame.
-                        discarding = false;
-                        continue;
-                    }
-                    if line_bytes.len() > net.max_line_bytes {
-                        let reply = Reply::error(
-                            None,
-                            ErrorKind::FrameTooLarge,
-                            format!("request line exceeds {} bytes", net.max_line_bytes),
-                        );
-                        metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                        if write_reply(&mut stream, &reply).is_err() {
-                            return;
-                        }
-                        continue;
-                    }
-                    let line = String::from_utf8_lossy(&line_bytes);
-                    let line = line.trim_end_matches(['\n', '\r']).trim();
-                    if line.is_empty() {
-                        continue;
-                    }
-                    last_activity = Instant::now();
-                    let reply = handle_line(line, service, metrics, shutdown);
-                    if write_reply(&mut stream, &reply).is_err() {
-                        return;
-                    }
-                }
-            }
-            Err(e) if e.kind() == IoErrorKind::WouldBlock || e.kind() == IoErrorKind::TimedOut => {
-                if last_activity.elapsed() > idle_limit {
-                    return;
-                }
-            }
-            Err(e) if e.kind() == IoErrorKind::Interrupted => continue,
-            Err(_) => return,
+/// Join every connection thread that has already returned, keeping the
+/// Vec's length proportional to live connections.
+fn reap_finished(handles: &mut Vec<JoinHandle<()>>) {
+    let mut i = 0;
+    while i < handles.len() {
+        if handles[i].is_finished() {
+            let _ = handles.swap_remove(i).join();
+        } else {
+            i += 1;
         }
     }
 }
 
-fn write_reply(stream: &mut TcpStream, reply: &Reply) -> std::io::Result<()> {
-    let mut line = proto::encode_reply(reply);
-    line.push('\n');
-    stream.write_all(line.as_bytes())
+/// One shard's worker loop: exclusively owns its [`Service`], answers
+/// requests routed to it, contributes fan-out parts, and executes both
+/// sides of work-steal handoffs. Self-ticks at the net tick interval so
+/// time-driven work (batch deadlines, lease expiry, backoff promotion)
+/// never waits on traffic.
+fn shard_worker(
+    mut svc: Service,
+    rx: Receiver<ShardMsg>,
+    out: OutSender,
+    shutdown: Arc<AtomicBool>,
+    tick: Duration,
+) {
+    /// Upper bound on messages handled per wake, so a deep request
+    /// backlog cannot starve the lease/backoff tick indefinitely.
+    const WORKER_BATCH: usize = 256;
+
+    let shard = svc.shard();
+    let mut drained_sent = false;
+    let mut last_tick = Instant::now();
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let first = match rx.recv_timeout(tick) {
+            Ok(msg) => Some(msg),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        let now = Instant::now();
+        // Drain greedily: answer everything already queued under one
+        // timestamp and send the reactor one wake for the whole batch,
+        // not one pipe write per reply.
+        let mut sent = false;
+        let mut next = first;
+        let mut handled = 0usize;
+        while let Some(msg) = next {
+            match msg {
+                ShardMsg::Request {
+                    conn,
+                    seq,
+                    id,
+                    request,
+                    hops,
+                } => match answer(&mut svc, id, request, now) {
+                    Answer::Reply(reply) => out.send_quiet(OutMsg::Reply {
+                        conn,
+                        seq,
+                        line: crate::proto::encode_reply(&reply),
+                    }),
+                    Answer::Redirect { id, request, to } => out.send_quiet(OutMsg::Redirect {
+                        conn,
+                        seq,
+                        id,
+                        request,
+                        to,
+                        hops,
+                    }),
+                },
+                ShardMsg::Status { agg } => out.send_quiet(OutMsg::StatusPart {
+                    agg,
+                    shard,
+                    snap: svc.status(),
+                    apps: svc.app_list().to_vec(),
+                }),
+                ShardMsg::Drain { agg } => {
+                    let snap = svc.drain(now);
+                    out.send_quiet(OutMsg::DrainPart { agg, shard, snap });
+                }
+                ShardMsg::Steal { to, max } => {
+                    let tasks = svc.steal_queued(max, to);
+                    out.send_quiet(OutMsg::Stolen {
+                        from: shard,
+                        to,
+                        tasks,
+                    });
+                }
+                ShardMsg::Inject { from, tasks } => {
+                    svc.inject_stolen(&tasks, from, now);
+                }
+            }
+            sent = true;
+            handled += 1;
+            next = if handled < WORKER_BATCH {
+                rx.try_recv().ok()
+            } else {
+                None
+            };
+        }
+        if now.duration_since(last_tick) >= tick {
+            svc.tick(now);
+            last_tick = now;
+        }
+        if !drained_sent && svc.draining() && svc.drained() {
+            drained_sent = true;
+            out.send(OutMsg::Drained { shard });
+            continue;
+        }
+        if sent {
+            out.wake();
+        }
+    }
 }
 
-/// Decode and execute one request line. Total: every input maps to a
-/// reply.
-fn handle_line(
-    line: &str,
-    service: &Arc<Mutex<Service>>,
-    metrics: &Arc<Metrics>,
-    shutdown: &Arc<AtomicBool>,
-) -> Reply {
-    let envelope = match proto::decode_request(line) {
-        Ok(envelope) => envelope,
-        Err(e) => {
-            metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
-            return e.into_reply();
-        }
-    };
-    let id = envelope.id.clone();
-    let now = Instant::now();
-    let mut svc = lock_service(service);
-    let reply = match envelope.request {
+/// A worker's verdict on one request: a rendered reply, or a redirect
+/// because the task was stolen away.
+enum Answer {
+    Reply(Reply),
+    Redirect {
+        id: Option<String>,
+        request: Request,
+        to: usize,
+    },
+}
+
+/// Execute one routed request against this shard's service. Machine
+/// indices in replies are translated from shard-local to global through
+/// the shard's machine base, so clients see one coherent cluster.
+fn answer(svc: &mut Service, id: Option<String>, request: Request, now: Instant) -> Answer {
+    let base = svc.machine_base();
+    let reply = match request {
         Request::Submit { app } => match svc.submit(&app, now) {
             Ok(admitted) => {
                 let result = match admitted.placement {
                     Some((vm, score, runtime)) => obj(vec![
                         ("task", n(admitted.task as f64)),
                         ("state", s("placed")),
-                        ("machine", n(vm.machine as f64)),
+                        ("machine", n((vm.machine + base) as f64)),
                         ("slot", n(vm.slot as f64)),
                         ("predicted_score", n(score)),
                         ("predicted_runtime", n(runtime)),
@@ -371,7 +426,7 @@ fn handle_line(
                 };
                 Reply::ok(id, result)
             }
-            Err(refusal) => refusal_reply(id, refusal, &svc),
+            Err(refusal) => refusal_reply(id, refusal, svc),
         },
         Request::Complete {
             task,
@@ -388,9 +443,22 @@ fn handle_line(
                     ("dispatched", n(done.dispatched as f64)),
                 ]),
             ),
-            Err(refusal) => refusal_reply(id, refusal, &svc),
+            Err(Refusal::UnknownTask { task }) => match svc.migrated_to(task) {
+                Some(to) => {
+                    return Answer::Redirect {
+                        id,
+                        request: Request::Complete {
+                            task,
+                            runtime,
+                            iops,
+                        },
+                        to,
+                    }
+                }
+                None => refusal_reply(id, Refusal::UnknownTask { task }, svc),
+            },
+            Err(refusal) => refusal_reply(id, refusal, svc),
         },
-        Request::Status => Reply::ok(id, status_value(&svc)),
         Request::TaskInfo { task } => match svc.task_info(task) {
             Some(record) => {
                 let mut pairs = vec![
@@ -407,7 +475,7 @@ fn handle_line(
                         ..
                     } => {
                         pairs.push(("state", s("running")));
-                        pairs.push(("machine", n(vm.machine as f64)));
+                        pairs.push(("machine", n((vm.machine + base) as f64)));
                         pairs.push(("slot", n(vm.slot as f64)));
                         pairs.push((
                             "neighbor",
@@ -431,34 +499,27 @@ fn handle_line(
                 }
                 Reply::ok(id, obj(pairs))
             }
-            None => Reply::error(id, ErrorKind::UnknownTask, format!("no task {task}")),
+            None => match svc.migrated_to(task) {
+                Some(to) => {
+                    return Answer::Redirect {
+                        id,
+                        request: Request::TaskInfo { task },
+                        to,
+                    }
+                }
+                None => Reply::error(id, ErrorKind::UnknownTask, format!("no task {task}")),
+            },
         },
-        Request::Drain => {
-            let snapshot = svc.drain(now);
-            if svc.drained() {
-                shutdown.store(true, Ordering::SeqCst);
-            }
-            Reply::ok(
-                id,
-                obj(vec![
-                    ("draining", Value::Bool(true)),
-                    ("queued", n(snapshot.queued as f64)),
-                    ("delayed", n(snapshot.delayed as f64)),
-                    ("running", n(snapshot.running as f64)),
-                ]),
-            )
-        }
-        Request::Shutdown => {
-            shutdown.store(true, Ordering::SeqCst);
-            Reply::ok(id, obj(vec![("stopping", Value::Bool(true))]))
-        }
+        // Status/Drain/Shutdown never reach a worker (fan-out and the
+        // stop sequence are the reactor's); decode totality means any
+        // hole here still answers.
+        other => Reply::error(
+            id,
+            ErrorKind::Malformed,
+            format!("request {other:?} is not shard-routable"),
+        ),
     };
-    // A completion may have emptied a draining daemon; notice it here so
-    // the exit does not wait for the next ticker poll.
-    if svc.drained() {
-        shutdown.store(true, Ordering::SeqCst);
-    }
-    reply
+    Answer::Reply(reply)
 }
 
 fn refusal_reply(id: Option<String>, refusal: Refusal, svc: &Service) -> Reply {
@@ -485,29 +546,8 @@ fn refusal_reply(id: Option<String>, refusal: Refusal, svc: &Service) -> Reply {
     }
 }
 
-fn status_value(svc: &Service) -> Value {
-    let snapshot = svc.status();
-    let apps = Value::Arr(svc.app_list().iter().map(|name| s(name.clone())).collect());
-    obj(vec![
-        ("apps", apps),
-        ("scheduler", s(snapshot.scheduler)),
-        ("queued", n(snapshot.queued as f64)),
-        ("delayed", n(snapshot.delayed as f64)),
-        ("running", n(snapshot.running as f64)),
-        ("completed", n(snapshot.completed as f64)),
-        ("dead_lettered", n(snapshot.dead_lettered as f64)),
-        ("admitted", n(snapshot.admitted as f64)),
-        ("rejected", n(snapshot.rejected as f64)),
-        ("rebuilds", n(snapshot.rebuilds as f64)),
-        ("predictor_swaps", n(snapshot.swaps as f64)),
-        ("draining", Value::Bool(snapshot.draining)),
-        ("machines", n(snapshot.machines as f64)),
-        ("free_slots", n(snapshot.free_slots as f64)),
-    ])
-}
-
 /// Answer one HTTP connection: `GET /healthz` or `GET /metrics`.
-fn serve_http(mut stream: TcpStream, service: &Arc<Mutex<Service>>, metrics: &Arc<Metrics>) {
+fn serve_http(mut stream: TcpStream, draining: &AtomicBool, metrics: &Arc<Metrics>) {
     stream
         .set_read_timeout(Some(Duration::from_millis(500)))
         .ok();
@@ -518,8 +558,7 @@ fn serve_http(mut stream: TcpStream, service: &Arc<Mutex<Service>>, metrics: &Ar
     let mut chunk = [0u8; 1024];
     // Read until the header terminator; these are tiny GET requests. The
     // hard deadline reaps clients that trickle bytes to dodge the read
-    // timeout — this loop runs inline in the accept thread, so one slow
-    // connection must never stall /healthz for everyone else.
+    // timeout, so one slow connection cannot pin its thread forever.
     let deadline = Instant::now() + Duration::from_millis(2_000);
     loop {
         if Instant::now() > deadline {
@@ -543,18 +582,15 @@ fn serve_http(mut stream: TcpStream, service: &Arc<Mutex<Service>>, metrics: &Ar
         .and_then(|line| line.split_whitespace().nth(1))
         .unwrap_or("");
     let (status, content_type, body) = match path {
-        "/healthz" => {
-            let draining = lock_service(service).draining();
-            (
-                "200 OK",
-                "application/json",
-                obj(vec![
-                    ("ok", Value::Bool(true)),
-                    ("draining", Value::Bool(draining)),
-                ])
-                .to_string(),
-            )
-        }
+        "/healthz" => (
+            "200 OK",
+            "application/json",
+            obj(vec![
+                ("ok", Value::Bool(true)),
+                ("draining", Value::Bool(draining.load(Ordering::SeqCst))),
+            ])
+            .to_string(),
+        ),
         "/metrics" => (
             "200 OK",
             "text/plain; version=0.0.4",

@@ -41,6 +41,8 @@ pub mod json;
 pub mod loadgen;
 pub mod metrics;
 pub mod proto;
+mod reactor;
+pub mod shard;
 pub mod state;
 pub mod wal;
 
@@ -52,5 +54,6 @@ pub use proto::{
     decode_reply, decode_request, encode_reply, encode_request, Envelope, ErrorKind, Reply,
     Request, PROTOCOL_VERSION,
 };
-pub use state::{Refusal, SchedKind, ServeConfig, Service, StatusSnapshot, TaskPhase};
+pub use shard::{recover_dir, route_app, route_key, shard_machines, stride_shard, MergedRecovery};
+pub use state::{Refusal, SchedKind, ServeConfig, Service, StatusSnapshot, StolenTask, TaskPhase};
 pub use wal::{RecState, RecoveredTask, Recovery, Wal, WalRecord};

@@ -62,6 +62,9 @@ pub struct LoadgenConfig {
     pub max_task_ms: u64,
     /// Poll interval while a task sits in the daemon's queue.
     pub poll_ms: u64,
+    /// Extra idle TCP connections held open (but silent) for the whole
+    /// run — exercises the reactor's many-connections path.
+    pub idle_conns: usize,
 }
 
 impl Default for LoadgenConfig {
@@ -78,6 +81,7 @@ impl Default for LoadgenConfig {
             task_ms_per_s: 5.0,
             max_task_ms: 60,
             poll_ms: 10,
+            idle_conns: 0,
         }
     }
 }
@@ -158,6 +162,19 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
     }
     let mut client =
         Client::connect(&cfg.addr).map_err(|e| format!("connect {}: {e}", cfg.addr))?;
+    // Idle-connection ballast: connected, never written to, dropped at
+    // the end of the run. The reactor must hold these without a thread
+    // (or a ulimit's worth of stacks) each.
+    let mut ballast = Vec::with_capacity(cfg.idle_conns);
+    for i in 0..cfg.idle_conns {
+        let conn = std::net::TcpStream::connect(&cfg.addr).map_err(|e| {
+            format!(
+                "idle conn {i}/{}: connect {}: {e}",
+                cfg.idle_conns, cfg.addr
+            )
+        })?;
+        ballast.push(conn);
+    }
     // The daemon's status reply carries the profiled application list in
     // pair-table order, which is exactly the index space `poisson_n`
     // samples over.

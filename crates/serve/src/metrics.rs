@@ -13,6 +13,17 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// an implicit `+Inf` bucket follows.
 pub const LATENCY_BUCKETS_MS: [u64; 10] = [1, 2, 5, 10, 25, 50, 100, 250, 1000, 5000];
 
+/// Per-shard gauge set, rendered with a `shard="i"` label.
+#[derive(Default)]
+pub struct ShardGauges {
+    /// This shard's admission queue depth.
+    pub queue_depth: AtomicU64,
+    /// This shard's leased (running) tasks.
+    pub leased: AtomicU64,
+    /// This shard's dead-letter queue size.
+    pub dead_lettered: AtomicU64,
+}
+
 /// Shared daemon counters; one instance lives behind an `Arc`.
 #[derive(Default)]
 pub struct Metrics {
@@ -46,10 +57,17 @@ pub struct Metrics {
     pub wal_errors: AtomicU64,
     /// Adaptive model rebuilds that failed; the last-good predictor stays.
     pub rebuild_failures: AtomicU64,
-    /// Current admission queue depth (gauge).
+    /// Work-steal rebalance passes that moved at least one task.
+    pub steals: AtomicU64,
+    /// Tasks migrated between shards by work-stealing.
+    pub migrated_tasks: AtomicU64,
+    /// Current admission queue depth, summed over shards (gauge).
     pub queue_depth: AtomicU64,
-    /// Currently running (placed, not yet completed) tasks (gauge).
+    /// Currently running (placed, not yet completed) tasks, summed over
+    /// shards (gauge).
     pub running: AtomicU64,
+    /// Per-shard gauge vectors (length = shard count, 1 by default).
+    shard_gauges: Vec<ShardGauges>,
     /// Cumulative dispatch-latency histogram counts per bucket.
     latency_buckets: [AtomicU64; LATENCY_BUCKETS_MS.len() + 1],
     /// Sum of observed dispatch latencies in microseconds (for `_sum`).
@@ -59,9 +77,44 @@ pub struct Metrics {
 }
 
 impl Metrics {
-    /// Fresh all-zero counters.
+    /// Fresh all-zero counters for a single-shard daemon.
     pub fn new() -> Metrics {
-        Metrics::default()
+        Metrics::with_shards(1)
+    }
+
+    /// Fresh all-zero counters with one gauge set per shard.
+    pub fn with_shards(shards: usize) -> Metrics {
+        Metrics {
+            shard_gauges: (0..shards.max(1)).map(|_| ShardGauges::default()).collect(),
+            ..Metrics::default()
+        }
+    }
+
+    /// How many shards the gauge vectors cover.
+    pub fn shard_count(&self) -> usize {
+        self.shard_gauges.len()
+    }
+
+    /// One shard's gauges (None when `shard` is out of range — e.g. a
+    /// test-built `Service` sharing a smaller `Metrics`).
+    pub fn shard_gauges(&self, shard: usize) -> Option<&ShardGauges> {
+        self.shard_gauges.get(shard)
+    }
+
+    /// Store one shard's gauges and refresh the summed legacy gauges.
+    pub fn set_shard_gauges(&self, shard: usize, queue_depth: u64, leased: u64, dead: u64) {
+        if let Some(g) = self.shard_gauges.get(shard) {
+            g.queue_depth.store(queue_depth, Ordering::Relaxed);
+            g.leased.store(leased, Ordering::Relaxed);
+            g.dead_lettered.store(dead, Ordering::Relaxed);
+        }
+        let (mut q, mut r) = (0u64, 0u64);
+        for g in &self.shard_gauges {
+            q += g.queue_depth.load(Ordering::Relaxed);
+            r += g.leased.load(Ordering::Relaxed);
+        }
+        self.queue_depth.store(q, Ordering::Relaxed);
+        self.running.store(r, Ordering::Relaxed);
     }
 
     /// Record one submit→placement latency observation.
@@ -181,10 +234,22 @@ impl Metrics {
             "Adaptive model rebuilds that failed (last-good predictor kept).",
             self.rebuild_failures.load(Ordering::Relaxed),
         );
+        counter(
+            &mut out,
+            "steals_total",
+            "Work-steal rebalance passes that moved at least one task.",
+            self.steals.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "migrated_tasks_total",
+            "Tasks migrated between shards by work-stealing.",
+            self.migrated_tasks.load(Ordering::Relaxed),
+        );
         gauge(
             &mut out,
             "queue_depth",
-            "Current admission queue depth.",
+            "Current admission queue depth (summed over shards).",
             self.queue_depth.load(Ordering::Relaxed),
         );
         gauge(
@@ -193,6 +258,35 @@ impl Metrics {
             "Tasks currently placed on a VM and not yet completed.",
             self.running.load(Ordering::Relaxed),
         );
+        // Per-shard gauge vectors, one labeled series per shard.
+        for (name, help, read) in [
+            (
+                "shard_queue_depth",
+                "Admission queue depth of one shard.",
+                &(|g: &ShardGauges| g.queue_depth.load(Ordering::Relaxed))
+                    as &dyn Fn(&ShardGauges) -> u64,
+            ),
+            (
+                "shard_leased_tasks",
+                "Tasks currently leased (running) on one shard.",
+                &|g: &ShardGauges| g.leased.load(Ordering::Relaxed),
+            ),
+            (
+                "shard_dead_lettered",
+                "Dead-letter queue size of one shard.",
+                &|g: &ShardGauges| g.dead_lettered.load(Ordering::Relaxed),
+            ),
+        ] {
+            out.push_str(&format!(
+                "# HELP tracond_{name} {help}\n# TYPE tracond_{name} gauge\n"
+            ));
+            for (shard, g) in self.shard_gauges.iter().enumerate() {
+                out.push_str(&format!(
+                    "tracond_{name}{{shard=\"{shard}\"}} {}\n",
+                    read(g)
+                ));
+            }
+        }
         out.push_str("# HELP tracond_dispatch_latency_seconds Submit-to-placement latency.\n");
         out.push_str("# TYPE tracond_dispatch_latency_seconds histogram\n");
         for (i, bound) in LATENCY_BUCKETS_MS.iter().enumerate() {
@@ -260,6 +354,31 @@ mod tests {
             "tracond_wal_snapshots_total 6",
             "tracond_wal_errors_total 7",
             "tracond_rebuild_failures_total 8",
+        ] {
+            assert!(text.contains(pinned), "missing series: {pinned}\n{text}");
+        }
+    }
+
+    #[test]
+    fn shard_metric_names_are_pinned() {
+        let m = Metrics::with_shards(2);
+        m.steals.fetch_add(2, Ordering::Relaxed);
+        m.migrated_tasks.fetch_add(9, Ordering::Relaxed);
+        m.set_shard_gauges(0, 4, 1, 0);
+        m.set_shard_gauges(1, 6, 2, 3);
+        let text = m.render_prometheus();
+        for pinned in [
+            "tracond_steals_total 2",
+            "tracond_migrated_tasks_total 9",
+            "tracond_shard_queue_depth{shard=\"0\"} 4",
+            "tracond_shard_queue_depth{shard=\"1\"} 6",
+            "tracond_shard_leased_tasks{shard=\"0\"} 1",
+            "tracond_shard_leased_tasks{shard=\"1\"} 2",
+            "tracond_shard_dead_lettered{shard=\"0\"} 0",
+            "tracond_shard_dead_lettered{shard=\"1\"} 3",
+            // The unlabeled legacy gauges stay as sums over shards.
+            "tracond_queue_depth 10",
+            "tracond_running_tasks 3",
         ] {
             assert!(text.contains(pinned), "missing series: {pinned}\n{text}");
         }

@@ -1,0 +1,1062 @@
+//! The poll-based connection reactor: one thread owns every client
+//! socket and routes decoded requests to scheduler-shard workers.
+//!
+//! The pre-sharding daemon spent a thread per connection; this module
+//! replaces that with a single event loop multiplexed over `poll(2)`
+//! (a thin hand-rolled `#[cfg(unix)]` FFI wrapper — no new dependencies,
+//! the same discipline as `tracon_core::par`). Per connection it keeps a
+//! bounded read buffer for partial NDJSON lines, an outbox of rendered
+//! reply bytes, and a sequence-numbered reorder stage so replies go out
+//! in request order even though shards answer out of order.
+//!
+//! Request routing:
+//! - `submit` interns the application name at decode time and
+//!   rendezvous-hashes the [`tracon_core::AppId`] to a shard
+//!   ([`crate::shard::route_app`]); unprofiled names hash by name so any
+//!   shard can issue the identical `unknown-app` refusal.
+//! - `complete`/`task_info` go to the task's stride shard
+//!   ([`crate::shard::stride_shard`]) unless a work-steal re-homed the
+//!   task, in which case the reactor's exception table — or, for races,
+//!   a worker-issued [`OutMsg::Redirect`] — finds the new home.
+//! - `status`/`drain` fan out to every shard and the replies are summed
+//!   before one aggregate line goes back to the client.
+//! - `shutdown` is answered by the reactor itself, which then stops the
+//!   daemon once outstanding replies have flushed (or a short grace
+//!   period expires).
+//!
+//! The reactor is also the rebalancer: every tick it compares per-shard
+//! queue depths (via [`crate::metrics::Metrics`] shard gauges) and, when
+//! the skew exceeds [`STEAL_MIN_SKEW`], asks the deepest shard to move
+//! half the gap to the shallowest ([`ShardMsg::Steal`]). Stolen tasks
+//! come back through [`OutMsg::Stolen`], update the exception table, and
+//! are forwarded to the recipient as [`ShardMsg::Inject`] — channel FIFO
+//! order guarantees the inject lands before any redirected request for
+//! the same task.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::io::{ErrorKind as IoErrorKind, Read, Write};
+use std::net::TcpListener;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tracon_core::AppId;
+
+use crate::daemon::NetConfig;
+use crate::json::{n, obj, s, Value};
+use crate::metrics::Metrics;
+use crate::proto::{self, ErrorKind, Reply, Request};
+use crate::shard::{route_app, route_name, stride_shard};
+use crate::state::{StatusSnapshot, StolenTask};
+
+/// Queue-depth gap between the deepest and shallowest shard before the
+/// reactor triggers a work-steal rebalance pass.
+pub const STEAL_MIN_SKEW: u64 = 8;
+
+/// A redirected request that bounces more than this many times is
+/// answered `unknown-task` (covers a task migrating while its redirect
+/// is in flight; two hops settle every realistic race).
+const MAX_REDIRECT_HOPS: u8 = 16;
+
+/// Grace period for flushing outstanding replies after a `shutdown`
+/// request or the last shard draining.
+const STOP_GRACE: Duration = Duration::from_secs(1);
+
+/// Hard cap on buffered un-flushed reply bytes per connection; a client
+/// that stops reading past this point is disconnected.
+const MAX_OUTBOX_BYTES: usize = 4 << 20;
+
+/// Work sent from the reactor to one shard worker.
+pub(crate) enum ShardMsg {
+    /// One decoded client request to answer.
+    Request {
+        /// Reactor connection id (opaque to the worker).
+        conn: u64,
+        /// Per-connection sequence number for reply ordering.
+        seq: u64,
+        /// Echoed client request id.
+        id: Option<String>,
+        /// The request; only `Submit`/`Complete`/`TaskInfo` reach workers.
+        request: Request,
+        /// Redirect-bounce count (0 for first delivery).
+        hops: u8,
+    },
+    /// Contribute one part to a fan-out `status` aggregation.
+    Status {
+        /// Aggregation token.
+        agg: u64,
+    },
+    /// Start draining and contribute one part to the `drain` reply.
+    Drain {
+        /// Aggregation token.
+        agg: u64,
+    },
+    /// Pop up to `max` queued tasks for shard `to` (work-steal donor side).
+    Steal {
+        /// Recipient shard.
+        to: usize,
+        /// Upper bound on tasks to move.
+        max: usize,
+    },
+    /// Adopt tasks stolen from shard `from` (work-steal recipient side).
+    Inject {
+        /// Donor shard.
+        from: usize,
+        /// The stolen tasks.
+        tasks: Vec<StolenTask>,
+    },
+}
+
+/// Everything a shard worker sends back to the reactor.
+pub(crate) enum OutMsg {
+    /// A rendered reply line (no trailing newline) for one request.
+    Reply {
+        /// Connection id from the originating [`ShardMsg::Request`].
+        conn: u64,
+        /// Sequence number from the originating request.
+        seq: u64,
+        /// The encoded reply line.
+        line: String,
+    },
+    /// One shard's contribution to a `status` aggregation.
+    StatusPart {
+        /// Aggregation token.
+        agg: u64,
+        /// Contributing shard.
+        shard: usize,
+        /// The shard's status snapshot.
+        snap: StatusSnapshot,
+        /// Profiled application names (identical on every shard).
+        apps: Vec<String>,
+    },
+    /// One shard's contribution to a `drain` aggregation.
+    DrainPart {
+        /// Aggregation token.
+        agg: u64,
+        /// Contributing shard.
+        shard: usize,
+        /// The shard's post-drain snapshot.
+        snap: StatusSnapshot,
+    },
+    /// The task this request names migrated to another shard; re-route.
+    Redirect {
+        /// Connection id of the original request.
+        conn: u64,
+        /// Sequence number of the original request.
+        seq: u64,
+        /// Echoed client request id.
+        id: Option<String>,
+        /// The original request, unanswered.
+        request: Request,
+        /// Where the task went.
+        to: usize,
+        /// Bounce count so far.
+        hops: u8,
+    },
+    /// Donor's answer to a [`ShardMsg::Steal`] (possibly empty).
+    Stolen {
+        /// Donor shard.
+        from: usize,
+        /// Recipient shard.
+        to: usize,
+        /// Tasks moved (already tombstoned in the donor's WAL).
+        tasks: Vec<StolenTask>,
+    },
+    /// This shard is draining and has no work left (sent at most once).
+    Drained {
+        /// The drained shard.
+        shard: usize,
+    },
+}
+
+/// Worker-side handle for sending [`OutMsg`]s: every send also writes a
+/// wake byte so the reactor's `poll` returns promptly.
+#[derive(Clone)]
+pub(crate) struct OutSender {
+    tx: Sender<OutMsg>,
+    wake: Arc<std::os::unix::net::UnixStream>,
+}
+
+impl OutSender {
+    pub(crate) fn new(tx: Sender<OutMsg>, wake: std::os::unix::net::UnixStream) -> OutSender {
+        OutSender {
+            tx,
+            wake: Arc::new(wake),
+        }
+    }
+
+    pub(crate) fn send(&self, msg: OutMsg) {
+        let _ = self.tx.send(msg);
+        self.wake();
+    }
+
+    /// Enqueue without waking; pair with one [`OutSender::wake`] per
+    /// batch so a worker draining a deep queue costs one pipe write, not
+    /// one per reply.
+    pub(crate) fn send_quiet(&self, msg: OutMsg) {
+        let _ = self.tx.send(msg);
+    }
+
+    pub(crate) fn wake(&self) {
+        // A full pipe already guarantees a pending wake; WouldBlock is fine.
+        let _ = (&*self.wake).write(&[1]);
+    }
+}
+
+/// Thin `poll(2)` wrapper. Unix gets the real syscall; other targets get
+/// a degenerate stand-in that sleeps one tick and reports every fd ready
+/// (reads then return `WouldBlock` harmlessly — correct, just busy).
+mod sys {
+    /// Mirror of `struct pollfd`.
+    #[repr(C)]
+    pub struct PollFd {
+        pub fd: i32,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+    pub const POLLNVAL: i16 = 0x020;
+
+    #[cfg(unix)]
+    mod imp {
+        use super::PollFd;
+
+        #[cfg(target_os = "macos")]
+        type Nfds = u32;
+        #[cfg(not(target_os = "macos"))]
+        type Nfds = std::os::raw::c_ulong;
+
+        extern "C" {
+            fn poll(fds: *mut PollFd, nfds: Nfds, timeout: i32) -> i32;
+        }
+
+        pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> std::io::Result<usize> {
+            // SAFETY: `fds` is a valid, exclusively borrowed slice of
+            // `#[repr(C)]` pollfd mirrors and the length is its true length.
+            let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as Nfds, timeout_ms) };
+            if rc < 0 {
+                Err(std::io::Error::last_os_error())
+            } else {
+                Ok(rc as usize)
+            }
+        }
+    }
+
+    #[cfg(not(unix))]
+    mod imp {
+        use super::{PollFd, POLLIN, POLLOUT};
+
+        pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> std::io::Result<usize> {
+            std::thread::sleep(std::time::Duration::from_millis(timeout_ms.max(1) as u64));
+            for fd in fds.iter_mut() {
+                fd.revents = fd.events & (POLLIN | POLLOUT);
+            }
+            Ok(fds.len())
+        }
+    }
+
+    pub use imp::poll_fds;
+}
+
+use std::os::unix::io::AsRawFd;
+
+/// One client connection's reactor-side state.
+struct Conn {
+    stream: TcpStream,
+    /// Partial-line read buffer, bounded by `max_line_bytes`.
+    rbuf: Vec<u8>,
+    /// Flushed-in-order reply bytes waiting for the socket.
+    wbuf: Vec<u8>,
+    /// True while discarding the tail of an oversized frame.
+    discarding: bool,
+    /// Last complete request line (for the idle timeout).
+    last_activity: Instant,
+    /// Set when a write returns `WouldBlock`; cleared on progress.
+    write_stalled_since: Option<Instant>,
+    /// Next sequence number to assign to an incoming request.
+    next_seq: u64,
+    /// Next sequence number to flush into `wbuf`.
+    next_write: u64,
+    /// Replies that arrived ahead of an earlier outstanding request.
+    pending: BTreeMap<u64, String>,
+    /// Requests dispatched to shards with no reply yet.
+    inflight: usize,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, now: Instant) -> Conn {
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            discarding: false,
+            last_activity: now,
+            write_stalled_since: None,
+            next_seq: 0,
+            next_write: 0,
+            pending: BTreeMap::new(),
+            inflight: 0,
+        }
+    }
+
+    /// All replies owed to this client have been written to the socket.
+    fn quiescent(&self) -> bool {
+        self.inflight == 0 && self.pending.is_empty() && self.wbuf.is_empty()
+    }
+}
+
+/// One in-flight `status`/`drain` fan-out.
+struct Agg {
+    conn: u64,
+    seq: u64,
+    id: Option<String>,
+    drain: bool,
+    parts: Vec<Option<StatusSnapshot>>,
+    apps: Option<Vec<String>>,
+    remaining: usize,
+}
+
+/// Everything the daemon hands the reactor thread at boot.
+pub(crate) struct ReactorConfig {
+    pub listener: TcpListener,
+    pub net: NetConfig,
+    pub shard_txs: Vec<Sender<ShardMsg>>,
+    pub out_rx: Receiver<OutMsg>,
+    pub wake_rx: std::os::unix::net::UnixStream,
+    pub shutdown: Arc<AtomicBool>,
+    pub draining: Arc<AtomicBool>,
+    pub metrics: Arc<Metrics>,
+    /// Profiled application name -> interned id, for decode-time routing.
+    pub app_ids: HashMap<String, AppId>,
+}
+
+/// Run the reactor event loop until shutdown. Consumes the config; the
+/// shard senders drop on return, which releases the workers.
+pub(crate) fn run(cfg: ReactorConfig) {
+    Reactor::new(cfg).run();
+}
+
+struct Reactor {
+    listener: TcpListener,
+    net: NetConfig,
+    shard_txs: Vec<Sender<ShardMsg>>,
+    out_rx: Receiver<OutMsg>,
+    wake_rx: std::os::unix::net::UnixStream,
+    shutdown: Arc<AtomicBool>,
+    draining: Arc<AtomicBool>,
+    metrics: Arc<Metrics>,
+    app_ids: HashMap<String, AppId>,
+
+    conns: HashMap<u64, Conn>,
+    next_conn: u64,
+    aggs: HashMap<u64, Agg>,
+    next_agg: u64,
+    /// Tasks living away from their stride shard after a steal.
+    exceptions: HashMap<u64, usize>,
+    /// Shards that reported `Drained`.
+    drained: HashSet<usize>,
+    /// At most one steal pass in flight at a time.
+    steal_outstanding: bool,
+    /// Set once a stop was requested; the loop exits when every owed
+    /// reply has flushed or the deadline passes.
+    stop_deadline: Option<Instant>,
+    accepting: bool,
+}
+
+impl Reactor {
+    fn new(cfg: ReactorConfig) -> Reactor {
+        Reactor {
+            listener: cfg.listener,
+            net: cfg.net,
+            shard_txs: cfg.shard_txs,
+            out_rx: cfg.out_rx,
+            wake_rx: cfg.wake_rx,
+            shutdown: cfg.shutdown,
+            draining: cfg.draining,
+            metrics: cfg.metrics,
+            app_ids: cfg.app_ids,
+            conns: HashMap::new(),
+            next_conn: 0,
+            aggs: HashMap::new(),
+            next_agg: 0,
+            exceptions: HashMap::new(),
+            drained: HashSet::new(),
+            steal_outstanding: false,
+            stop_deadline: None,
+            accepting: true,
+        }
+    }
+
+    fn shards(&self) -> usize {
+        self.shard_txs.len()
+    }
+
+    fn run(mut self) {
+        let tick_ms = self.net.tick_ms.max(1).min(i32::MAX as u64) as i32;
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+
+            // Build the poll set: listener, wake pipe, then every conn.
+            let mut fds: Vec<sys::PollFd> = Vec::with_capacity(self.conns.len() + 2);
+            let mut ids: Vec<u64> = Vec::with_capacity(self.conns.len());
+            fds.push(sys::PollFd {
+                fd: self.listener.as_raw_fd(),
+                events: if self.accepting { sys::POLLIN } else { 0 },
+                revents: 0,
+            });
+            fds.push(sys::PollFd {
+                fd: self.wake_rx.as_raw_fd(),
+                events: sys::POLLIN,
+                revents: 0,
+            });
+            for (&id, conn) in &self.conns {
+                let mut events = sys::POLLIN;
+                if !conn.wbuf.is_empty() {
+                    events |= sys::POLLOUT;
+                }
+                fds.push(sys::PollFd {
+                    fd: conn.stream.as_raw_fd(),
+                    events,
+                    revents: 0,
+                });
+                ids.push(id);
+            }
+            if sys::poll_fds(&mut fds, tick_ms).is_err() {
+                // EINTR or fd churn; retry with a rebuilt set.
+                continue;
+            }
+            let now = Instant::now();
+
+            if fds[0].revents & (sys::POLLIN | sys::POLLERR) != 0 {
+                self.accept_new(now);
+            }
+            if fds[1].revents & sys::POLLIN != 0 {
+                let mut sink = [0u8; 256];
+                while matches!((&self.wake_rx).read(&mut sink), Ok(count) if count > 0) {}
+            }
+
+            // Shard results first so replies unblock ordered flushes below.
+            self.drain_out();
+
+            for (i, &id) in ids.iter().enumerate() {
+                let revents = fds[i + 2].revents;
+                if revents & (sys::POLLIN | sys::POLLERR | sys::POLLHUP | sys::POLLNVAL) != 0 {
+                    self.read_conn(id, now);
+                }
+                if revents & sys::POLLOUT != 0 {
+                    self.flush_conn(id, now);
+                }
+            }
+
+            // One batched flush per iteration: replies accumulate in
+            // each connection's outbox while requests are processed, then
+            // go out in one `write` per connection instead of one per
+            // reply.
+            let dirty: Vec<u64> = self
+                .conns
+                .iter()
+                .filter(|(_, conn)| !conn.wbuf.is_empty())
+                .map(|(&id, _)| id)
+                .collect();
+            for id in dirty {
+                self.flush_conn(id, now);
+            }
+
+            self.reap_timeouts(now);
+            self.maybe_steal();
+
+            if let Some(deadline) = self.stop_deadline {
+                let quiescent = self.aggs.is_empty() && self.conns.values().all(Conn::quiescent);
+                if quiescent || now >= deadline {
+                    self.shutdown.store(true, Ordering::SeqCst);
+                }
+            }
+        }
+        // Final courtesy flush so replies written just before the stop
+        // (e.g. the `shutdown` ack) reach clients that are still reading.
+        for conn in self.conns.values_mut() {
+            if !conn.wbuf.is_empty() {
+                let _ = conn.stream.write_all(&conn.wbuf);
+            }
+        }
+    }
+
+    fn accept_new(&mut self, now: Instant) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nodelay(true).ok();
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let id = self.next_conn;
+                    self.next_conn += 1;
+                    self.conns.insert(id, Conn::new(stream, now));
+                }
+                Err(e) if e.kind() == IoErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Read until `WouldBlock`, peeling complete lines. Mirrors the
+    /// pre-reactor per-thread loop: oversized frames get one structured
+    /// error and their tail is discarded without being buffered.
+    fn read_conn(&mut self, id: u64, now: Instant) {
+        let mut chunk = [0u8; 4096];
+        loop {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                return;
+            };
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.close(id);
+                    return;
+                }
+                Ok(count) => {
+                    conn.rbuf.extend_from_slice(&chunk[..count]);
+                    self.peel_lines(id, now);
+                }
+                Err(e) if e.kind() == IoErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == IoErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(id);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Peel every complete line out of the connection's read buffer in
+    /// one pass. The buffer is taken out of the connection so complete
+    /// lines are dispatched as borrowed slices — no per-line allocation —
+    /// and the unconsumed tail is compacted with a single `drain`.
+    fn peel_lines(&mut self, id: u64, now: Instant) {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        let mut buf = std::mem::take(&mut conn.rbuf);
+        let mut discarding = conn.discarding;
+        let mut start = 0usize;
+        while let Some(pos) = buf[start..].iter().position(|b| *b == b'\n') {
+            let end = start + pos;
+            let frame = &buf[start..=end];
+            if discarding {
+                discarding = false;
+                start = end + 1;
+                continue;
+            }
+            if frame.len() > self.net.max_line_bytes {
+                let message = format!("request line exceeds {} bytes", self.net.max_line_bytes);
+                self.local_error(id, None, ErrorKind::FrameTooLarge, message);
+                start = end + 1;
+                continue;
+            }
+            let line = String::from_utf8_lossy(&buf[start..end]);
+            let line = line.trim_end_matches(['\n', '\r']).trim();
+            start = end + 1;
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(conn) = self.conns.get_mut(&id) {
+                conn.last_activity = now;
+            }
+            self.dispatch_line(id, line);
+            if !self.conns.contains_key(&id) {
+                return; // Dispatch closed the connection (e.g. outbox cap).
+            }
+        }
+        buf.drain(..start);
+        // An over-long tail with no newline yet: drop it now and keep
+        // discarding until the next newline arrives.
+        if discarding {
+            buf.clear();
+        } else if buf.len() > self.net.max_line_bytes {
+            discarding = true;
+            buf.clear();
+            let message = format!(
+                "request line exceeds {} bytes; discarding until newline",
+                self.net.max_line_bytes
+            );
+            self.local_error(id, None, ErrorKind::FrameTooLarge, message);
+        }
+        if let Some(conn) = self.conns.get_mut(&id) {
+            conn.rbuf = buf;
+            conn.discarding = discarding;
+        }
+    }
+
+    /// An error generated by the reactor itself still occupies a slot in
+    /// the reply order.
+    fn local_error(&mut self, id: u64, req_id: Option<String>, kind: ErrorKind, message: String) {
+        self.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        let seq = conn.next_seq;
+        conn.next_seq += 1;
+        conn.inflight += 1;
+        let line = proto::encode_reply(&Reply::error(req_id, kind, message));
+        self.complete(id, seq, line);
+    }
+
+    fn dispatch_line(&mut self, id: u64, line: &str) {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        let seq = conn.next_seq;
+        conn.next_seq += 1;
+        conn.inflight += 1;
+        let envelope = match proto::decode_request(line) {
+            Ok(envelope) => envelope,
+            Err(e) => {
+                self.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let line = proto::encode_reply(&e.into_reply());
+                self.complete(id, seq, line);
+                return;
+            }
+        };
+        let req_id = envelope.id;
+        match envelope.request {
+            Request::Status => self.start_agg(id, seq, req_id, false),
+            Request::Drain => {
+                self.draining.store(true, Ordering::SeqCst);
+                self.start_agg(id, seq, req_id, true);
+            }
+            Request::Shutdown => {
+                let line = proto::encode_reply(&Reply::ok(
+                    req_id,
+                    obj(vec![("stopping", Value::Bool(true))]),
+                ));
+                self.complete(id, seq, line);
+                self.begin_stop();
+            }
+            Request::Submit { app } => {
+                let shard = match self.app_ids.get(&app) {
+                    Some(&app_id) => route_app(app_id, self.shards()),
+                    None => route_name(&app, self.shards()),
+                };
+                self.send_shard(
+                    shard,
+                    ShardMsg::Request {
+                        conn: id,
+                        seq,
+                        id: req_id,
+                        request: Request::Submit { app },
+                        hops: 0,
+                    },
+                );
+            }
+            request @ (Request::Complete { .. } | Request::TaskInfo { .. }) => {
+                let task = match &request {
+                    Request::Complete { task, .. } | Request::TaskInfo { task } => *task,
+                    _ => unreachable!(),
+                };
+                let shard = self
+                    .exceptions
+                    .get(&task)
+                    .copied()
+                    .unwrap_or_else(|| stride_shard(task, self.shards()));
+                self.send_shard(
+                    shard,
+                    ShardMsg::Request {
+                        conn: id,
+                        seq,
+                        id: req_id,
+                        request,
+                        hops: 0,
+                    },
+                );
+            }
+        }
+    }
+
+    fn send_shard(&mut self, shard: usize, msg: ShardMsg) {
+        // A dead worker only happens during shutdown; the reply is moot.
+        let _ = self.shard_txs[shard].send(msg);
+    }
+
+    fn start_agg(&mut self, conn: u64, seq: u64, id: Option<String>, drain: bool) {
+        let agg = self.next_agg;
+        self.next_agg += 1;
+        let shards = self.shards();
+        self.aggs.insert(
+            agg,
+            Agg {
+                conn,
+                seq,
+                id,
+                drain,
+                parts: vec![None; shards],
+                apps: None,
+                remaining: shards,
+            },
+        );
+        for shard in 0..shards {
+            let msg = if drain {
+                ShardMsg::Drain { agg }
+            } else {
+                ShardMsg::Status { agg }
+            };
+            self.send_shard(shard, msg);
+        }
+    }
+
+    fn drain_out(&mut self) {
+        while let Ok(msg) = self.out_rx.try_recv() {
+            match msg {
+                OutMsg::Reply { conn, seq, line } => self.complete(conn, seq, line),
+                OutMsg::StatusPart {
+                    agg,
+                    shard,
+                    snap,
+                    apps,
+                } => {
+                    let done = match self.aggs.get_mut(&agg) {
+                        None => false,
+                        Some(entry) => {
+                            if entry.parts[shard].is_none() {
+                                entry.parts[shard] = Some(snap);
+                                entry.remaining -= 1;
+                            }
+                            entry.apps.get_or_insert(apps);
+                            entry.remaining == 0
+                        }
+                    };
+                    if done {
+                        self.finish_agg(agg);
+                    }
+                }
+                OutMsg::DrainPart { agg, shard, snap } => {
+                    let done = match self.aggs.get_mut(&agg) {
+                        None => false,
+                        Some(entry) => {
+                            if entry.parts[shard].is_none() {
+                                entry.parts[shard] = Some(snap);
+                                entry.remaining -= 1;
+                            }
+                            entry.remaining == 0
+                        }
+                    };
+                    if done {
+                        self.finish_agg(agg);
+                    }
+                }
+                OutMsg::Redirect {
+                    conn,
+                    seq,
+                    id,
+                    request,
+                    to,
+                    hops,
+                } => {
+                    let task = match &request {
+                        Request::Complete { task, .. } | Request::TaskInfo { task } => *task,
+                        _ => 0,
+                    };
+                    if hops >= MAX_REDIRECT_HOPS || to >= self.shards() {
+                        let line = proto::encode_reply(&Reply::error(
+                            id,
+                            ErrorKind::UnknownTask,
+                            format!("no task {task}"),
+                        ));
+                        self.complete(conn, seq, line);
+                    } else {
+                        self.exceptions.insert(task, to);
+                        self.send_shard(
+                            to,
+                            ShardMsg::Request {
+                                conn,
+                                seq,
+                                id,
+                                request,
+                                hops: hops + 1,
+                            },
+                        );
+                    }
+                }
+                OutMsg::Stolen { from, to, tasks } => {
+                    self.steal_outstanding = false;
+                    if !tasks.is_empty() && to < self.shards() {
+                        for task in &tasks {
+                            self.exceptions.insert(task.task, to);
+                        }
+                        self.send_shard(to, ShardMsg::Inject { from, tasks });
+                    }
+                }
+                OutMsg::Drained { shard } => {
+                    self.drained.insert(shard);
+                    if self.drained.len() == self.shards() {
+                        self.begin_stop();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Render the aggregate reply for a completed fan-out.
+    fn finish_agg(&mut self, agg: u64) {
+        let Some(entry) = self.aggs.remove(&agg) else {
+            return;
+        };
+        let parts: Vec<StatusSnapshot> = entry.parts.into_iter().flatten().collect();
+        let result = if entry.drain {
+            obj(vec![
+                ("draining", Value::Bool(true)),
+                (
+                    "queued",
+                    n(parts.iter().map(|p| p.queued).sum::<usize>() as f64),
+                ),
+                (
+                    "delayed",
+                    n(parts.iter().map(|p| p.delayed).sum::<usize>() as f64),
+                ),
+                (
+                    "running",
+                    n(parts.iter().map(|p| p.running).sum::<usize>() as f64),
+                ),
+            ])
+        } else {
+            aggregate_status(&parts, entry.apps.unwrap_or_default())
+        };
+        let line = proto::encode_reply(&Reply::ok(entry.id, result));
+        self.complete(entry.conn, entry.seq, line);
+    }
+
+    /// File a finished reply into its connection's reorder stage. In-order
+    /// replies (the common case under pipelining) append straight to the
+    /// outbox without touching the reorder map; the actual socket write
+    /// happens in the event loop's batched flush.
+    fn complete(&mut self, id: u64, seq: u64, line: String) {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return; // Client left; drop the reply.
+        };
+        conn.inflight = conn.inflight.saturating_sub(1);
+        if seq == conn.next_write {
+            conn.next_write += 1;
+            conn.wbuf.extend_from_slice(line.as_bytes());
+            conn.wbuf.push(b'\n');
+            while let Some(line) = conn.pending.remove(&conn.next_write) {
+                conn.next_write += 1;
+                conn.wbuf.extend_from_slice(line.as_bytes());
+                conn.wbuf.push(b'\n');
+            }
+        } else {
+            conn.pending.insert(seq, line);
+        }
+        if conn.wbuf.len() > MAX_OUTBOX_BYTES {
+            self.close(id);
+        }
+    }
+
+    fn flush_conn(&mut self, id: u64, now: Instant) {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        while !conn.wbuf.is_empty() {
+            match conn.stream.write(&conn.wbuf) {
+                Ok(0) => {
+                    self.close(id);
+                    return;
+                }
+                Ok(count) => {
+                    conn.wbuf.drain(..count);
+                    conn.write_stalled_since = None;
+                }
+                Err(e) if e.kind() == IoErrorKind::WouldBlock => {
+                    conn.write_stalled_since.get_or_insert(now);
+                    return;
+                }
+                Err(e) if e.kind() == IoErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(id);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn reap_timeouts(&mut self, now: Instant) {
+        let idle_limit = Duration::from_millis(self.net.idle_timeout_ms.max(1));
+        let write_limit = Duration::from_millis(self.net.write_timeout_ms.max(1));
+        let doomed: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, conn)| {
+                let idle = conn.quiescent() && now.duration_since(conn.last_activity) > idle_limit;
+                let stalled = conn
+                    .write_stalled_since
+                    .is_some_and(|since| now.duration_since(since) > write_limit);
+                idle || stalled
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for id in doomed {
+            self.close(id);
+        }
+    }
+
+    /// Trigger at most one work-steal pass when shard queue depths skew.
+    fn maybe_steal(&mut self) {
+        if self.shards() < 2 || self.steal_outstanding || self.stop_deadline.is_some() {
+            return;
+        }
+        let depths: Vec<u64> = (0..self.shards())
+            .map(|shard| {
+                self.metrics
+                    .shard_gauges(shard)
+                    .map(|g| g.queue_depth.load(Ordering::Relaxed))
+                    .unwrap_or(0)
+            })
+            .collect();
+        let (deepest, &max) = match depths.iter().enumerate().max_by_key(|(_, d)| **d) {
+            Some(found) => found,
+            None => return,
+        };
+        let (shallowest, &min) = match depths.iter().enumerate().min_by_key(|(_, d)| **d) {
+            Some(found) => found,
+            None => return,
+        };
+        if max - min < STEAL_MIN_SKEW {
+            return;
+        }
+        self.steal_outstanding = true;
+        self.send_shard(
+            deepest,
+            ShardMsg::Steal {
+                to: shallowest,
+                max: ((max - min) / 2) as usize,
+            },
+        );
+    }
+
+    fn begin_stop(&mut self) {
+        self.accepting = false;
+        self.stop_deadline
+            .get_or_insert_with(|| Instant::now() + STOP_GRACE);
+    }
+
+    fn close(&mut self, id: u64) {
+        self.conns.remove(&id);
+    }
+}
+
+/// Sum per-shard snapshots into the daemon-wide `status` payload. Field
+/// order matches the pre-sharding daemon byte for byte, with one new
+/// trailing `shards` field.
+fn aggregate_status(parts: &[StatusSnapshot], apps: Vec<String>) -> Value {
+    let apps = Value::Arr(apps.into_iter().map(s).collect());
+    let scheduler = parts.first().map(|p| p.scheduler).unwrap_or("");
+    obj(vec![
+        ("apps", apps),
+        ("scheduler", s(scheduler)),
+        (
+            "queued",
+            n(parts.iter().map(|p| p.queued).sum::<usize>() as f64),
+        ),
+        (
+            "delayed",
+            n(parts.iter().map(|p| p.delayed).sum::<usize>() as f64),
+        ),
+        (
+            "running",
+            n(parts.iter().map(|p| p.running).sum::<usize>() as f64),
+        ),
+        (
+            "completed",
+            n(parts.iter().map(|p| p.completed).sum::<u64>() as f64),
+        ),
+        (
+            "dead_lettered",
+            n(parts.iter().map(|p| p.dead_lettered).sum::<u64>() as f64),
+        ),
+        (
+            "admitted",
+            n(parts.iter().map(|p| p.admitted).sum::<u64>() as f64),
+        ),
+        (
+            "rejected",
+            n(parts.iter().map(|p| p.rejected).sum::<u64>() as f64),
+        ),
+        (
+            "rebuilds",
+            n(parts.iter().map(|p| p.rebuilds).sum::<usize>() as f64),
+        ),
+        (
+            "predictor_swaps",
+            n(parts.iter().map(|p| p.swaps).sum::<usize>() as f64),
+        ),
+        ("draining", Value::Bool(parts.iter().any(|p| p.draining))),
+        (
+            "machines",
+            n(parts.iter().map(|p| p.machines).sum::<usize>() as f64),
+        ),
+        (
+            "free_slots",
+            n(parts.iter().map(|p| p.free_slots).sum::<usize>() as f64),
+        ),
+        ("shards", n(parts.len() as f64)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(queued: usize, admitted: u64, completed: u64) -> StatusSnapshot {
+        StatusSnapshot {
+            queued,
+            delayed: 0,
+            running: 0,
+            completed,
+            dead_lettered: 0,
+            admitted,
+            rejected: 0,
+            rebuilds: 0,
+            swaps: 0,
+            draining: false,
+            machines: 2,
+            free_slots: 4,
+            scheduler: "mios",
+        }
+    }
+
+    #[test]
+    fn aggregate_status_sums_counters_and_keeps_field_order() {
+        let parts = [snap(1, 5, 2), snap(3, 7, 4)];
+        let value = aggregate_status(&parts, vec!["grep".into()]);
+        let text = value.to_string();
+        assert_eq!(value.get("queued").and_then(Value::as_u64), Some(4));
+        assert_eq!(value.get("admitted").and_then(Value::as_u64), Some(12));
+        assert_eq!(value.get("completed").and_then(Value::as_u64), Some(6));
+        assert_eq!(value.get("machines").and_then(Value::as_u64), Some(4));
+        assert_eq!(value.get("shards").and_then(Value::as_u64), Some(2));
+        let apps_pos = text.find("\"apps\"").unwrap();
+        let sched_pos = text.find("\"scheduler\"").unwrap();
+        let queued_pos = text.find("\"queued\"").unwrap();
+        assert!(apps_pos < sched_pos && sched_pos < queued_pos);
+    }
+
+    #[test]
+    fn poll_wrapper_reports_a_readable_pipe() {
+        use std::os::unix::net::UnixStream;
+        let (a, mut b) = UnixStream::pair().unwrap();
+        b.write_all(&[9]).unwrap();
+        let mut fds = [sys::PollFd {
+            fd: a.as_raw_fd(),
+            events: sys::POLLIN,
+            revents: 0,
+        }];
+        let ready = sys::poll_fds(&mut fds, 1000).unwrap();
+        assert_eq!(ready, 1);
+        assert!(fds[0].revents & sys::POLLIN != 0);
+    }
+}

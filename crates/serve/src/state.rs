@@ -41,7 +41,7 @@ use tracon_dcsim::setup::training_data;
 use tracon_dcsim::{AdaptiveObserver, SimObserver, Testbed, IDLE};
 
 use crate::metrics::Metrics;
-use crate::wal::{RecState, RecoveredTask, Recovery, Wal, WalRecord};
+use crate::wal::{RecState, RecoveredTask, Wal, WalRecord};
 
 /// Which scheduler the daemon runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -125,6 +125,11 @@ pub struct ServeConfig {
     pub wal_dir: Option<PathBuf>,
     /// WAL records between snapshot compactions.
     pub wal_snapshot_every: u64,
+    /// Scheduler shards the daemon splits the cluster across. Each shard
+    /// owns a contiguous machine slice, its own queue (so
+    /// `queue_capacity` is per shard), and its own WAL file. Must be
+    /// `1..=machines`.
+    pub shards: usize,
 }
 
 impl Default for ServeConfig {
@@ -146,6 +151,7 @@ impl Default for ServeConfig {
             backoff_cap_ms: 5_000,
             wal_dir: None,
             wal_snapshot_every: 4096,
+            shards: 1,
         }
     }
 }
@@ -290,8 +296,34 @@ impl StatusSnapshot {
     }
 }
 
-/// The mutex-guarded service core. All methods take `now` from the caller
-/// so the daemon controls the clock and tests stay deterministic.
+/// A task stolen off one shard's queue, on its way to another: the
+/// minimum state the recipient needs to adopt it as queued work.
+#[derive(Clone, Debug)]
+pub struct StolenTask {
+    /// Task id (globally unique thanks to strided allocation).
+    pub task: u64,
+    /// Interned application id (valid on every shard — all shards build
+    /// their registry from the same testbed in the same order).
+    pub app: AppId,
+    /// Application name (for the recipient's WAL record).
+    pub app_name: String,
+    /// Failed attempts carried over.
+    pub attempts: u32,
+}
+
+/// Donor-side tombstone for a stolen task, kept so snapshots written
+/// after the steal still carry the task until the recipient's own WAL
+/// has it (mirrors how completed tasks are retained forever).
+struct MigratedOut {
+    app_name: String,
+    attempts: u32,
+    to: usize,
+}
+
+/// One scheduler shard's service core — exclusively owned by its worker
+/// thread in the daemon, so no lock guards it. All methods take `now`
+/// from the caller so the daemon controls the clock and tests stay
+/// deterministic.
 pub struct Service {
     cfg: ServeConfig,
     cluster: ClusterState,
@@ -302,6 +334,14 @@ pub struct Service {
     tasks: HashMap<u64, TaskRecord>,
     perf_index: HashMap<AppId, usize>,
     next_task_id: u64,
+    /// Task-id stride: shard `i` of `N` issues `i+1, i+1+N, i+1+2N, …`,
+    /// which keeps ids globally unique without coordination and makes
+    /// shards=1 issue `1, 2, 3, …` exactly like the pre-sharding daemon.
+    id_step: u64,
+    shard: usize,
+    machine_base: usize,
+    admitted: u64,
+    rejected: u64,
     running: usize,
     completed: u64,
     dead_lettered: u64,
@@ -312,17 +352,39 @@ pub struct Service {
     /// Entries are lazily invalidated: one is live only while the task is
     /// still `Running` at the same attempt number.
     lease_q: BinaryHeap<Reverse<(Instant, u64, u32)>>,
+    migrated_out: HashMap<u64, MigratedOut>,
     wal: Option<Wal>,
+    /// Group-commit buffer: while `Some`, appended records accumulate
+    /// here and hit the disk as one fsync'd batch when the enclosing
+    /// [`Service::wal_transaction`] commits.
+    wal_txn: Option<Vec<WalRecord>>,
     rebuild_fail_injections: u32,
     metrics: Arc<Metrics>,
 }
 
 impl Service {
-    /// Build an in-memory service around a profiled testbed (ignores
-    /// `wal_dir`; use [`Service::open`] for a durable daemon). The scoring
-    /// predictor is the monitor's own export so that later rebuild-driven
-    /// swaps replace like with like.
+    /// Build an in-memory single-shard service around a profiled testbed
+    /// (ignores `wal_dir`; use [`Service::open`] for a durable daemon).
+    /// The scoring predictor is the monitor's own export so that later
+    /// rebuild-driven swaps replace like with like.
     pub fn new(testbed: &Testbed, cfg: ServeConfig, metrics: Arc<Metrics>) -> Service {
+        Service::new_shard(testbed, cfg, metrics, 0, 1, 0)
+    }
+
+    /// Build shard `shard` of `shard_count`. `cfg.machines` must already
+    /// be this shard's slice of the cluster (see
+    /// [`crate::shard::shard_machines`]); `machine_base` is where that
+    /// slice starts so replies can translate local machine indices back
+    /// to global ones.
+    pub fn new_shard(
+        testbed: &Testbed,
+        cfg: ServeConfig,
+        metrics: Arc<Metrics>,
+        shard: usize,
+        shard_count: usize,
+        machine_base: usize,
+    ) -> Service {
+        assert!(shard < shard_count, "shard index out of range");
         assert!(
             cfg.machines > 0 && cfg.slots_per_machine > 0,
             "empty cluster"
@@ -368,18 +430,41 @@ impl Service {
             queue: VecDeque::new(),
             tasks: HashMap::new(),
             perf_index,
-            next_task_id: 1,
+            next_task_id: shard as u64 + 1,
+            id_step: shard_count as u64,
+            shard,
+            machine_base,
+            admitted: 0,
+            rejected: 0,
             running: 0,
             completed: 0,
             dead_lettered: 0,
             draining: false,
             delayed: BinaryHeap::new(),
             lease_q: BinaryHeap::new(),
+            migrated_out: HashMap::new(),
             wal: None,
+            wal_txn: None,
             rebuild_fail_injections: 0,
             metrics,
             cfg,
         }
+    }
+
+    /// Which shard this service is.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Global index of this shard's first machine.
+    pub fn machine_base(&self) -> usize {
+        self.machine_base
+    }
+
+    /// Attach an already-opened WAL (the sharded daemon opens all WALs up
+    /// front through [`crate::shard::recover_dir`]).
+    pub fn attach_wal(&mut self, wal: Wal) {
+        self.wal = Some(wal);
     }
 
     /// Build a service and, when `cfg.wal_dir` is set, recover durable
@@ -399,17 +484,22 @@ impl Service {
         if let Some(dir) = wal_dir {
             let (wal, recovery) = Wal::open(&dir, svc.cfg.wal_snapshot_every)?;
             svc.wal = Some(wal);
-            svc.restore(&recovery, now);
+            svc.metrics
+                .wal_replayed_records
+                .store(recovery.replayed_records, Ordering::Relaxed);
+            svc.adopt_recovered(&recovery.tasks, now);
+            svc.align_next_task_id(recovery.next_task_id);
             svc.write_snapshot();
         }
         Ok(svc)
     }
 
-    fn restore(&mut self, recovery: &Recovery, now: Instant) {
-        self.metrics
-            .wal_replayed_records
-            .store(recovery.replayed_records, Ordering::Relaxed);
-        for t in &recovery.tasks {
+    /// Rebuild queue, counters, and task table from recovered records.
+    /// Tasks leased at crash time are requeued with the interrupted
+    /// attempt counted; donor tombstones are adopted as queued (the
+    /// merged recovery only hands one here when no live record survived).
+    pub fn adopt_recovered(&mut self, tasks: &[RecoveredTask], now: Instant) {
+        for t in tasks {
             // A task whose application is no longer profiled cannot be
             // re-placed; drop it rather than wedge the queue.
             let Some(app_id) = self.cluster.registry().id(&t.app) else {
@@ -419,7 +509,7 @@ impl Service {
                 continue;
             };
             let (phase, attempts, requeued) = match t.state {
-                RecState::Queued => (TaskPhase::Queued, t.attempts, false),
+                RecState::Queued | RecState::Migrated => (TaskPhase::Queued, t.attempts, false),
                 RecState::Leased => {
                     let attempts = t.attempts + 1;
                     if attempts >= self.cfg.max_attempts {
@@ -441,6 +531,7 @@ impl Service {
                     false,
                 ),
             };
+            self.admitted += 1;
             self.metrics.admissions.fetch_add(1, Ordering::Relaxed);
             match &phase {
                 TaskPhase::Queued => self.queue.push_back(Task::new(t.task, app_id)),
@@ -467,21 +558,66 @@ impl Service {
                     attempts,
                 },
             );
-            self.next_task_id = self.next_task_id.max(t.task + 1);
         }
-        self.next_task_id = self.next_task_id.max(recovery.next_task_id).max(1);
         self.sync_gauges();
+    }
+
+    /// Advance `next_task_id` to the smallest unissued id that is both
+    /// `>= global_next` and on this shard's stride, so ids are never
+    /// reused across restarts or shard-count changes.
+    pub fn align_next_task_id(&mut self, global_next: u64) {
+        let mut id = self.next_task_id;
+        if global_next > id {
+            id += (global_next - id).div_ceil(self.id_step) * self.id_step;
+        }
+        self.next_task_id = id;
     }
 
     /// Append one record; a failed write degrades to in-memory operation
     /// (counted, never fatal — availability over durability once the disk
     /// is gone).
     fn wal_append(&mut self, rec: &WalRecord) {
+        self.wal_append_batch(std::slice::from_ref(rec));
+    }
+
+    /// Run `f` with WAL group commit: every record it appends lands in
+    /// one `append_batch` (one fsync) when `f` returns, instead of one
+    /// fsync per record. A submit that places writes its `Submit` and
+    /// `Lease` records under a single sync; a tick that expires a dozen
+    /// leases writes one batch. Durability is unchanged — the commit
+    /// still happens before the caller can observe or report the result
+    /// — only the sync count drops. Reentrant: an inner transaction
+    /// defers to the outermost one.
+    fn wal_transaction<T>(&mut self, f: impl FnOnce(&mut Self) -> T) -> T {
+        if self.wal_txn.is_some() {
+            return f(self);
+        }
+        self.wal_txn = Some(Vec::new());
+        let out = f(self);
+        if let Some(recs) = self.wal_txn.take() {
+            self.wal_append_batch(&recs);
+        }
+        out
+    }
+
+    /// Append a batch of records under one fsync (same degradation rules
+    /// as [`Service::wal_append`]); inside a [`Service::wal_transaction`]
+    /// the records are deferred to the transaction's single commit.
+    fn wal_append_batch(&mut self, recs: &[WalRecord]) {
+        if recs.is_empty() {
+            return;
+        }
+        if let Some(buf) = self.wal_txn.as_mut() {
+            buf.extend_from_slice(recs);
+            return;
+        }
         let due = match self.wal.as_mut() {
             None => return,
-            Some(wal) => match wal.append(rec) {
+            Some(wal) => match wal.append_batch(recs) {
                 Ok(()) => {
-                    self.metrics.wal_records.fetch_add(1, Ordering::Relaxed);
+                    self.metrics
+                        .wal_records
+                        .fetch_add(recs.len() as u64, Ordering::Relaxed);
                     wal.snapshot_due()
                 }
                 Err(_) => {
@@ -495,33 +631,43 @@ impl Service {
         }
     }
 
-    /// Serialize the full task table into `snapshot.json` and truncate
-    /// the log.
-    fn write_snapshot(&mut self) {
+    /// Serialize the full task table (plus migrated-away tombstones) into
+    /// this shard's snapshot file and truncate the log.
+    pub fn write_snapshot(&mut self) {
         if self.wal.is_none() {
             return;
         }
-        let mut ids: Vec<u64> = self.tasks.keys().copied().collect();
-        ids.sort_unstable();
-        let entries: Vec<RecoveredTask> = ids
+        let mut entries: Vec<RecoveredTask> = self
+            .tasks
             .iter()
-            .filter_map(|id| {
-                let r = self.tasks.get(id)?;
+            .map(|(id, r)| {
                 let (state, runtime) = match &r.phase {
                     TaskPhase::Queued => (RecState::Queued, 0.0),
                     TaskPhase::Running { .. } => (RecState::Leased, 0.0),
                     TaskPhase::Completed { runtime } => (RecState::Completed, *runtime),
                     TaskPhase::DeadLettered { .. } => (RecState::DeadLettered, 0.0),
                 };
-                Some(RecoveredTask {
+                RecoveredTask {
                     task: *id,
                     app: self.observer.app_names()[r.app_idx].clone(),
                     attempts: r.attempts,
                     state,
                     runtime,
-                })
+                    migrated_to: None,
+                }
             })
+            // Tombstones keep stolen tasks durable across this shard's
+            // compactions until the recipient's WAL carries them.
+            .chain(self.migrated_out.iter().map(|(id, m)| RecoveredTask {
+                task: *id,
+                app: m.app_name.clone(),
+                attempts: m.attempts,
+                state: RecState::Migrated,
+                runtime: 0.0,
+                migrated_to: Some(m.to),
+            }))
             .collect();
+        entries.sort_unstable_by_key(|t| t.task);
         let next = self.next_task_id;
         if let Some(wal) = self.wal.as_mut() {
             match wal.snapshot(&entries, next) {
@@ -535,7 +681,8 @@ impl Service {
         }
     }
 
-    /// Admit one task, dispatching immediately when the scheduler allows.
+    /// Admit one task by name, dispatching immediately when the scheduler
+    /// allows.
     pub fn submit(&mut self, app: &str, now: Instant) -> Result<Admitted, Refusal> {
         if self.draining {
             self.metrics
@@ -551,22 +698,43 @@ impl Service {
                 })
             }
         };
+        self.admit(app_id, now)
+    }
+
+    /// Admit one task by interned id — the sharded daemon's entry point,
+    /// where the reactor already resolved the name at decode time.
+    pub fn submit_id(&mut self, app: AppId, now: Instant) -> Result<Admitted, Refusal> {
+        if self.draining {
+            self.metrics
+                .drain_rejections
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(Refusal::Draining);
+        }
+        self.admit(app, now)
+    }
+
+    fn admit(&mut self, app_id: AppId, now: Instant) -> Result<Admitted, Refusal> {
+        self.wal_transaction(|s| s.admit_inner(app_id, now))
+    }
+
+    fn admit_inner(&mut self, app_id: AppId, now: Instant) -> Result<Admitted, Refusal> {
+        let app_idx = match self.perf_index.get(&app_id) {
+            Some(idx) => *idx,
+            None => {
+                return Err(Refusal::UnknownApp {
+                    name: format!("app#{}", app_id.index()),
+                })
+            }
+        };
         if self.queue.len() >= self.cfg.queue_capacity {
+            self.rejected += 1;
             self.metrics.rejections.fetch_add(1, Ordering::Relaxed);
             return Err(Refusal::QueueFull {
                 depth: self.queue.len(),
             });
         }
         let task_id = self.next_task_id;
-        self.next_task_id += 1;
-        let app_idx = match self.perf_index.get(&app_id) {
-            Some(idx) => *idx,
-            None => {
-                return Err(Refusal::UnknownApp {
-                    name: app.to_string(),
-                })
-            }
-        };
+        self.next_task_id += self.id_step;
         self.queue.push_back(Task::new(task_id, app_id));
         self.tasks.insert(
             task_id,
@@ -578,11 +746,12 @@ impl Service {
                 attempts: 0,
             },
         );
+        self.admitted += 1;
         self.metrics.admissions.fetch_add(1, Ordering::Relaxed);
         // Durable before the client learns the id (write-ahead).
         self.wal_append(&WalRecord::Submit {
             task: task_id,
-            app: app.to_string(),
+            app: self.observer.app_names()[app_idx].clone(),
         });
         // MIOS places on every arrival; batch schedulers wait for a full
         // window (the deadline path runs from the ticker).
@@ -756,6 +925,10 @@ impl Service {
     /// backed-off tasks, and run batch-deadline dispatch. Returns how
     /// many tasks were dispatched.
     pub fn tick(&mut self, now: Instant) -> usize {
+        self.wal_transaction(|s| s.tick_inner(now))
+    }
+
+    fn tick_inner(&mut self, now: Instant) -> usize {
         self.expire_leases(now);
         self.promote_delayed(now);
         if self.queue.is_empty() {
@@ -792,6 +965,16 @@ impl Service {
     /// completion still counts, the last-good predictor keeps serving,
     /// and `rebuild_failures` is incremented.
     pub fn complete(
+        &mut self,
+        task: u64,
+        runtime: f64,
+        iops: f64,
+        now: Instant,
+    ) -> Result<Completed, Refusal> {
+        self.wal_transaction(|s| s.complete_inner(task, runtime, iops, now))
+    }
+
+    fn complete_inner(
         &mut self,
         task: u64,
         runtime: f64,
@@ -860,6 +1043,114 @@ impl Service {
         })
     }
 
+    /// Pop up to `max` queued (never leased) tasks off the back of the
+    /// admission queue for migration to shard `to`. The migrate records
+    /// hit this shard's WAL under one fsync *before* the tasks leave the
+    /// in-memory table, and a tombstone stays behind so a crash anywhere
+    /// in the handoff recovers each task exactly once.
+    pub fn steal_queued(&mut self, max: usize, to: usize) -> Vec<StolenTask> {
+        if to == self.shard || max == 0 {
+            return Vec::new();
+        }
+        let mut stolen = Vec::new();
+        let mut records = Vec::new();
+        for _ in 0..max.min(self.queue.len()) {
+            let Some(task) = self.queue.pop_back() else {
+                break;
+            };
+            let Some(rec) = self.tasks.get(&task.id) else {
+                continue;
+            };
+            let app_name = self.observer.app_names()[rec.app_idx].clone();
+            records.push(WalRecord::Migrate {
+                task: task.id,
+                app: app_name.clone(),
+                attempt: rec.attempts,
+                from: self.shard,
+                to,
+            });
+            stolen.push(StolenTask {
+                task: task.id,
+                app: rec.app,
+                app_name,
+                attempts: rec.attempts,
+            });
+        }
+        self.wal_append_batch(&records);
+        for s in &stolen {
+            self.tasks.remove(&s.task);
+            self.migrated_out.insert(
+                s.task,
+                MigratedOut {
+                    app_name: s.app_name.clone(),
+                    attempts: s.attempts,
+                    to,
+                },
+            );
+            self.admitted -= 1;
+        }
+        if !stolen.is_empty() {
+            self.metrics.steals.fetch_add(1, Ordering::Relaxed);
+            self.metrics
+                .migrated_tasks
+                .fetch_add(stolen.len() as u64, Ordering::Relaxed);
+        }
+        self.sync_gauges();
+        stolen
+    }
+
+    /// Adopt tasks stolen from shard `from`: log the migration on this
+    /// shard's WAL (one fsync for the batch), queue them, and dispatch if
+    /// the scheduler is eager. Returns how many were adopted.
+    pub fn inject_stolen(&mut self, tasks: &[StolenTask], from: usize, now: Instant) -> usize {
+        let records: Vec<WalRecord> = tasks
+            .iter()
+            .map(|s| WalRecord::Migrate {
+                task: s.task,
+                app: s.app_name.clone(),
+                attempt: s.attempts,
+                from,
+                to: self.shard,
+            })
+            .collect();
+        self.wal_append_batch(&records);
+        let mut adopted = 0;
+        for s in tasks {
+            let Some(app_idx) = self.perf_index.get(&s.app).copied() else {
+                continue;
+            };
+            self.queue.push_back(Task::new(s.task, s.app));
+            self.tasks.insert(
+                s.task,
+                TaskRecord {
+                    app: s.app,
+                    app_idx,
+                    phase: TaskPhase::Queued,
+                    submitted: now,
+                    attempts: s.attempts,
+                },
+            );
+            // A task stolen back home clears its own stale tombstone.
+            self.migrated_out.remove(&s.task);
+            self.admitted += 1;
+            adopted += 1;
+        }
+        if adopted > 0
+            && (matches!(self.cfg.scheduler, SchedKind::Mios)
+                || self.queue.len() >= self.cfg.scheduler.window())
+        {
+            self.dispatch(now);
+        }
+        self.sync_gauges();
+        adopted
+    }
+
+    /// Where a task went if it was stolen off this shard (the worker
+    /// bounces misrouted complete/task lookups with this).
+    pub fn migrated_to(&self, task: u64) -> Option<usize> {
+        self.migrated_out.get(&task).map(|m| m.to)
+    }
+
     /// Stop admitting new work. Returns the current snapshot.
     pub fn drain(&mut self, now: Instant) -> StatusSnapshot {
         self.draining = true;
@@ -889,8 +1180,8 @@ impl Service {
             running: self.running,
             completed: self.completed,
             dead_lettered: self.dead_lettered,
-            admitted: self.metrics.admissions.load(Ordering::Relaxed),
-            rejected: self.metrics.rejections.load(Ordering::Relaxed),
+            admitted: self.admitted,
+            rejected: self.rejected,
             rebuilds: self.observer.total_rebuilds(),
             swaps: self.observer.predictor_swaps(),
             draining: self.draining,
@@ -918,6 +1209,13 @@ impl Service {
     /// index space arrival generators sample over.
     pub fn app_list(&self) -> &[String] {
         self.observer.app_names()
+    }
+
+    /// Interned id for a profiled application name (`None` if the name
+    /// was never profiled). The reactor uses this to consistent-hash
+    /// submissions to shards.
+    pub fn app_id(&self, name: &str) -> Option<AppId> {
+        self.cluster.registry().id(name)
     }
 
     /// Retry hint for backpressure replies.
@@ -951,12 +1249,12 @@ impl Service {
     }
 
     fn sync_gauges(&self) {
-        self.metrics
-            .queue_depth
-            .store(self.queue.len() as u64, Ordering::Relaxed);
-        self.metrics
-            .running
-            .store(self.running as u64, Ordering::Relaxed);
+        self.metrics.set_shard_gauges(
+            self.shard,
+            self.queue.len() as u64,
+            self.running as u64,
+            self.dead_lettered,
+        );
     }
 }
 
@@ -1221,8 +1519,8 @@ mod tests {
         let app = svc.observer.app_names()[0].clone();
         let next = svc.submit(&app, now).unwrap();
         assert_eq!(next.task, 4);
-        // Recovery compacted history into a snapshot.
-        assert!(dir.join("snapshot.json").exists());
+        // Recovery compacted history into a (shard 0) snapshot.
+        assert!(dir.join(crate::wal::shard_snapshot_name(0)).exists());
         assert!(metrics.wal_replayed_records.load(Ordering::Relaxed) > 0);
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -25,11 +25,20 @@
 //! {"op":"requeue","task":7,"attempt":1}
 //! {"op":"dead","task":7,"attempts":5}
 //! {"op":"complete","task":7,"runtime":12.5}
+//! {"op":"migrate","task":7,"app":"grep","attempt":1,"from":2,"to":0}
 //! ```
 //!
 //! Every `snapshot_every` records the service serializes its task table
-//! into `snapshot.json` (atomic tmp + rename) and the log is truncated,
-//! bounding both replay time and disk use.
+//! into the shard's snapshot file (atomic tmp + rename) and the log is
+//! truncated, bounding both replay time and disk use.
+//!
+//! The directory holds one log + snapshot pair **per scheduler shard**
+//! (`wal.0`/`snapshot.0.json` … `wal.N-1`/`snapshot.N-1.json`), each with
+//! a single writer. A `migrate` record appears in *both* sides of a
+//! work-steal: the donor's copy turns its task into a tombstone pointing
+//! at the recipient, the recipient's copy adopts the task — whichever
+//! copy survives a crash, the task is recovered exactly once by the
+//! merged replay in [`crate::shard`].
 
 use crate::json::{self, Value};
 use std::fs::{File, OpenOptions};
@@ -38,8 +47,64 @@ use std::path::{Path, PathBuf};
 
 /// Upper bound on one record's payload; anything larger is corruption.
 const MAX_RECORD_BYTES: u32 = 1 << 20;
-const SNAPSHOT_FILE: &str = "snapshot.json";
-const LOG_FILE: &str = "wal.log";
+/// Pre-sharding file names, adopted as shard 0 on first open.
+const LEGACY_SNAPSHOT_FILE: &str = "snapshot.json";
+const LEGACY_LOG_FILE: &str = "wal.log";
+
+/// Log file name for one shard (`wal.3`).
+pub fn shard_log_name(shard: usize) -> String {
+    format!("wal.{shard}")
+}
+
+/// Snapshot file name for one shard (`snapshot.3.json`).
+pub fn shard_snapshot_name(shard: usize) -> String {
+    format!("snapshot.{shard}.json")
+}
+
+/// How many shards left durable state in `dir`: one past the highest
+/// shard index with a log or snapshot file (legacy `wal.log` counts as
+/// shard 0). Returns 0 for an empty or absent directory.
+pub fn existing_shard_count(dir: &Path) -> usize {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return 0,
+    };
+    let mut count = 0usize;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let idx = if name == LEGACY_LOG_FILE || name == LEGACY_SNAPSHOT_FILE {
+            Some(0)
+        } else if let Some(n) = name.strip_prefix("wal.") {
+            n.parse::<usize>().ok()
+        } else if let Some(n) = name
+            .strip_prefix("snapshot.")
+            .and_then(|n| n.strip_suffix(".json"))
+        {
+            n.parse::<usize>().ok()
+        } else {
+            None
+        };
+        if let Some(i) = idx {
+            count = count.max(i + 1);
+        }
+    }
+    count
+}
+
+/// Deletes one shard's log and snapshot files (used after a recovery
+/// that shrank the shard count re-homed their tasks). Missing files are
+/// fine; a crash between merge and removal just re-merges next boot.
+pub fn remove_shard_files(dir: &Path, shard: usize) -> io::Result<()> {
+    for name in [shard_log_name(shard), shard_snapshot_name(shard)] {
+        match std::fs::remove_file(dir.join(name)) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
 
 /// CRC-32 (IEEE 802.3, reflected) — dependency-free, bitwise.
 pub fn crc32(data: &[u8]) -> u32 {
@@ -92,6 +157,22 @@ pub enum WalRecord {
         /// Realized runtime, seconds.
         runtime: f64,
     },
+    /// A queued task moved between shards in a work-steal. The donor
+    /// appends this before forgetting the task; the recipient appends an
+    /// identical record when it adopts. Replay interprets the record by
+    /// which shard's log it sits in.
+    Migrate {
+        /// Task id.
+        task: u64,
+        /// Application name (so the record alone can resurrect the task).
+        app: String,
+        /// Failed attempts at migration time.
+        attempt: u32,
+        /// Donor shard.
+        from: usize,
+        /// Recipient shard.
+        to: usize,
+    },
 }
 
 impl WalRecord {
@@ -122,6 +203,20 @@ impl WalRecord {
                 ("task", json::n(*task as f64)),
                 ("runtime", json::n(*runtime)),
             ]),
+            WalRecord::Migrate {
+                task,
+                app,
+                attempt,
+                from,
+                to,
+            } => json::obj(vec![
+                ("op", json::s("migrate")),
+                ("task", json::n(*task as f64)),
+                ("app", json::s(app.clone())),
+                ("attempt", json::n(f64::from(*attempt))),
+                ("from", json::n(*from as f64)),
+                ("to", json::n(*to as f64)),
+            ]),
         }
     }
 
@@ -148,6 +243,13 @@ impl WalRecord {
                 task,
                 runtime: v.get("runtime")?.as_f64()?,
             }),
+            "migrate" => Some(WalRecord::Migrate {
+                task,
+                app: v.get("app")?.as_str()?.to_string(),
+                attempt: v.get("attempt")?.as_u64()? as u32,
+                from: v.get("from")?.as_u64()? as usize,
+                to: v.get("to")?.as_u64()? as usize,
+            }),
             _ => None,
         }
     }
@@ -165,6 +267,10 @@ pub enum RecState {
     Completed,
     /// Dead-lettered.
     DeadLettered,
+    /// Stolen away to another shard (donor-side tombstone). The merged
+    /// replay resurrects the task as queued on `migrated_to` only when
+    /// no other shard's log has a live record for it.
+    Migrated,
 }
 
 /// One task's recovered record.
@@ -180,6 +286,22 @@ pub struct RecoveredTask {
     pub state: RecState,
     /// Realized runtime for completed tasks (0 otherwise).
     pub runtime: f64,
+    /// Recipient shard for [`RecState::Migrated`] tombstones.
+    pub migrated_to: Option<usize>,
+}
+
+impl RecoveredTask {
+    /// A fresh queued record (the common constructor in replay).
+    fn queued(task: u64, app: String, attempts: u32) -> RecoveredTask {
+        RecoveredTask {
+            task,
+            app,
+            attempts,
+            state: RecState::Queued,
+            runtime: 0.0,
+            migrated_to: None,
+        }
+    }
 }
 
 /// What [`Wal::open`] reconstructed.
@@ -197,16 +319,17 @@ pub struct Recovery {
     pub skipped_records: u64,
 }
 
-/// The open write-ahead log.
+/// The open write-ahead log for one shard.
 pub struct Wal {
     file: File,
     dir: PathBuf,
+    shard: usize,
     records_since_snapshot: u64,
     snapshot_every: u64,
 }
 
-fn read_snapshot(dir: &Path, recovery: &mut Recovery) -> io::Result<()> {
-    let path = dir.join(SNAPSHOT_FILE);
+fn read_snapshot(dir: &Path, shard: usize, recovery: &mut Recovery) -> io::Result<()> {
+    let path = dir.join(shard_snapshot_name(shard));
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
@@ -229,6 +352,7 @@ fn read_snapshot(dir: &Path, recovery: &mut Recovery) -> io::Result<()> {
                 Some("leased") => RecState::Leased,
                 Some("completed") => RecState::Completed,
                 Some("dead") => RecState::DeadLettered,
+                Some("migrated") => RecState::Migrated,
                 _ => {
                     recovery.skipped_records += 1;
                     continue;
@@ -240,26 +364,21 @@ fn read_snapshot(dir: &Path, recovery: &mut Recovery) -> io::Result<()> {
                 attempts: t.get("attempts").and_then(Value::as_u64).unwrap_or(0) as u32,
                 state,
                 runtime: t.get("runtime").and_then(Value::as_f64).unwrap_or(0.0),
+                migrated_to: t.get("to").and_then(Value::as_u64).map(|n| n as usize),
             });
         }
     }
     Ok(())
 }
 
-fn apply(recovery: &mut Recovery, rec: WalRecord) {
+fn apply(recovery: &mut Recovery, rec: WalRecord, shard: usize) {
     let find = |tasks: &mut Vec<RecoveredTask>, id: u64| -> Option<usize> {
         tasks.iter().position(|t| t.task == id)
     };
     match rec {
         WalRecord::Submit { task, app } => {
             if find(&mut recovery.tasks, task).is_none() {
-                recovery.tasks.push(RecoveredTask {
-                    task,
-                    app,
-                    attempts: 0,
-                    state: RecState::Queued,
-                    runtime: 0.0,
-                });
+                recovery.tasks.push(RecoveredTask::queued(task, app, 0));
             }
         }
         WalRecord::Lease { task, attempt } => {
@@ -286,20 +405,86 @@ fn apply(recovery: &mut Recovery, rec: WalRecord) {
                 recovery.tasks[i].runtime = runtime;
             }
         }
+        WalRecord::Migrate {
+            task,
+            app,
+            attempt,
+            from,
+            to,
+        } => {
+            if to == shard {
+                // Recipient-side adopt: the task now lives here, queued.
+                match find(&mut recovery.tasks, task) {
+                    Some(i) => {
+                        recovery.tasks[i].state = RecState::Queued;
+                        recovery.tasks[i].attempts = attempt;
+                        recovery.tasks[i].migrated_to = None;
+                    }
+                    None => recovery
+                        .tasks
+                        .push(RecoveredTask::queued(task, app, attempt)),
+                }
+            } else if from == shard {
+                // Donor-side tombstone, kept so the task survives even if
+                // the donor compacts before the recipient records it.
+                match find(&mut recovery.tasks, task) {
+                    Some(i) => {
+                        recovery.tasks[i].state = RecState::Migrated;
+                        recovery.tasks[i].attempts = attempt;
+                        recovery.tasks[i].migrated_to = Some(to);
+                    }
+                    None => {
+                        let mut t = RecoveredTask::queued(task, app, attempt);
+                        t.state = RecState::Migrated;
+                        t.migrated_to = Some(to);
+                        recovery.tasks.push(t);
+                    }
+                }
+            }
+        }
     }
 }
 
-impl Wal {
-    /// Opens (creating if needed) the log in `dir`, replaying snapshot +
-    /// log into a [`Recovery`]. A torn or corrupt tail ends the replay
-    /// and is truncated so the next append starts on a clean frame
-    /// boundary.
-    pub fn open(dir: &Path, snapshot_every: u64) -> io::Result<(Wal, Recovery)> {
-        std::fs::create_dir_all(dir)?;
-        let mut recovery = Recovery::default();
-        read_snapshot(dir, &mut recovery)?;
+/// Renames a pre-sharding `wal.log`/`snapshot.json` pair to the shard-0
+/// names, so directories written by earlier daemons recover cleanly.
+fn adopt_legacy_layout(dir: &Path) -> io::Result<()> {
+    for (old, new) in [
+        (LEGACY_LOG_FILE.to_string(), shard_log_name(0)),
+        (LEGACY_SNAPSHOT_FILE.to_string(), shard_snapshot_name(0)),
+    ] {
+        let old_path = dir.join(&old);
+        let new_path = dir.join(&new);
+        if old_path.exists() && !new_path.exists() {
+            std::fs::rename(&old_path, &new_path)?;
+        }
+    }
+    Ok(())
+}
 
-        let log_path = dir.join(LOG_FILE);
+impl Wal {
+    /// Opens (creating if needed) shard 0's log in `dir`. See
+    /// [`Wal::open_shard`].
+    pub fn open(dir: &Path, snapshot_every: u64) -> io::Result<(Wal, Recovery)> {
+        Wal::open_shard(dir, 0, snapshot_every)
+    }
+
+    /// Opens (creating if needed) one shard's log in `dir`, replaying its
+    /// snapshot + log into a [`Recovery`]. A torn or corrupt tail ends
+    /// the replay and is truncated so the next append starts on a clean
+    /// frame boundary.
+    pub fn open_shard(
+        dir: &Path,
+        shard: usize,
+        snapshot_every: u64,
+    ) -> io::Result<(Wal, Recovery)> {
+        std::fs::create_dir_all(dir)?;
+        if shard == 0 {
+            adopt_legacy_layout(dir)?;
+        }
+        let mut recovery = Recovery::default();
+        read_snapshot(dir, shard, &mut recovery)?;
+
+        let log_path = dir.join(shard_log_name(shard));
         let mut file = OpenOptions::new()
             .read(true)
             .create(true)
@@ -336,7 +521,7 @@ impl Wal {
                 .and_then(WalRecord::decode)
             {
                 Some(rec) => {
-                    apply(&mut recovery, rec);
+                    apply(&mut recovery, rec, shard);
                     recovery.replayed_records += 1;
                 }
                 None => recovery.skipped_records += 1,
@@ -354,6 +539,7 @@ impl Wal {
             Wal {
                 file,
                 dir: dir.to_path_buf(),
+                shard,
                 records_since_snapshot: recovery.replayed_records,
                 snapshot_every: snapshot_every.max(1),
             },
@@ -361,17 +547,34 @@ impl Wal {
         ))
     }
 
+    /// Which shard's log this is.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
     /// Appends one record and syncs it to disk (write-ahead: call before
     /// acknowledging the transition to the client).
     pub fn append(&mut self, rec: &WalRecord) -> io::Result<()> {
-        let payload = rec.encode().to_string().into_bytes();
-        let mut frame = Vec::with_capacity(payload.len() + 8);
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
-        frame.extend_from_slice(&payload);
+        self.append_batch(std::slice::from_ref(rec))
+    }
+
+    /// Appends a batch of records with a single write + fsync — the
+    /// durability cost of one record for the whole batch, which is what
+    /// makes multi-task steals cheap.
+    pub fn append_batch(&mut self, recs: &[WalRecord]) -> io::Result<()> {
+        if recs.is_empty() {
+            return Ok(());
+        }
+        let mut frame = Vec::new();
+        for rec in recs {
+            let payload = rec.encode().to_string().into_bytes();
+            frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+            frame.extend_from_slice(&payload);
+        }
         self.file.write_all(&frame)?;
         self.file.sync_data()?;
-        self.records_since_snapshot += 1;
+        self.records_since_snapshot += recs.len() as u64;
         Ok(())
     }
 
@@ -386,7 +589,7 @@ impl Wal {
         let entries: Vec<Value> = tasks
             .iter()
             .map(|t| {
-                json::obj(vec![
+                let mut fields = vec![
                     ("task", json::n(t.task as f64)),
                     ("app", json::s(t.app.clone())),
                     ("attempts", json::n(f64::from(t.attempts))),
@@ -397,10 +600,15 @@ impl Wal {
                             RecState::Leased => "leased",
                             RecState::Completed => "completed",
                             RecState::DeadLettered => "dead",
+                            RecState::Migrated => "migrated",
                         }),
                     ),
                     ("runtime", json::n(t.runtime)),
-                ])
+                ];
+                if let Some(to) = t.migrated_to {
+                    fields.push(("to", json::n(to as f64)));
+                }
+                json::obj(fields)
             })
             .collect();
         let doc = json::obj(vec![
@@ -408,12 +616,12 @@ impl Wal {
             ("next_task_id", json::n(next_task_id as f64)),
             ("tasks", Value::Arr(entries)),
         ]);
-        let tmp = self.dir.join("snapshot.tmp");
+        let tmp = self.dir.join(format!("snapshot.{}.tmp", self.shard));
         let mut f = File::create(&tmp)?;
         f.write_all(doc.to_string().as_bytes())?;
         f.sync_data()?;
         drop(f);
-        std::fs::rename(&tmp, self.dir.join(SNAPSHOT_FILE))?;
+        std::fs::rename(&tmp, self.dir.join(shard_snapshot_name(self.shard)))?;
         // Make the rename durable (best effort — not all platforms allow
         // syncing a directory handle).
         if let Ok(d) = File::open(&self.dir) {
@@ -500,7 +708,7 @@ mod tests {
         {
             let mut f = OpenOptions::new()
                 .append(true)
-                .open(dir.join(LOG_FILE))
+                .open(dir.join(shard_log_name(0)))
                 .unwrap();
             f.write_all(&[0x20, 0x00, 0x00, 0x00, 0xde, 0xad]).unwrap();
         }
@@ -536,11 +744,11 @@ mod tests {
         }
         // Flip one payload byte of the *second* frame.
         {
-            let mut bytes = std::fs::read(dir.join(LOG_FILE)).unwrap();
+            let mut bytes = std::fs::read(dir.join(shard_log_name(0))).unwrap();
             let first_len = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
             let second_payload = 8 + first_len + 8;
             bytes[second_payload] ^= 0xFF;
-            std::fs::write(dir.join(LOG_FILE), &bytes).unwrap();
+            std::fs::write(dir.join(shard_log_name(0)), &bytes).unwrap();
         }
         let (_, rec) = Wal::open(&dir, 1000).unwrap();
         assert_eq!(rec.replayed_records, 1, "replay stops at the bad frame");
@@ -571,6 +779,7 @@ mod tests {
                     attempts: 0,
                     state: RecState::Queued,
                     runtime: 0.0,
+                    migrated_to: None,
                 },
                 RecoveredTask {
                     task: 1,
@@ -578,6 +787,7 @@ mod tests {
                     attempts: 2,
                     state: RecState::DeadLettered,
                     runtime: 0.0,
+                    migrated_to: None,
                 },
             ];
             wal.snapshot(&tasks, 2).unwrap();
@@ -606,6 +816,95 @@ mod tests {
         assert_eq!(rec.tasks.len(), 0);
         assert_eq!(rec.next_task_id, 0);
         assert_eq!(rec.replayed_records, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn migrate_is_a_tombstone_for_the_donor_and_an_adopt_for_the_recipient() {
+        let dir = tmpdir("migrate");
+        let rec = WalRecord::Migrate {
+            task: 7,
+            app: "grep".into(),
+            attempt: 1,
+            from: 0,
+            to: 2,
+        };
+        {
+            let (mut donor, _) = Wal::open_shard(&dir, 0, 1000).unwrap();
+            donor
+                .append(&WalRecord::Submit {
+                    task: 7,
+                    app: "grep".into(),
+                })
+                .unwrap();
+            donor.append(&rec).unwrap();
+            let (mut recipient, _) = Wal::open_shard(&dir, 2, 1000).unwrap();
+            recipient.append(&rec).unwrap();
+        }
+        let (_, donor_rec) = Wal::open_shard(&dir, 0, 1000).unwrap();
+        assert_eq!(donor_rec.tasks.len(), 1);
+        assert_eq!(donor_rec.tasks[0].state, RecState::Migrated);
+        assert_eq!(donor_rec.tasks[0].migrated_to, Some(2));
+        let (_, recip_rec) = Wal::open_shard(&dir, 2, 1000).unwrap();
+        assert_eq!(recip_rec.tasks.len(), 1);
+        assert_eq!(recip_rec.tasks[0].state, RecState::Queued);
+        assert_eq!(recip_rec.tasks[0].attempts, 1);
+        assert_eq!(recip_rec.tasks[0].app, "grep");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batch_append_replays_like_single_appends() {
+        let dir = tmpdir("batch");
+        {
+            let (mut wal, _) = Wal::open(&dir, 1000).unwrap();
+            let recs: Vec<WalRecord> = (0..5)
+                .map(|i| WalRecord::Submit {
+                    task: i,
+                    app: "a".into(),
+                })
+                .collect();
+            wal.append_batch(&recs).unwrap();
+        }
+        let (_, rec) = Wal::open(&dir, 1000).unwrap();
+        assert_eq!(rec.replayed_records, 5);
+        assert_eq!(rec.tasks.len(), 5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_single_file_layout_is_adopted_as_shard_zero() {
+        let dir = tmpdir("legacy");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Write a record under the new layout, then rename to the legacy
+        // names as a pre-sharding daemon would have left them.
+        {
+            let (mut wal, _) = Wal::open(&dir, 1000).unwrap();
+            wal.append(&WalRecord::Submit {
+                task: 3,
+                app: "grep".into(),
+            })
+            .unwrap();
+        }
+        std::fs::rename(dir.join(shard_log_name(0)), dir.join(LEGACY_LOG_FILE)).unwrap();
+        assert_eq!(existing_shard_count(&dir), 1);
+        let (_, rec) = Wal::open(&dir, 1000).unwrap();
+        assert_eq!(rec.tasks.len(), 1, "legacy wal.log must be replayed");
+        assert!(dir.join(shard_log_name(0)).exists());
+        assert!(!dir.join(LEGACY_LOG_FILE).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shard_count_scan_sees_logs_and_snapshots() {
+        let dir = tmpdir("scan");
+        assert_eq!(existing_shard_count(&dir), 0);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(existing_shard_count(&dir), 0);
+        let _ = Wal::open_shard(&dir, 2, 10).unwrap();
+        assert_eq!(existing_shard_count(&dir), 3);
+        remove_shard_files(&dir, 2).unwrap();
+        assert_eq!(existing_shard_count(&dir), 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,287 @@
+//! Sharding-layer tests: the shards=1 reactor daemon must be
+//! byte-identical to the pre-refactor single-service path, rendezvous
+//! routing must be stable under shard-count changes, and a multi-shard
+//! daemon must keep one coherent, conserved view over TCP.
+
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use proptest::prelude::*;
+use tracon_dcsim::{Testbed, TestbedConfig};
+use tracon_serve::json::{n, obj, s, Value};
+use tracon_serve::shard::{route_app, route_key, route_name, stride_shard};
+use tracon_serve::wal::{shard_log_name, WalRecord};
+use tracon_serve::{
+    daemon, proto, recover_dir, Client, Envelope, Metrics, NetConfig, Reply, Request, SchedKind,
+    ServeConfig, Service, Wal,
+};
+
+fn testbed() -> &'static Testbed {
+    static TB: OnceLock<Testbed> = OnceLock::new();
+    TB.get_or_init(|| {
+        let mut cfg = TestbedConfig::small();
+        cfg.calibration_points = 6;
+        cfg.time_scale = 0.05;
+        Testbed::build(&cfg)
+    })
+}
+
+fn base_cfg() -> ServeConfig {
+    ServeConfig {
+        machines: 2,
+        slots_per_machine: 2,
+        scheduler: SchedKind::Mios,
+        ..ServeConfig::default()
+    }
+}
+
+/// Render the submit reply the pre-refactor daemon produced, straight
+/// from a directly driven [`Service`].
+fn expected_submit_line(svc: &mut Service, id: &str, app: &str, now: Instant) -> String {
+    let reply = match svc.submit(app, now) {
+        Ok(admitted) => {
+            let result = match admitted.placement {
+                Some((vm, score, runtime)) => obj(vec![
+                    ("task", n(admitted.task as f64)),
+                    ("state", s("placed")),
+                    ("machine", n(vm.machine as f64)),
+                    ("slot", n(vm.slot as f64)),
+                    ("predicted_score", n(score)),
+                    ("predicted_runtime", n(runtime)),
+                ]),
+                None => obj(vec![
+                    ("task", n(admitted.task as f64)),
+                    ("state", s("queued")),
+                    ("depth", n(admitted.depth as f64)),
+                ]),
+            };
+            Reply::ok(Some(id.to_string()), result)
+        }
+        Err(refusal) => panic!("reference refused {app}: {refusal:?}"),
+    };
+    proto::encode_reply(&reply)
+}
+
+/// The acceptance gate for the refactor: the same submit stream through
+/// `--shards 1` yields byte-identical placement replies to a directly
+/// driven single service — same task ids, same machines, same scores,
+/// same JSON field order.
+#[test]
+fn shards_1_placement_stream_is_byte_identical_to_the_single_service_path() {
+    let tb = testbed();
+    let mut reference = Service::new(tb, base_cfg(), Arc::new(Metrics::new()));
+
+    let cfg = ServeConfig {
+        shards: 1,
+        ..base_cfg()
+    };
+    let handle = daemon::start(tb, cfg, NetConfig::default()).expect("daemon starts");
+    let mut client = Client::connect(&handle.addr.to_string()).expect("connect");
+
+    let napps = tb.perf.names.len();
+    // Enough submissions to fill all four slots and overflow into the
+    // queue, so both the `placed` and `queued` render paths are compared.
+    let now = Instant::now();
+    for i in 0..8usize {
+        let app = tb.perf.names[[0, 3, 1, 2, 0, 1, 3, 2][i % 8] % napps].clone();
+        let id = format!("ident-{i}");
+        let expected = expected_submit_line(&mut reference, &id, &app, now);
+        let request_line = proto::encode_request(&Envelope {
+            id: Some(id),
+            request: Request::Submit { app },
+        });
+        let got = client.raw_roundtrip(&request_line).expect("roundtrip");
+        assert_eq!(
+            got, expected,
+            "submit {i} diverged from the single-service path"
+        );
+    }
+
+    handle.stop();
+    handle.join();
+}
+
+/// A 2-shard daemon over TCP: strided task ids from distinct shards,
+/// aggregated status that sums to a conserved whole, completions routed
+/// back to the issuing shard, and task_info answered across shards.
+#[test]
+fn multi_shard_daemon_keeps_one_conserved_view() {
+    let tb = testbed();
+    let cfg = ServeConfig {
+        machines: 4,
+        slots_per_machine: 2,
+        scheduler: SchedKind::Mios,
+        shards: 2,
+        ..ServeConfig::default()
+    };
+    let handle = daemon::start(tb, cfg, NetConfig::default()).expect("daemon starts");
+    let mut client = Client::connect(&handle.addr.to_string()).expect("connect");
+
+    // Which shards the submitted apps hash to (a fixed property of the
+    // rendezvous hash — typically both, but derived rather than assumed).
+    let reference = Service::new(tb, base_cfg(), Arc::new(Metrics::new()));
+    let mut expected_shards = [false; 2];
+    for name in tb.perf.names.iter() {
+        let id = reference.app_id(name).expect("profiled app interns");
+        expected_shards[route_app(id, 2)] = true;
+    }
+
+    let mut placed: Vec<u64> = Vec::new();
+    let mut shards_seen = [false; 2];
+    for i in 0..8usize {
+        let app = tb.perf.names[i % tb.perf.names.len()].clone();
+        match client.request(Request::Submit { app }).expect("submit") {
+            Reply::Ok { result, .. } => {
+                let task = result.get("task").and_then(Value::as_u64).expect("task id");
+                shards_seen[stride_shard(task, 2)] = true;
+                if result.get("state").and_then(Value::as_str) == Some("placed") {
+                    placed.push(task);
+                }
+            }
+            Reply::Error { message, .. } => panic!("submit {i} refused: {message}"),
+        }
+    }
+    assert_eq!(
+        shards_seen, expected_shards,
+        "tasks must land exactly on the shards their apps hash to"
+    );
+
+    // Every task must be visible through the front door regardless of
+    // which shard owns it.
+    for &task in &placed {
+        match client.request(Request::TaskInfo { task }).expect("info") {
+            Reply::Ok { result, .. } => {
+                assert_eq!(result.get("task").and_then(Value::as_u64), Some(task));
+            }
+            Reply::Error { message, .. } => panic!("task_info {task} failed: {message}"),
+        }
+    }
+    for &task in &placed {
+        let reply = client
+            .request(Request::Complete {
+                task,
+                runtime: 5.0,
+                iops: 90.0,
+            })
+            .expect("complete");
+        assert!(
+            matches!(reply, Reply::Ok { .. }),
+            "complete {task}: {reply:?}"
+        );
+    }
+
+    match client.request(Request::Status).expect("status") {
+        Reply::Ok { result, .. } => {
+            let get = |k: &str| result.get(k).and_then(Value::as_u64).unwrap_or(0);
+            assert_eq!(result.get("shards").and_then(Value::as_u64), Some(2));
+            assert_eq!(get("machines"), 4, "machine slices must sum to the cluster");
+            assert_eq!(get("completed"), placed.len() as u64);
+            assert_eq!(
+                get("admitted"),
+                get("completed")
+                    + get("dead_lettered")
+                    + get("queued")
+                    + get("delayed")
+                    + get("running"),
+                "summed status must conserve tasks: {result:?}"
+            );
+        }
+        Reply::Error { message, .. } => panic!("status failed: {message}"),
+    }
+
+    handle.stop();
+    handle.join();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Rendezvous routing moves a key only onto a freshly added shard:
+    /// `route(k, n+1) != route(k, n)` implies `route(k, n+1) == n`.
+    /// This is what makes shard-count growth cheap — only tasks whose
+    /// new shard *wins* are re-homed on recovery.
+    #[test]
+    fn rendezvous_routing_is_minimally_disruptive(key in any::<u64>(), shards in 1usize..12) {
+        let before = route_key(key, shards);
+        let after = route_key(key, shards + 1);
+        prop_assert!(before < shards && after < shards + 1);
+        prop_assert!(
+            after == before || after == shards,
+            "key {key} moved {before} -> {after} when shard {shards} was added"
+        );
+    }
+
+    /// Name routing and stride routing always land in range, and stride
+    /// inverts the strided id allocation exactly.
+    #[test]
+    fn auxiliary_routes_stay_in_range(seed in any::<u64>(), task in 1u64..1_000_000, shards in 1usize..12) {
+        // A synthetic name of varying length, since the interesting input
+        // space for FNV is bytes, not characters.
+        let name: String = (0..(seed % 13))
+            .map(|i| char::from(b'a' + ((seed >> (i * 5)) % 26) as u8))
+            .collect();
+        prop_assert!(route_name(&name, shards) < shards);
+        let shard = stride_shard(task, shards);
+        prop_assert!(shard < shards);
+        // Shard `i` of `N` issues `i+1, i+1+N, ...`: the id's issuer is
+        // recoverable without any lookup.
+        prop_assert_eq!((task - 1) % shards as u64, shard as u64);
+    }
+
+    /// Recovery under a changed shard count re-homes every queued task to
+    /// its hash route, no matter which old shard file held it.
+    #[test]
+    fn recovery_rehomes_by_hash_when_the_shard_count_changes(
+        placements in proptest::collection::vec((0usize..4, 0u16..64), 1..24),
+        new_shards in 1usize..5,
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "tracon-rehome-{}-{:x}", std::process::id(),
+            placements.iter().fold(new_shards as u64, |a, &(s, x)| a.wrapping_mul(31).wrapping_add((s as u64) << 16 | x as u64))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let old_shards = 4usize.max(new_shards + 1); // always a count change
+        let mut task_apps: std::collections::HashMap<u64, String> = std::collections::HashMap::new();
+        {
+            let mut wals: Vec<Wal> = (0..old_shards)
+                .map(|shard| Wal::open_shard(&dir, shard, 1024).expect("open").0)
+                .collect();
+            for (i, &(shard, app_x)) in placements.iter().enumerate() {
+                let task = i as u64 + 1;
+                let app = format!("app{}", app_x % 8);
+                wals[shard % old_shards]
+                    .append(&WalRecord::Submit { task, app: app.clone() })
+                    .expect("append");
+                task_apps.insert(task, app);
+            }
+        }
+        let route = |name: &str| Some(route_name(name, new_shards));
+        let (_wals, merged) = recover_dir(&dir, new_shards, 1024, &route).expect("recover");
+        prop_assert_eq!(merged.tasks.len(), placements.len());
+        for homed in &merged.tasks {
+            let app = &task_apps[&homed.rec.task];
+            prop_assert_eq!(
+                homed.home, route_name(app, new_shards),
+                "task {} (app {}) homed off its hash route", homed.rec.task, app
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// `route_app` agrees with `route_key` on the id index, so decode-time
+/// routing and recovery routing can never disagree about a profiled app.
+#[test]
+fn app_and_key_routes_agree() {
+    let tb = testbed();
+    let svc = Service::new(tb, base_cfg(), Arc::new(Metrics::new()));
+    for name in tb.perf.names.iter() {
+        let id = svc.app_id(name).expect("profiled app interns");
+        for shards in 1..6 {
+            assert_eq!(route_app(id, shards), route_key(id.index() as u64, shards));
+        }
+    }
+    // Silence unused-import pedantry for shard_log_name by asserting the
+    // layout contract the daemon relies on.
+    assert_eq!(shard_log_name(3), "wal.3");
+}

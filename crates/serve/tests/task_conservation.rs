@@ -11,7 +11,8 @@ use std::time::{Duration, Instant};
 
 use proptest::prelude::*;
 use tracon_dcsim::{Testbed, TestbedConfig};
-use tracon_serve::{Metrics, SchedKind, ServeConfig, Service};
+use tracon_serve::shard::{route_app, shard_machines};
+use tracon_serve::{recover_dir, Metrics, SchedKind, ServeConfig, Service, StatusSnapshot};
 
 /// One shared testbed: profiling it dominates the cost of a case.
 fn testbed() -> &'static Testbed {
@@ -166,6 +167,182 @@ proptest! {
         prop_assert!(after.conserved());
         prop_assert_eq!(after.admitted, before.admitted, "admissions changed");
         prop_assert_eq!(after.completed, completed, "completions changed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Boot a sharded fleet against one WAL directory the way the daemon
+/// does: build the services, recover every shard file, merge, re-home,
+/// adopt, and snapshot under the new layout.
+fn open_shards(dir: &Path, shards: usize, now: Instant) -> Vec<Service> {
+    let tb = testbed();
+    let mut base = cfg(dir);
+    base.machines = 3; // room for up to 3 single-machine shards
+    let slices = shard_machines(base.machines, shards);
+    let mut services: Vec<Service> = slices
+        .iter()
+        .enumerate()
+        .map(|(shard, &(machine_base, count))| {
+            let mut shard_cfg = base.clone();
+            shard_cfg.machines = count;
+            shard_cfg.shards = shards;
+            Service::new_shard(
+                tb,
+                shard_cfg,
+                Arc::new(Metrics::with_shards(shards)),
+                shard,
+                shards,
+                machine_base,
+            )
+        })
+        .collect();
+    let route = {
+        let probe = &services[0];
+        let map: std::collections::HashMap<String, usize> = probe
+            .app_list()
+            .iter()
+            .filter_map(|name| {
+                probe
+                    .app_id(name)
+                    .map(|id| (name.clone(), route_app(id, shards)))
+            })
+            .collect();
+        move |name: &str| map.get(name).copied()
+    };
+    let (wals, recovery) =
+        recover_dir(dir, shards, base.wal_snapshot_every, &route).expect("recover shards");
+    for (shard, wal) in wals.into_iter().enumerate() {
+        let homed: Vec<_> = recovery
+            .tasks
+            .iter()
+            .filter(|t| t.home == shard)
+            .map(|t| t.rec.clone())
+            .collect();
+        services[shard].attach_wal(wal);
+        services[shard].adopt_recovered(&homed, now);
+        services[shard].align_next_task_id(recovery.next_task_id);
+        services[shard].write_snapshot();
+    }
+    services
+}
+
+/// Sum per-shard snapshots the way the reactor's status fan-in does.
+fn summed(services: &[Service]) -> StatusSnapshot {
+    let mut total = services[0].status();
+    for svc in &services[1..] {
+        let part = svc.status();
+        total.queued += part.queued;
+        total.delayed += part.delayed;
+        total.running += part.running;
+        total.completed += part.completed;
+        total.dead_lettered += part.dead_lettered;
+        total.admitted += part.admitted;
+        total.rejected += part.rejected;
+    }
+    total
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The sharded generalization: conservation of the *summed* snapshot
+    /// survives random cross-shard steals (committed and cut mid-handoff
+    /// by a crash), whole-fleet crash/recover cycles, and shard-count
+    /// changes across restarts.
+    #[test]
+    fn summed_conservation_survives_steals_and_shard_crashes(
+        ops in proptest::collection::vec((0u8..6, 0u16..1024), 1..36),
+        initial_shards in 1usize..3,
+    ) {
+        let tb = testbed();
+        let napps = tb.perf.names.len();
+        let dir = fresh_dir();
+        let mut now = Instant::now();
+        let mut shards = initial_shards;
+        let mut services = open_shards(&dir, shards, now);
+        for (op, x) in ops {
+            let x = x as usize;
+            match op {
+                // Submit, routed by application hash like the reactor.
+                0 => {
+                    let app = tb.perf.names[x % napps].clone();
+                    let shard = services[0]
+                        .app_id(&app)
+                        .map(|id| route_app(id, shards))
+                        .unwrap_or(0);
+                    let _ = services[shard].submit(&app, now);
+                }
+                // Complete a task on whichever shard knows it.
+                1 => {
+                    let task = (x % 40 + 1) as u64;
+                    for svc in services.iter_mut() {
+                        if svc.task_info(task).is_some() {
+                            let _ = svc.complete(task, 5.0 + (x % 7) as f64, 80.0, now);
+                            break;
+                        }
+                    }
+                }
+                // Time step on every shard.
+                2 => {
+                    now += Duration::from_millis((x % 30 + 1) as u64);
+                    for svc in services.iter_mut() {
+                        svc.tick(now);
+                    }
+                }
+                // A committed steal: donor pops and tombstones, recipient
+                // adopts — the invariant must hold again afterwards.
+                3 if shards > 1 => {
+                    let from = x % shards;
+                    let to = (x / 7 + 1 + from) % shards;
+                    if from != to {
+                        let stolen = services[from].steal_queued(x % 3 + 1, to);
+                        services[to].inject_stolen(&stolen, from, now);
+                    }
+                }
+                // Crash mid-steal: the donor logged the migrate but the
+                // recipient never adopted. Recovery must resurrect the
+                // tasks from the tombstones exactly once.
+                4 if shards > 1 => {
+                    let from = x % shards;
+                    let to = (from + 1) % shards;
+                    let _cut = services[from].steal_queued(x % 3 + 1, to);
+                    drop(services);
+                    now += Duration::from_millis(1);
+                    services = open_shards(&dir, shards, now);
+                }
+                // Whole-fleet crash/recover, possibly with a new count.
+                _ => {
+                    drop(services);
+                    now += Duration::from_millis(1);
+                    shards = x % 3 + 1;
+                    services = open_shards(&dir, shards, now);
+                }
+            }
+            let st = summed(&services);
+            prop_assert!(
+                st.conserved(),
+                "op {} broke summed conservation over {} shards: admitted {} = completed {} + dead {} + queued {} + delayed {} + running {}",
+                op, shards, st.admitted, st.completed, st.dead_lettered, st.queued, st.delayed, st.running
+            );
+        }
+        // Every survivor must still reach a terminal state.
+        for _ in 0..64 {
+            now += Duration::from_millis(2_000);
+            for svc in services.iter_mut() {
+                svc.tick(now);
+            }
+            let st = summed(&services);
+            if st.queued + st.delayed + st.running == 0 {
+                break;
+            }
+        }
+        let st = summed(&services);
+        prop_assert!(st.conserved());
+        prop_assert_eq!(
+            st.queued + st.delayed + st.running, 0,
+            "work wedged: queued {} delayed {} running {}",
+            st.queued, st.delayed, st.running
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }
