@@ -16,10 +16,15 @@
 //! gracefully (exit 0), so the first artifact of a repository bootstraps
 //! the trajectory instead of breaking CI.
 //!
-//! Only throughput rows are gated: the `ns`- and `s`-unit rows mix
-//! machine speed into the comparison too directly for a hard CI gate
+//! Only throughput rows are gated by unit: the `ns`- and `s`-unit rows
+//! mix machine speed into the comparison too directly for a hard CI gate
 //! across heterogeneous runners, while events/s regressions of >20% have
-//! so far only come from real algorithmic regressions.
+//! so far only come from real algorithmic regressions. A handful of
+//! latency rows are additionally gated *by name* (see `GATED_NAMES`)
+//! with wide bands: they compare against a baseline from the same
+//! trajectory, so only order-of-magnitude blowups — an accidental
+//! allocation or hash lookup on a formerly arithmetic-only path — trip
+//! them.
 
 use serde_json::Value;
 use std::path::{Path, PathBuf};
@@ -31,6 +36,14 @@ use std::path::{Path, PathBuf};
 /// shared runners, so their band is wide enough to only catch
 /// architectural regressions (a lost fsync batch, a serialized shard).
 const GATED_UNITS: &[(&str, f64)] = &[("events/s", 0.20), ("req/s", 0.45), ("records/s", 0.45)];
+
+/// Rows gated by *name* (lower is better), each with the fractional
+/// slowdown tolerated before the gate fails. `scoring_ndim_ns` is the
+/// machine-class scoring hot path: a warm `class_score` is a dense table
+/// load plus a few multiplies, so even across heterogeneous runners a
+/// 2x blowup means the adjustment grew a lookup or allocation it must
+/// not have.
+const GATED_NAMES: &[(&str, f64)] = &[("scoring_ndim_ns", 1.0)];
 
 /// Returns the `BENCH_<N>.json` path with the highest `N` in `dir`.
 fn latest_artifact(dir: &Path) -> Option<PathBuf> {
@@ -53,8 +66,9 @@ fn latest_artifact(dir: &Path) -> Option<PathBuf> {
     best.map(|(_, p)| p)
 }
 
-/// Loads an artifact's gated rows as `(suite/name, value, tolerance)`.
-fn gated_rows(path: &Path) -> Result<Vec<(String, f64, f64)>, String> {
+/// Loads an artifact's gated rows as `(suite/name, value, tolerance,
+/// higher_is_better)`.
+fn gated_rows(path: &Path) -> Result<Vec<(String, f64, f64, bool)>, String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
     let doc: Value =
@@ -66,16 +80,26 @@ fn gated_rows(path: &Path) -> Result<Vec<(String, f64, f64)>, String> {
     let mut rows = Vec::new();
     for row in results {
         let unit = row.get("unit").and_then(|v| v.as_str()).unwrap_or("");
-        let Some(&(_, tolerance)) = GATED_UNITS.iter().find(|(u, _)| *u == unit) else {
-            continue;
-        };
-        let suite = row.get("suite").and_then(|v| v.as_str()).unwrap_or("?");
         let name = row.get("name").and_then(|v| v.as_str()).unwrap_or("?");
+        let (tolerance, higher_is_better) =
+            if let Some(&(_, t)) = GATED_UNITS.iter().find(|(u, _)| *u == unit) {
+                (t, true)
+            } else if let Some(&(_, t)) = GATED_NAMES.iter().find(|(n, _)| *n == name) {
+                (t, false)
+            } else {
+                continue;
+            };
+        let suite = row.get("suite").and_then(|v| v.as_str()).unwrap_or("?");
         let value = row
             .get("value")
             .and_then(|v| v.as_f64())
             .ok_or_else(|| format!("{}: {suite}/{name} has no numeric value", path.display()))?;
-        rows.push((format!("{suite}/{name}"), value, tolerance));
+        rows.push((
+            format!("{suite}/{name}"),
+            value,
+            tolerance,
+            higher_is_better,
+        ));
     }
     Ok(rows)
 }
@@ -128,34 +152,40 @@ fn main() {
         baseline_path.display()
     );
     let mut failures = Vec::new();
-    for (key, base_value, tolerance) in &baseline {
-        let Some((_, fresh_value, _)) = fresh.iter().find(|(k, _, _)| k == key) else {
+    for (key, base_value, tolerance, higher_is_better) in &baseline {
+        let Some((_, fresh_value, _, _)) = fresh.iter().find(|(k, _, _, _)| k == key) else {
             println!("  {key}: missing from fresh artifact (skipped)");
             continue;
         };
         let ratio = fresh_value / base_value.max(1e-12);
-        let verdict = if ratio < 1.0 - tolerance {
-            "FAIL"
+        let failed = if *higher_is_better {
+            ratio < 1.0 - tolerance
         } else {
-            "ok"
+            ratio > 1.0 + tolerance
         };
+        let verdict = if failed { "FAIL" } else { "ok" };
         println!(
             "  {key}: committed {base_value:.0}, fresh {fresh_value:.0} \
-             ({:+.1}%, band {:.0}%) {verdict}",
+             ({:+.1}%, band {:.0}%{}) {verdict}",
             (ratio - 1.0) * 100.0,
-            tolerance * 100.0
+            tolerance * 100.0,
+            if *higher_is_better {
+                ""
+            } else {
+                ", lower is better"
+            }
         );
-        if ratio < 1.0 - tolerance {
+        if failed {
             failures.push(key.clone());
         }
     }
     if !failures.is_empty() {
         eprintln!(
-            "bench_gate: {} throughput metric(s) regressed beyond tolerance: {}",
+            "bench_gate: {} gated metric(s) regressed beyond tolerance: {}",
             failures.len(),
             failures.join(", ")
         );
         std::process::exit(1);
     }
-    println!("bench_gate: all throughput metrics within tolerance");
+    println!("bench_gate: all gated metrics within tolerance");
 }

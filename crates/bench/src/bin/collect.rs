@@ -9,8 +9,10 @@
 //! ```
 //!
 //! The micro suites mirror `benches/schedulers.rs` (batch scheduling of
-//! 32 tasks on 16 machines; MIBS_8 across cluster sizes) plus a warm
-//! score-lookup probe; the kernel suite times the event-kernel hot paths
+//! 32 tasks on 16 machines; MIBS_8 across cluster sizes) plus warm
+//! score-lookup probes (the legacy dense-table path and the machine-
+//! class-adjusted `class_score` path); the kernel suite times the
+//! event-kernel hot paths
 //! (end-to-end `kernel_events_per_sec`, raw `queue_push_pop_ns` for both
 //! queue backends, `mix_head_search_ns`); the macro suite times a reduced
 //! Fig 9 dynamic sweep single-threaded versus multi-threaded and reports
@@ -22,8 +24,8 @@ use std::time::Instant;
 use tracon_core::characteristics::N_JOINT;
 use tracon_core::{
     par, AppModelSet, AppProfile, AppRegistry, Characteristics, ClusterState, Fifo,
-    InterferenceModel, Mibs, Mios, Mix, ModelKind, Objective, Predictor, Scheduler, ScoringPolicy,
-    Task,
+    InterferenceModel, MachineClass, Mibs, Mios, Mix, ModelKind, Objective, Predictor, Scheduler,
+    ScoringPolicy, Task,
 };
 use tracon_dcsim::engine::queue_roundtrip_checksum;
 use tracon_dcsim::experiments::registry::{find, TestbedCache, REGISTRY};
@@ -232,6 +234,68 @@ fn micro_suite(quick: bool, results: &mut Vec<serde_json::Value>) {
         "checksum": acc,
     }));
     eprintln!("scoring/warm_score_lookup: {per_lookup:.1} ns");
+
+    // N-dim scoring: the same warm lookup routed through the machine-
+    // class adjustment (`class_score`) on a mixed local/remote cluster —
+    // the generalized path every scheduler now calls when a class table
+    // is installed. Gated by name in bench_gate (its own band, see
+    // `GATED_NAMES`): the network adjustment must stay a handful of
+    // arithmetic ops on top of the dense table load.
+    let demand_by_app: Vec<f64> = (0..apps.len()).map(|i| 4.0 + 2.0 * i as f64).collect();
+    let nd_scoring = ScoringPolicy::new(&predictor, Objective::MinRuntime).with_machine_classes(
+        vec![
+            MachineClass::local(),
+            MachineClass::remote("iscsi", 2.0, 0.5, 60.0),
+        ],
+        demand_by_app,
+    );
+    let mut nd_cluster = ClusterState::new(8, 2, chars.clone());
+    nd_cluster.set_machine_classes(
+        vec![
+            MachineClass::local(),
+            MachineClass::remote("iscsi", 2.0, 0.5, 60.0),
+        ],
+        (0..8).map(|m| (m % 2) as u16).collect(),
+    );
+    for (m, &id) in apps.iter().enumerate() {
+        nd_cluster.place(
+            tracon_core::VmRef {
+                machine: m,
+                slot: 0,
+            },
+            tracon_core::Resident {
+                task_id: m as u64,
+                app: id,
+            },
+        );
+    }
+    let nd_classes = nd_cluster.free_classes();
+    for &app in &apps {
+        for c in &nd_classes {
+            nd_scoring.class_score(app, c);
+        }
+    }
+    let nd_lookups = apps.len() * nd_classes.len();
+    let t0 = Instant::now();
+    let mut nd_acc = 0.0f64;
+    for _ in 0..rounds {
+        for &app in &apps {
+            for c in &nd_classes {
+                nd_acc += nd_scoring.class_score(app, c);
+            }
+        }
+    }
+    let nd_per_lookup = t0.elapsed().as_nanos() as f64 / (rounds * nd_lookups) as f64;
+    results.push(json!({
+        "suite": "scoring",
+        "name": "scoring_ndim_ns",
+        "metric": "class_score",
+        "unit": "ns",
+        "value": nd_per_lookup,
+        "iters": rounds * nd_lookups,
+        "checksum": nd_acc,
+    }));
+    eprintln!("scoring/scoring_ndim_ns: {nd_per_lookup:.1} ns");
 }
 
 /// Times the event-kernel hot paths: end-to-end simulator event
@@ -444,6 +508,7 @@ fn tracond_suite(quick: bool, tb: &Testbed, results: &mut Vec<serde_json::Value>
                                 submit_at.push(reqs.len());
                                 reqs.push(Request::Submit {
                                     app: names[i % names.len()].clone(),
+                                    demand: None,
                                 });
                                 if let Some(&task) = prev.get(i) {
                                     reqs.push(Request::Complete {
@@ -624,7 +689,7 @@ fn registry_suite(quick: bool, results: &mut Vec<serde_json::Value>) {
     let cfg = ExperimentConfig::small();
     let cache = TestbedCache::new(&cfg);
     let names: Vec<&'static str> = if quick {
-        vec!["fig3", "fig5_6", "ext_storage"]
+        vec!["fig3", "fig5_6", "ext_storage", "ext_network"]
     } else {
         REGISTRY.iter().map(|e| e.name()).collect()
     };

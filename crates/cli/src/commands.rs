@@ -520,7 +520,10 @@ pub fn submit(args: &Args) -> Result<String, String> {
     let mut out = String::new();
     for _ in 0..count.max(1) {
         let reply = client
-            .request(Request::Submit { app: app.clone() })
+            .request(Request::Submit {
+                app: app.clone(),
+                demand: None,
+            })
             .map_err(|e| format!("submit failed: {e}"))?;
         match reply {
             Reply::Ok { result, .. } => {

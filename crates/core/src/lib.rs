@@ -38,6 +38,7 @@ pub mod model;
 pub mod monitor;
 pub mod par;
 pub mod predictor;
+pub mod resource;
 pub mod sched;
 
 pub use characteristics::{joint_features, Characteristics, N_CHARACTERISTICS, N_JOINT};
@@ -53,6 +54,7 @@ pub use model::{
 };
 pub use monitor::{AdaptiveModel, MonitorConfig, ObserveOutcome};
 pub use predictor::{AppModelSet, AppProfile, Objective, Predictor, ScoringPolicy};
+pub use resource::{DimVec, MachineClass, ResourceDim, N_DIMS, N_LEGACY_DIMS};
 pub use sched::{
     place_best, Assignment, ClusterState, Fifo, FreeClass, Mibs, MibsAblation, MibsVariant, Mios,
     Mix, Resident, Scheduler, Task, VmRef,

@@ -87,9 +87,9 @@ impl MibsAblation {
                 };
                 for (ci, c) in classes.iter().enumerate() {
                     let score = if use_excess {
-                        scoring.excess_score(t.app, c.key, &c.background)
+                        scoring.excess_class_score(t.app, c)
                     } else {
-                        scoring.score(t.app, c.key, &c.background)
+                        scoring.class_score(t.app, c)
                     };
                     let tie = if fragility_ties && c.key.is_idle() {
                         -fragility
@@ -113,7 +113,7 @@ impl MibsAblation {
             let Some((_, ti, ci)) = best else { break };
             let task = window.swap_remove(ti);
             let class = &classes[ci];
-            let score = scoring.score(task.app, class.key, &class.background);
+            let score = scoring.class_score(task.app, class);
             let vm = class.example;
             cluster.place(
                 vm,
@@ -182,7 +182,7 @@ impl MibsAblation {
             let pick = (task.id.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17) as usize)
                 % classes.len();
             let class = &classes[pick];
-            let score = scoring.score(task.app, class.key, &class.background);
+            let score = scoring.class_score(task.app, class);
             let vm = class.example;
             cluster.place(
                 vm,

@@ -10,6 +10,7 @@
 
 use crate::characteristics::Characteristics;
 use crate::interner::{AppId, AppRegistry, ClassKey, MAX_NEIGHBOURS};
+use crate::resource::MachineClass;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
@@ -38,6 +39,10 @@ pub struct FreeClass {
     /// Packed neighbour-class key ([`ClassKey::IDLE`] when the rest of
     /// the machine is idle).
     pub key: ClassKey,
+    /// Machine-class index of the hosting machines (see
+    /// [`ClusterState::machine_classes`]; always `0` on a homogeneous
+    /// cluster).
+    pub mclass: u16,
     /// Aggregate characteristics of the neighbours (idle = zeros).
     pub background: Characteristics,
     /// A representative free slot of this class.
@@ -56,10 +61,16 @@ pub struct ClusterState {
     /// Canonical observed characteristics per application id (what the
     /// task & resource monitor reports for a steadily-running instance).
     chars_by_id: Vec<Characteristics>,
-    /// Free slots grouped by neighbour-class key. `BTreeMap` iteration
-    /// order over packed keys equals the legacy joined-string order, so
-    /// first-minimum tie-breaks are unchanged.
-    free: BTreeMap<ClassKey, BTreeSet<VmRef>>,
+    /// Free slots grouped by `(neighbour-class key, machine-class index)`.
+    /// `BTreeMap` iteration order over packed keys equals the legacy
+    /// joined-string order, and on a homogeneous cluster every key is
+    /// `(k, 0)`, so first-minimum tie-breaks are unchanged.
+    free: BTreeMap<(ClassKey, u16), BTreeSet<VmRef>>,
+    /// Machine-class table. Index 0 always exists; a homogeneous cluster
+    /// has only [`MachineClass::local`].
+    classes: Vec<MachineClass>,
+    /// Machine-class index per machine.
+    mclass: Vec<u16>,
     /// Machines currently marked down (crashed). A down machine has no
     /// slots in the free index, so every scheduler transparently skips
     /// it; [`ClusterState::set_up`] relists its slots.
@@ -96,6 +107,8 @@ impl ClusterState {
             registry,
             chars_by_id,
             free: BTreeMap::new(),
+            classes: vec![MachineClass::local()],
+            mclass: vec![0; n_machines],
             down: vec![false; n_machines],
         };
         let all_idle: BTreeSet<VmRef> = (0..n_machines)
@@ -106,8 +119,57 @@ impl ClusterState {
                 })
             })
             .collect();
-        state.free.insert(ClassKey::IDLE, all_idle);
+        state.free.insert((ClassKey::IDLE, 0), all_idle);
         state
+    }
+
+    /// Declares the cluster heterogeneous: `classes` is the machine-class
+    /// table and `assignment[m]` the class index of machine `m`. The free
+    /// index is rebuilt so slots on different hardware never share a
+    /// [`FreeClass`]. Must be called before any placement.
+    ///
+    /// # Panics
+    /// Panics when the cluster is not empty, `classes` is empty,
+    /// `assignment` does not cover every machine, or an index is out of
+    /// range.
+    pub fn set_machine_classes(&mut self, classes: Vec<MachineClass>, assignment: Vec<u16>) {
+        assert!(
+            self.occupied().next().is_none(),
+            "machine classes must be set on an empty cluster"
+        );
+        assert!(!classes.is_empty(), "at least one machine class required");
+        assert_eq!(
+            assignment.len(),
+            self.machines.len(),
+            "one class index per machine"
+        );
+        assert!(
+            assignment.iter().all(|&c| (c as usize) < classes.len()),
+            "machine-class index out of range"
+        );
+        self.classes = classes;
+        self.mclass = assignment;
+        let listed: Vec<VmRef> = self.free.values().flatten().copied().collect();
+        self.free.clear();
+        for vm in listed {
+            self.add_free(vm);
+        }
+    }
+
+    /// The machine-class table ([`MachineClass::local`] alone on a
+    /// homogeneous cluster). [`FreeClass::mclass`] indexes into it.
+    pub fn machine_classes(&self) -> &[MachineClass] {
+        &self.classes
+    }
+
+    /// The machine class a machine belongs to.
+    pub fn machine_class(&self, machine: usize) -> &MachineClass {
+        &self.classes[self.mclass[machine] as usize]
+    }
+
+    /// The machine-class index of a machine.
+    pub fn machine_class_index(&self, machine: usize) -> u16 {
+        self.mclass[machine]
     }
 
     /// The registry mapping application names to the interned ids tasks
@@ -178,10 +240,11 @@ impl ClusterState {
         self.free
             .iter()
             .filter(|(_, slots)| !slots.is_empty())
-            .map(|(key, slots)| {
+            .map(|(&(key, mclass), slots)| {
                 let example = *slots.iter().next().unwrap();
                 FreeClass {
-                    key: *key,
+                    key,
+                    mclass,
                     background: self.background_of(example),
                     example,
                     count: slots.len(),
@@ -207,12 +270,25 @@ impl ClusterState {
         (self.class_key(vm.machine, vm.slot), self.background_of(vm))
     }
 
+    /// The full [`FreeClass`] view of one specific free slot — what a
+    /// class-aware scorer needs for a slot it already picked.
+    pub fn class_view(&self, vm: VmRef) -> FreeClass {
+        FreeClass {
+            key: self.class_key(vm.machine, vm.slot),
+            mclass: self.mclass[vm.machine],
+            background: self.background_of(vm),
+            example: vm,
+            count: 1,
+        }
+    }
+
     /// Whether any machine is entirely free (all slots idle). Cheap: the
-    /// idle neighbour class is keyed by [`ClassKey::IDLE`].
+    /// idle neighbour classes are the contiguous key range
+    /// `(ClassKey::IDLE, *)`.
     pub fn has_idle_machine(&self) -> bool {
         self.free
-            .get(&ClassKey::IDLE)
-            .is_some_and(|set| !set.is_empty())
+            .range((ClassKey::IDLE, 0)..=(ClassKey::IDLE, u16::MAX))
+            .any(|(_, set)| !set.is_empty())
     }
 
     /// First free slot in deterministic order, if any (FIFO placement).
@@ -221,7 +297,7 @@ impl ClusterState {
     }
 
     fn remove_free(&mut self, vm: VmRef) {
-        let key = self.class_key(vm.machine, vm.slot);
+        let key = (self.class_key(vm.machine, vm.slot), self.mclass[vm.machine]);
         if let Some(set) = self.free.get_mut(&key) {
             set.remove(&vm);
             if set.is_empty() {
@@ -231,7 +307,7 @@ impl ClusterState {
     }
 
     fn add_free(&mut self, vm: VmRef) {
-        let key = self.class_key(vm.machine, vm.slot);
+        let key = (self.class_key(vm.machine, vm.slot), self.mclass[vm.machine]);
         self.free.entry(key).or_default().insert(vm);
     }
 
@@ -646,6 +722,75 @@ mod tests {
         let mut c = cluster();
         c.set_down(2);
         c.set_down(2);
+    }
+
+    #[test]
+    fn machine_classes_split_free_index() {
+        let mut c = cluster();
+        c.set_machine_classes(
+            vec![
+                MachineClass::local(),
+                MachineClass::remote("iscsi", 1.5, 0.6, 100.0),
+            ],
+            vec![0, 1, 0],
+        );
+        // Idle slots on different hardware are distinct free classes.
+        let listed = c.free_classes();
+        assert_eq!(listed.len(), 2);
+        assert_eq!((listed[0].mclass, listed[0].count), (0, 4));
+        assert_eq!((listed[1].mclass, listed[1].count), (1, 2));
+        assert!(listed.iter().all(|cl| cl.key == ClassKey::IDLE));
+        assert!(c.has_idle_machine());
+        // first_free stays the global minimum slot.
+        assert_eq!(
+            c.first_free(),
+            Some(VmRef {
+                machine: 0,
+                slot: 0
+            })
+        );
+        assert_eq!(c.machine_class(1).name, "iscsi");
+        assert_eq!(c.machine_class_index(1), 1);
+        let view = c.class_view(VmRef {
+            machine: 1,
+            slot: 0,
+        });
+        assert_eq!(view.mclass, 1);
+        // Placing on the remote machine keys the sibling slot by both the
+        // neighbour multiset and the hardware class.
+        c.place(
+            VmRef {
+                machine: 1,
+                slot: 0,
+            },
+            resident(&c, 1, "a"),
+        );
+        let a_key = key(&c, &["a"]);
+        let listed = c.free_classes();
+        let a_class = listed.iter().find(|cl| cl.key == a_key).unwrap();
+        assert_eq!(a_class.mclass, 1);
+    }
+
+    #[test]
+    fn homogeneous_cluster_defaults_to_reference_class() {
+        let c = cluster();
+        assert_eq!(c.machine_classes().len(), 1);
+        assert!(c.machine_classes()[0].is_reference());
+        assert!(c.free_classes().iter().all(|cl| cl.mclass == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty cluster")]
+    fn machine_classes_require_empty_cluster() {
+        let mut c = cluster();
+        c.place(
+            VmRef {
+                machine: 0,
+                slot: 0,
+            },
+            resident(&c, 1, "a"),
+        );
+        c.set_machine_classes(vec![MachineClass::local()], vec![0, 0, 0]);
     }
 
     #[test]

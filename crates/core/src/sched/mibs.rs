@@ -139,7 +139,7 @@ impl Scheduler for Mibs {
             let Some((_, ti, ci)) = best else { break };
             let task = window.swap_remove(ti);
             let class = &self.classes[ci];
-            let score = scoring.score(task.app, class.key, &class.background);
+            let score = scoring.class_score(task.app, class);
             let vm = class.example;
             cluster.place(
                 vm,

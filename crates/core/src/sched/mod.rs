@@ -78,7 +78,7 @@ pub fn place_best(
 ) -> Option<Assignment> {
     let mut best: Option<(f64, VmRef)> = None;
     for class in cluster.free_class_iter() {
-        let score = scoring.score(task.app, class.key, &class.background);
+        let score = scoring.class_score(task.app, &class);
         if best.is_none_or(|(b, _)| score < b) {
             best = Some((score, class.example));
         }

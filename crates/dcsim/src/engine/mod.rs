@@ -53,11 +53,12 @@ pub use observer::{
 
 use crate::arrival::ArrivalEvent;
 use crate::faults::FaultPlan;
+use crate::machines::MachineClassConfig;
 use crate::setup::Testbed;
 use dispatch::DispatchPolicy;
 use event::{Event, EventKind, HeapQueue, KernelQueue, TimingWheel};
 use observer::{MetricsObserver, ObservationCollector};
-use slots::SlotState;
+use slots::{NetCtx, SlotState};
 use std::collections::VecDeque;
 use std::fmt;
 use tracon_core::{
@@ -251,6 +252,13 @@ pub struct Simulation<'tb> {
     faults: Option<&'tb FaultPlan>,
     /// Event-queue backend driving the kernel.
     pub queue_backend: QueueBackend,
+    /// Heterogeneous machine classes (`None` = the homogeneous,
+    /// reference-class paper setting).
+    machine_classes: Option<MachineClassConfig>,
+    /// When set, the engine still *simulates* the machine classes as
+    /// ground truth but the scoring policy never learns about them — the
+    /// network-oblivious baseline `ext_network` compares against.
+    network_oblivious: bool,
 }
 
 impl<'tb> Simulation<'tb> {
@@ -267,7 +275,32 @@ impl<'tb> Simulation<'tb> {
             collect_observations: false,
             faults: None,
             queue_backend: QueueBackend::default(),
+            machine_classes: None,
+            network_oblivious: false,
         }
+    }
+
+    /// Declares the cluster heterogeneous: the engine simulates each
+    /// machine's class (solo factors, shared-link M/M/1 contention) as
+    /// ground truth, and — unless
+    /// [`Simulation::with_network_oblivious_scoring`] is also set — the
+    /// scoring policy prices the same model when placing tasks.
+    pub fn with_machine_classes(mut self, config: MachineClassConfig) -> Self {
+        assert_eq!(
+            config.assignment.len(),
+            self.n_machines,
+            "one class index per machine"
+        );
+        self.machine_classes = Some(config);
+        self
+    }
+
+    /// Keeps the scheduler blind to the machine classes while the engine
+    /// still simulates them — the baseline that quantifies what
+    /// network-awareness buys on a heterogeneous cluster.
+    pub fn with_network_oblivious_scoring(mut self) -> Self {
+        self.network_oblivious = true;
+        self
     }
 
     /// Selects the event-queue backend (default: the timing wheel). The
@@ -350,12 +383,27 @@ impl<'tb> Simulation<'tb> {
         let names = &perf.names;
         let mut scheduler = self.scheduler.build();
         let predictor = self.predictor_override.unwrap_or(&self.testbed.predictor);
-        let mut scoring = ScoringPolicy::new(predictor, self.objective);
-        let mut cluster = ClusterState::new(
-            self.n_machines,
-            self.slots_per_machine,
-            self.testbed.app_chars.clone(),
-        );
+        // Per-app offered link load in MB/s (perf-table indexed); present
+        // only with a machine-class configuration.
+        let net_demand: Option<Vec<f64>> = self.machine_classes.as_ref().map(|cfg| {
+            (0..names.len())
+                .map(|i| perf.net_demand_mb(i, cfg.kb_per_io))
+                .collect()
+        });
+        let mut app_chars = self.testbed.app_chars.clone();
+        if let Some(demand) = &net_demand {
+            // The monitor's canonical characteristics gain the network
+            // lane, so neighbour backgrounds aggregate link load.
+            for (i, name) in names.iter().enumerate() {
+                if let Some(c) = app_chars.get_mut(name) {
+                    c.net_mbps = demand[i];
+                }
+            }
+        }
+        let mut cluster = ClusterState::new(self.n_machines, self.slots_per_machine, app_chars);
+        if let Some(cfg) = &self.machine_classes {
+            cluster.set_machine_classes(cfg.classes.clone(), cfg.assignment.clone());
+        }
         let dispatch = DispatchPolicy::new(self.scheduler.batch_window());
 
         // Intern the perf-table app names once; every task constructed in
@@ -365,8 +413,35 @@ impl<'tb> Simulation<'tb> {
             .map(|n| cluster.registry().expect_id(n))
             .collect();
 
+        // What the scheduler gets to know about the hardware: the class
+        // table plus AppId-indexed demand. `None` keeps scoring blind —
+        // either no classes exist or the run is network-oblivious (the
+        // engine then still simulates the classes as ground truth).
+        let net_scoring: Option<(Vec<tracon_core::MachineClass>, Vec<f64>)> =
+            match (&self.machine_classes, &net_demand) {
+                (Some(cfg), Some(demand)) if !self.network_oblivious => {
+                    let mut by_id = vec![0.0; app_ids.len()];
+                    for (i, id) in app_ids.iter().enumerate() {
+                        by_id[id.index()] = demand[i];
+                    }
+                    Some((cfg.classes.clone(), by_id))
+                }
+                _ => None,
+            };
+        let mut scoring = ScoringPolicy::new(predictor, self.objective);
+        if let Some((classes, by_id)) = &net_scoring {
+            scoring = scoring.with_machine_classes(classes.clone(), by_id.clone());
+        }
+
         let n_slots = self.n_machines * self.slots_per_machine;
         let mut slots = SlotState::new(self.n_machines, self.slots_per_machine, perf);
+        if let (Some(cfg), Some(demand)) = (&self.machine_classes, &net_demand) {
+            slots = slots.with_net(NetCtx {
+                classes: cfg.classes.clone(),
+                assignment: cfg.assignment.clone(),
+                demand: demand.clone(),
+            });
+        }
 
         let n_fault_events = self.faults.map_or(0, |p| p.machine_events.len());
         let mut events = Q::with_capacity(trace.len() + n_slots + n_fault_events);
@@ -565,9 +640,14 @@ impl<'tb> Simulation<'tb> {
             }
 
             // Online adaptation: swap in a freshly retrained predictor
-            // when the observer's monitor has rebuilt its models.
+            // when the observer's monitor has rebuilt its models. The
+            // machine-class table survives the swap — retraining must not
+            // silently lose network-awareness.
             if let Some(p) = observer.updated_predictor() {
                 scoring = ScoringPolicy::new_owned(p, self.objective);
+                if let Some((classes, by_id)) = &net_scoring {
+                    scoring = scoring.with_machine_classes(classes.clone(), by_id.clone());
+                }
             }
 
             // The earliest still-pending event: the head of the buffered
@@ -1053,5 +1133,104 @@ mod tests {
         assert_eq!(obs.arrivals, 1, "arrival at t == horizon must be admitted");
         assert_eq!(r.arrived, 2, "arrived counts the whole trace");
         assert_eq!(r.completed, 0, "its completion falls past the horizon");
+    }
+
+    #[test]
+    fn reference_machine_classes_are_bit_identical() {
+        // A homogeneous reference-class configuration — and a capacitated
+        // unit-factor class with zero per-I/O traffic — must replay the
+        // legacy scenarios bit-for-bit: the class gate skips reference
+        // classes entirely, and a non-reference class at zero demand
+        // multiplies and divides by exactly 1.0.
+        use tracon_core::MachineClass;
+        let tb = shared();
+        let trace = static_batch(16, WorkloadMix::Medium, 71);
+        let unit = MachineClassConfig {
+            classes: vec![MachineClass::remote("unit", 1.0, 1.0, 80.0)],
+            assignment: vec![0; 8],
+            kb_per_io: 0.0,
+        };
+        for kind in [SchedulerKind::Fifo, SchedulerKind::Mibs(8)] {
+            let plain = Simulation::new(tb, 8, kind).run(&trace, None);
+            let homog = Simulation::new(tb, 8, kind)
+                .with_machine_classes(MachineClassConfig::homogeneous(8))
+                .run(&trace, None);
+            let zero = Simulation::new(tb, 8, kind)
+                .with_machine_classes(unit.clone())
+                .run(&trace, None);
+            for r in [&homog, &zero] {
+                assert_eq!(plain.completed, r.completed, "{kind:?}");
+                assert_eq!(
+                    plain.total_runtime.to_bits(),
+                    r.total_runtime.to_bits(),
+                    "{kind:?}"
+                );
+                assert_eq!(
+                    plain.total_iops.to_bits(),
+                    r.total_iops.to_bits(),
+                    "{kind:?}"
+                );
+                assert_eq!(plain.mean_wait.to_bits(), r.mean_wait.to_bits(), "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn remote_classes_slow_the_cluster_down() {
+        use tracon_core::MachineClass;
+        let tb = shared();
+        let trace = static_batch(16, WorkloadMix::Heavy, 73);
+        let plain = Simulation::new(tb, 8, SchedulerKind::Fifo).run(&trace, None);
+        let slow = Simulation::new(tb, 8, SchedulerKind::Fifo)
+            .with_machine_classes(MachineClassConfig {
+                classes: vec![MachineClass::remote("iscsi", 2.0, 0.5, 60.0)],
+                assignment: vec![0; 8],
+                kb_per_io: 64.0,
+            })
+            .run(&trace, None);
+        assert_eq!(slow.completed, 16);
+        assert!(
+            slow.total_runtime > plain.total_runtime * 1.5,
+            "remote-storage cluster must pay the class penalty: {} vs {}",
+            slow.total_runtime,
+            plain.total_runtime
+        );
+        assert!(
+            slow.total_iops < plain.total_iops,
+            "remote class halves served IOPS: {} vs {}",
+            slow.total_iops,
+            plain.total_iops
+        );
+    }
+
+    #[test]
+    fn heterogeneous_runs_are_deterministic_and_oblivious_differs() {
+        use tracon_core::MachineClass;
+        let tb = shared();
+        let cfg = MachineClassConfig::mixed(8, MachineClass::remote("iscsi", 2.0, 0.5, 60.0), 64.0);
+        let trace = static_batch(24, WorkloadMix::Medium, 77);
+        let aware = Simulation::new(tb, 8, SchedulerKind::Mibs(24))
+            .with_machine_classes(cfg.clone())
+            .run(&trace, None);
+        let aware2 = Simulation::new(tb, 8, SchedulerKind::Mibs(24))
+            .with_machine_classes(cfg.clone())
+            .run(&trace, None);
+        let oblivious = Simulation::new(tb, 8, SchedulerKind::Mibs(24))
+            .with_machine_classes(cfg)
+            .with_network_oblivious_scoring()
+            .run(&trace, None);
+        assert_eq!(aware.completed, 24);
+        assert_eq!(oblivious.completed, 24);
+        assert_eq!(
+            aware.total_runtime.to_bits(),
+            aware2.total_runtime.to_bits()
+        );
+        // The oblivious scheduler cannot see the class split, so on a
+        // mixed cluster its placements — and hence realized runtimes —
+        // must differ from the aware ones.
+        assert!(
+            (aware.total_runtime - oblivious.total_runtime).abs() > 1e-9,
+            "class-aware scoring should change placements on a mixed cluster"
+        );
     }
 }

@@ -5,7 +5,17 @@
 
 use super::event::{EventKind, KernelQueue};
 use crate::perf::{PerfTable, IDLE};
-use tracon_core::VmRef;
+use tracon_core::{MachineClass, VmRef};
+
+/// Machine-class context for the event kernel of a heterogeneous
+/// cluster: the class table, each machine's class index, and each
+/// application's offered link load in MB/s (perf-table indexed).
+#[derive(Debug, Clone)]
+pub(crate) struct NetCtx {
+    pub classes: Vec<MachineClass>,
+    pub assignment: Vec<u16>,
+    pub demand: Vec<f64>,
+}
 
 /// A task in flight on a VM slot.
 #[derive(Debug, Clone)]
@@ -51,6 +61,9 @@ pub(crate) struct SlotState<'p> {
     /// predecessor used, so a completion event left over from a previous
     /// occupant can never validate against the current one.
     base_version: Vec<u64>,
+    /// Machine-class context; `None` on a homogeneous cluster (the
+    /// legacy, bit-identical path).
+    net: Option<NetCtx>,
 }
 
 impl<'p> SlotState<'p> {
@@ -60,7 +73,39 @@ impl<'p> SlotState<'p> {
             slots_per_machine,
             perf,
             base_version: vec![0; n_machines * slots_per_machine],
+            net: None,
         }
+    }
+
+    /// Attaches machine-class context: refreshes on non-reference-class
+    /// machines additionally divide the work rate by the class slowdown
+    /// (solo factor x M/M/1 link contention) and scale the I/O rate by
+    /// `iops_factor / contention`.
+    pub fn with_net(mut self, net: NetCtx) -> Self {
+        self.net = Some(net);
+        self
+    }
+
+    /// The `(runtime divisor, IOPS multiplier)` the machine's class
+    /// imposes given its residents' current total link load, or `None`
+    /// when the kernel is class-oblivious or the class is the reference
+    /// class — the gate that keeps legacy scenarios bit-identical.
+    fn class_adjust(&self, machine: usize) -> Option<(f64, f64)> {
+        let net = self.net.as_ref()?;
+        let class = &net.classes[net.assignment[machine] as usize];
+        if class.is_reference() {
+            return None;
+        }
+        let mut demand = 0.0;
+        for s in 0..self.slots_per_machine {
+            if let Some(r) = &self.slots[machine * self.slots_per_machine + s] {
+                demand += net.demand[r.app_idx];
+            }
+        }
+        Some((
+            class.slowdown(demand),
+            class.iops_factor / class.link_contention(demand),
+        ))
     }
 
     fn index(&self, vm: VmRef) -> usize {
@@ -131,6 +176,8 @@ impl<'p> SlotState<'p> {
     /// empty slot.
     pub fn refresh<Q: KernelQueue>(&mut self, vm: VmRef, now: f64, events: &mut Q) {
         let nb = self.neighbor_app(vm);
+        // Computed before the slot borrow; `None` on the legacy path.
+        let adjust = self.class_adjust(vm.machine);
         let idx = self.index(vm);
         if let Some(r) = &mut self.slots[idx] {
             let dt = now - r.last_update;
@@ -139,6 +186,13 @@ impl<'p> SlotState<'p> {
             r.last_update = now;
             r.rate = self.perf.rate(r.app_idx, nb) / r.slowdown;
             r.iops_rate = self.perf.iops(r.app_idx, nb) / r.slowdown;
+            if let Some((rt_div, io_mul)) = adjust {
+                // Applied as an extra division/multiplication so the
+                // legacy rate expression above stays bit-identical on
+                // reference-class machines (the branch is not taken).
+                r.rate /= rt_div;
+                r.iops_rate *= io_mul;
+            }
             r.version += 1;
             self.base_version[idx] = r.version;
             let remaining = (1.0 - r.progress).max(0.0);

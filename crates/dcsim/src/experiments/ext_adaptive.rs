@@ -116,6 +116,7 @@ pub struct ExtAdaptive {
 /// solo profiles; only the interference models are stale).
 fn stale_predictor(deploy: &Testbed, profile_source: &Testbed) -> Predictor {
     let mut p = Predictor::new();
+    let ids = tracon_core::AppRegistry::from_names(deploy.perf.names.iter().cloned());
     for set in &profile_source.profiles {
         let runtime = tracon_core::train_model_scaled(
             ModelKind::Nonlinear,
@@ -128,7 +129,7 @@ fn stale_predictor(deploy: &Testbed, profile_source: &Testbed) -> Predictor {
             ResponseScale::for_response(Response::Iops),
         );
         let name = set.target.clone();
-        let i = deploy.perf.index_of(&name);
+        let i = deploy.perf.index_of_id(ids.expect_id(&name));
         p.add_app(
             AppProfile {
                 name,
@@ -280,7 +281,7 @@ pub fn run(cfg: &ExtAdaptiveConfig) -> ExtAdaptive {
         seed: cfg.seed,
     });
     let stale_src = Testbed::build(&TestbedConfig {
-        host: HostConfig::testbed_iscsi(),
+        host: HostConfig::class("iscsi"),
         time_scale: cfg.time_scale,
         model_kind: ModelKind::Nonlinear,
         calibration_points: 45,

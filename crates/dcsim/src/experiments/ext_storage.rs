@@ -39,9 +39,9 @@ pub struct ExtStorage {
 pub fn run(time_scale: f64, seed: u64) -> ExtStorage {
     let devices: [(&'static str, HostConfig); 4] = [
         ("SATA disk", HostConfig::testbed()),
-        ("RAID-0 x4", HostConfig::testbed_raid0(4)),
-        ("SSD", HostConfig::testbed_ssd()),
-        ("iSCSI", HostConfig::testbed_iscsi()),
+        ("RAID-0 x4", HostConfig::class("raid0x4")),
+        ("SSD", HostConfig::class("ssd")),
+        ("iSCSI", HostConfig::class("iscsi")),
     ];
     let video = Benchmark::Video.model().time_scaled(time_scale);
     let dedup = Benchmark::Dedup.model().time_scaled(time_scale);

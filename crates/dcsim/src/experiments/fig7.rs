@@ -121,7 +121,7 @@ fn windowed_errors(history: &[f64], window: usize) -> Vec<(usize, f64)> {
 pub fn run(cfg: &Fig7Config) -> Fig7 {
     let target = apps::Benchmark::Blastn.model().time_scaled(cfg.time_scale);
     let local = HostConfig::testbed();
-    let remote = HostConfig::testbed_iscsi();
+    let remote = HostConfig::class("iscsi");
 
     // Initial models trained on local-storage observations.
     let (rt_data, io_data) = collect(local, &target, cfg.initial_points, cfg.seed);

@@ -8,8 +8,8 @@
 //! campaign.
 
 use super::{
-    ext_ablation, ext_adaptive, ext_density, ext_faults, ext_storage, fig10, fig11, fig12, fig3,
-    fig4, fig5_6, fig7, fig8, fig9, table1, ExperimentConfig,
+    ext_ablation, ext_adaptive, ext_density, ext_faults, ext_network, ext_storage, fig10, fig11,
+    fig12, fig3, fig4, fig5_6, fig7, fig8, fig9, table1, ExperimentConfig,
 };
 use crate::setup::Testbed;
 use std::sync::OnceLock;
@@ -350,6 +350,27 @@ impl Experiment for ExtAdaptiveExp {
     }
 }
 
+struct ExtNetworkExp;
+impl Experiment for ExtNetworkExp {
+    fn name(&self) -> &'static str {
+        "ext_network"
+    }
+    fn description(&self) -> &'static str {
+        "network-aware vs oblivious scheduling on a mixed local/iSCSI cluster (extension)"
+    }
+    fn run(&self, cfg: &ExperimentConfig, testbed: &TestbedCache<'_>) -> Report {
+        let n_cfg = if is_small(cfg) {
+            ext_network::ExtNetworkConfig::small()
+        } else {
+            ext_network::ExtNetworkConfig::full()
+        };
+        Report {
+            name: self.name(),
+            rendered: ext_network::run(testbed.get(), &n_cfg).render(),
+        }
+    }
+}
+
 struct ExtFaultsExp;
 impl Experiment for ExtFaultsExp {
     fn name(&self) -> &'static str {
@@ -390,6 +411,7 @@ pub static REGISTRY: &[&dyn Experiment] = &[
     &ExtAblationExp,
     &ExtAdaptiveExp,
     &ExtFaultsExp,
+    &ExtNetworkExp,
 ];
 
 /// Looks an experiment up by its registry name.
@@ -408,7 +430,7 @@ mod tests {
             assert!(seen.insert(e.name()), "duplicate name {}", e.name());
             assert!(!e.description().is_empty(), "{} undescribed", e.name());
         }
-        assert_eq!(REGISTRY.len(), 15);
+        assert_eq!(REGISTRY.len(), 16);
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //! * [`faults`] — seeded, deterministic fault plans (machine MTTF/MTTR
 //!   churn, per-attempt task failures, stragglers) injected through the
 //!   event kernel,
+//! * [`machines`] — heterogeneous machine classes: per-class solo
+//!   factors and a shared-bandwidth network dimension on remote-storage
+//!   hosts,
 //! * [`experiments`] — one driver per table/figure of the evaluation.
 
 #![warn(missing_docs)]
@@ -25,6 +28,7 @@ pub mod arrival;
 pub mod engine;
 pub mod experiments;
 pub mod faults;
+pub mod machines;
 pub mod oracle;
 pub mod perf;
 pub mod setup;
@@ -36,6 +40,7 @@ pub use engine::{
     Simulation, TaskFailureInfo, TaskObservation,
 };
 pub use faults::{FaultConfig, FaultPlan, MachineFaultEvent};
+pub use machines::MachineClassConfig;
 pub use oracle::oracle_predictor;
 pub use perf::{PerfTable, IDLE};
 pub use setup::{Testbed, TestbedConfig};

@@ -1,0 +1,78 @@
+//! Heterogeneous machine-class configuration for the data-center
+//! simulator: which hardware class each machine belongs to, and how much
+//! storage-network traffic each I/O moves on remote-storage classes.
+//!
+//! The paper's testbed fakes iSCSI as "a slower disk"; the machine-class
+//! configuration generalizes that into a real shared-bandwidth network
+//! dimension. A remote class slows every resident by its solo
+//! `runtime_factor` *times* an M/M/1 contention factor of the shared
+//! link, where the offered load is the sum of the residents' per-app
+//! demand (`solo_iops x kb_per_io`). A configuration whose classes are
+//! all [`MachineClass::local`] — or whose `kb_per_io` is zero on
+//! unit-factor classes — replays every legacy scenario bit-identically.
+
+use tracon_core::MachineClass;
+
+/// The machine classes of a simulated cluster.
+#[derive(Debug, Clone)]
+pub struct MachineClassConfig {
+    /// The class table; [`MachineClassConfig::assignment`] indexes it.
+    pub classes: Vec<MachineClass>,
+    /// Class index per machine (`assignment[m]` is machine `m`'s class).
+    pub assignment: Vec<u16>,
+    /// KB moved across a remote class's shared link per I/O request —
+    /// the conversion from the perf table's solo IOPS to an offered link
+    /// load in MB/s. Zero disables the network dimension's demand.
+    pub kb_per_io: f64,
+}
+
+impl MachineClassConfig {
+    /// A homogeneous, reference-class cluster (the legacy setting).
+    pub fn homogeneous(n_machines: usize) -> Self {
+        MachineClassConfig {
+            classes: vec![MachineClass::local()],
+            assignment: vec![0; n_machines],
+            kb_per_io: 0.0,
+        }
+    }
+
+    /// A mixed local/remote-storage cluster: even machines are the
+    /// reference class, odd machines belong to `remote` and push
+    /// `kb_per_io` KB per I/O through their shared link.
+    pub fn mixed(n_machines: usize, remote: MachineClass, kb_per_io: f64) -> Self {
+        MachineClassConfig {
+            classes: vec![MachineClass::local(), remote],
+            assignment: (0..n_machines).map(|m| (m % 2) as u16).collect(),
+            kb_per_io,
+        }
+    }
+
+    /// Number of machines assigned to class `index`.
+    pub fn count_of(&self, index: u16) -> usize {
+        self.assignment.iter().filter(|&&c| c == index).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_is_all_reference() {
+        let cfg = MachineClassConfig::homogeneous(4);
+        assert_eq!(cfg.classes.len(), 1);
+        assert!(cfg.classes[0].is_reference());
+        assert_eq!(cfg.count_of(0), 4);
+        assert_eq!(cfg.kb_per_io, 0.0);
+    }
+
+    #[test]
+    fn mixed_alternates_classes() {
+        let remote = MachineClass::remote("iscsi", 2.0, 0.5, 60.0);
+        let cfg = MachineClassConfig::mixed(5, remote, 64.0);
+        assert_eq!(cfg.assignment, vec![0, 1, 0, 1, 0]);
+        assert_eq!(cfg.count_of(0), 3);
+        assert_eq!(cfg.count_of(1), 2);
+        assert_eq!(cfg.classes[1].name, "iscsi");
+    }
+}

@@ -116,11 +116,9 @@ mod tests {
     fn oracle_matches_pair_table_exactly() {
         let tb = shared();
         let p = oracle_predictor(tb);
-        for a in tb.perf.names.clone() {
-            let ai = tb.perf.index_of(&a);
-            for b in tb.perf.names.clone() {
-                let bi = tb.perf.index_of(&b);
-                let pred = p.predict_runtime(&a, &tb.app_chars[&b]);
+        for (ai, a) in tb.perf.names.clone().iter().enumerate() {
+            for (bi, b) in tb.perf.names.clone().iter().enumerate() {
+                let pred = p.predict_runtime(a, &tb.app_chars[b.as_str()]);
                 let meas = tb.perf.runtime(ai, bi);
                 // The predictor clamps at the solo floor; benign pairs can
                 // measure slightly *below* solo due to jitter, so allow a
@@ -138,9 +136,8 @@ mod tests {
         let tb = shared();
         let p = oracle_predictor(tb);
         let idle = Characteristics::idle();
-        for name in tb.perf.names.clone() {
-            let i = tb.perf.index_of(&name);
-            let pred = p.predict_runtime(&name, &idle);
+        for (i, name) in tb.perf.names.clone().iter().enumerate() {
+            let pred = p.predict_runtime(name, &idle);
             assert!((pred - tb.perf.solo_runtime(i)).abs() / tb.perf.solo_runtime(i) < 0.02);
         }
     }

@@ -7,6 +7,7 @@
 //! first application when co-located with the second, plus the solo
 //! values (idle neighbour).
 
+use tracon_core::AppId;
 use tracon_vmsim::PairMatrix;
 
 /// Neighbour index meaning "the sibling VM is idle".
@@ -28,6 +29,20 @@ pub struct PerfTable {
     runtime: Vec<f64>,
     /// Row-major `[n x n]`: steady-state IOPS of `a` next to `b`.
     iops: Vec<f64>,
+    /// `id_index[id]` is the table index of the application with interned
+    /// [`AppId`] `id`. Ids are assigned in lexicographic name order by
+    /// every `AppRegistry` built from the same name set, so the map is an
+    /// argsort of `names` computed once at construction.
+    id_index: Vec<usize>,
+}
+
+/// Argsort of `names`: element `i` is the position in `names` of the
+/// `i`-th name in lexicographic order — exactly the table index the
+/// interned [`AppId`] `i` refers to.
+fn id_order(names: &[String]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..names.len()).collect();
+    order.sort_by(|&a, &b| names[a].cmp(&names[b]));
+    order
 }
 
 impl PerfTable {
@@ -40,6 +55,7 @@ impl PerfTable {
             solo_iops: m.solo_iops.clone(),
             runtime: m.runtime.iter().flatten().copied().collect(),
             iops: m.iops.iter().flatten().copied().collect(),
+            id_index: id_order(&m.names),
         }
     }
 
@@ -52,11 +68,32 @@ impl PerfTable {
     ///
     /// # Panics
     /// Panics when the application is unknown.
+    #[deprecated(
+        since = "0.1.0",
+        note = "linear name scan per call — intern the name once and use `index_of_id`"
+    )]
     pub fn index_of(&self, name: &str) -> usize {
         self.names
             .iter()
             .position(|n| n == name)
             .unwrap_or_else(|| panic!("unknown application '{name}'"))
+    }
+
+    /// Table index of an interned application id — one array load, the
+    /// hot-path replacement for the name-scanning `index_of`. Valid for
+    /// ids from any `AppRegistry` built over this table's name set (ids
+    /// are assigned in lexicographic name order).
+    #[inline]
+    pub fn index_of_id(&self, app: AppId) -> usize {
+        self.id_index[app.index()]
+    }
+
+    /// Offered storage-network load of application `a` in MB/s when each
+    /// of its I/O requests moves `kb_per_io` KB across the link:
+    /// `solo_iops * kb_per_io / 1024`. Zero when `kb_per_io` is zero
+    /// (local storage).
+    pub fn net_demand_mb(&self, a: usize, kb_per_io: f64) -> f64 {
+        self.solo_iops[a] * kb_per_io / 1024.0
     }
 
     /// Solo runtime of application `a`.
@@ -118,8 +155,10 @@ mod tests {
     /// A synthetic 2-app table: app 0 is I/O-heavy (bad with itself),
     /// app 1 is CPU-ish (benign).
     pub(crate) fn toy_table() -> PerfTable {
+        let names: Vec<String> = vec!["io".into(), "cpu".into()];
         PerfTable {
-            names: vec!["io".into(), "cpu".into()],
+            id_index: id_order(&names),
+            names,
             solo_runtime: vec![100.0, 100.0],
             solo_iops: vec![200.0, 10.0],
             runtime: vec![800.0, 120.0, 110.0, 200.0],
@@ -145,6 +184,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn index_of_names() {
         let t = toy_table();
         assert_eq!(t.index_of("io"), 0);
@@ -153,7 +193,30 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "unknown application")]
+    #[allow(deprecated)]
     fn unknown_name_panics() {
         toy_table().index_of("nope");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn interned_ids_map_to_table_indices() {
+        use tracon_core::AppRegistry;
+        let t = toy_table();
+        // "cpu" < "io" lexicographically, so AppId(0) = cpu, AppId(1) = io
+        // even though the table lists io first.
+        let reg = AppRegistry::from_names(t.names.iter().cloned());
+        for name in &t.names {
+            let id = reg.expect_id(name);
+            assert_eq!(t.index_of_id(id), t.index_of(name));
+        }
+    }
+
+    #[test]
+    fn net_demand_scales_with_io_size() {
+        let t = toy_table();
+        assert_eq!(t.net_demand_mb(0, 0.0), 0.0);
+        // 200 IOPS x 512 KB = 100 MB/s.
+        assert!((t.net_demand_mb(0, 512.0) - 100.0).abs() < 1e-12);
     }
 }

@@ -258,8 +258,8 @@ pub(crate) mod tests {
     #[test]
     fn pair_table_shows_io_interference() {
         let tb = shared();
-        let video = tb.perf.index_of("video");
-        let email = tb.perf.index_of("email");
+        let pos = |n: &str| tb.perf.names.iter().position(|x| x == n).unwrap();
+        let (video, email) = (pos("video"), pos("email"));
         // Two I/O-heavy apps hurt each other far more than an I/O-heavy
         // app paired with a light one.
         assert!(

@@ -407,27 +407,29 @@ enum Answer {
 fn answer(svc: &mut Service, id: Option<String>, request: Request, now: Instant) -> Answer {
     let base = svc.machine_base();
     let reply = match request {
-        Request::Submit { app } => match svc.submit(&app, now) {
-            Ok(admitted) => {
-                let result = match admitted.placement {
-                    Some((vm, score, runtime)) => obj(vec![
-                        ("task", n(admitted.task as f64)),
-                        ("state", s("placed")),
-                        ("machine", n((vm.machine + base) as f64)),
-                        ("slot", n(vm.slot as f64)),
-                        ("predicted_score", n(score)),
-                        ("predicted_runtime", n(runtime)),
-                    ]),
-                    None => obj(vec![
-                        ("task", n(admitted.task as f64)),
-                        ("state", s("queued")),
-                        ("depth", n(admitted.depth as f64)),
-                    ]),
-                };
-                Reply::ok(id, result)
+        Request::Submit { app, demand } => {
+            match svc.submit_with_demand(&app, demand.unwrap_or_default(), now) {
+                Ok(admitted) => {
+                    let result = match admitted.placement {
+                        Some((vm, score, runtime)) => obj(vec![
+                            ("task", n(admitted.task as f64)),
+                            ("state", s("placed")),
+                            ("machine", n((vm.machine + base) as f64)),
+                            ("slot", n(vm.slot as f64)),
+                            ("predicted_score", n(score)),
+                            ("predicted_runtime", n(runtime)),
+                        ]),
+                        None => obj(vec![
+                            ("task", n(admitted.task as f64)),
+                            ("state", s("queued")),
+                            ("depth", n(admitted.depth as f64)),
+                        ]),
+                    };
+                    Reply::ok(id, result)
+                }
+                Err(refusal) => refusal_reply(id, refusal, svc),
             }
-            Err(refusal) => refusal_reply(id, refusal, svc),
-        },
+        }
         Request::Complete {
             task,
             runtime,
@@ -465,6 +467,9 @@ fn answer(svc: &mut Service, id: Option<String>, request: Request, now: Instant)
                     ("task", n(task as f64)),
                     ("app", s(svc.app_name(record.app_idx))),
                 ];
+                if !record.demand.is_empty() {
+                    pairs.push(("demand", crate::proto::demand_value(&record.demand)));
+                }
                 match &record.phase {
                     TaskPhase::Queued => pairs.push(("state", s("queued"))),
                     TaskPhase::Running {

@@ -226,7 +226,10 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
                 let app = &apps[arrivals[i].app_idx % apps.len()];
                 let sent_us = start.elapsed().as_micros() as u64;
                 let reply = client
-                    .request(Request::Submit { app: app.clone() })
+                    .request(Request::Submit {
+                        app: app.clone(),
+                        demand: None,
+                    })
                     .map_err(|e| format!("submit: {e}"))?;
                 match reply {
                     Reply::Ok { result, .. } => {
@@ -649,7 +652,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
         }
 
         let app = apps[rng.gen_range(0..apps.len())].clone();
-        match client.request(Request::Submit { app }) {
+        match client.request(Request::Submit { app, demand: None }) {
             Ok(Reply::Ok { result, .. }) => {
                 report.acked_submits += 1;
                 if result.get("state").and_then(Value::as_str) == Some("placed") {

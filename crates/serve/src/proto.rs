@@ -1,16 +1,28 @@
 //! tracond wire protocol: typed requests/replies and their JSON codec.
 //!
 //! Each TCP connection carries newline-delimited JSON documents. Every
-//! request names the protocol version (`"v":1`) and may carry a client
-//! request id, which the daemon echoes verbatim in the matching reply so
-//! pipelined clients can correlate responses. Decoding is total: any line —
-//! malformed JSON, wrong version, unknown op, missing field — maps to a
-//! structured [`Reply::Error`], never a panic or a dropped connection.
+//! request names the protocol version (`"v":2`, with `"v":1` still
+//! accepted from legacy clients) and may carry a client request id, which
+//! the daemon echoes verbatim in the matching reply so pipelined clients
+//! can correlate responses. Decoding is total: any line — malformed JSON,
+//! wrong version, unknown op, missing field — maps to a structured
+//! [`Reply::Error`], never a panic or a dropped connection.
+//!
+//! Version 2 adds an optional `demand` object to `submit`: per-dimension
+//! resource demand (`{"disk":.., "cpu":.., "network":..}`, any subset)
+//! advising the scheduler of lanes the profiled characteristics do not
+//! cover. Version-1 submissions simply omit it and keep the legacy
+//! two-dimension defaults.
 
 use crate::json::{self, n, obj, s, Value};
+use tracon_core::{DimVec, ResourceDim};
 
-/// The only protocol version this daemon speaks.
-pub const PROTOCOL_VERSION: u64 = 1;
+/// The newest protocol version this daemon speaks (replies are encoded
+/// at this version).
+pub const PROTOCOL_VERSION: u64 = 2;
+
+/// The oldest protocol version still accepted on the wire.
+pub const MIN_PROTOCOL_VERSION: u64 = 1;
 
 /// A client request, after the envelope (version + id) has been peeled off.
 #[derive(Clone, Debug, PartialEq)]
@@ -19,6 +31,10 @@ pub enum Request {
     Submit {
         /// Profiled application name (e.g. `"video"`).
         app: String,
+        /// Optional per-dimension resource demand (protocol v2). `None`
+        /// means the legacy two-dimension defaults; an explicit map is
+        /// advisory and echoed in `task` replies.
+        demand: Option<DimVec>,
     },
     /// Report that a previously placed task finished, feeding the live
     /// model monitor.
@@ -178,9 +194,12 @@ pub fn encode_request(envelope: &Envelope) -> String {
         ("id", id_value(&envelope.id)),
     ];
     match &envelope.request {
-        Request::Submit { app } => {
+        Request::Submit { app, demand } => {
             pairs.push(("op", s("submit")));
             pairs.push(("app", s(app.clone())));
+            if let Some(d) = demand {
+                pairs.push(("demand", demand_value(d)));
+            }
         }
         Request::Complete {
             task,
@@ -218,6 +237,55 @@ impl DecodeError {
     /// Turn this failure into the error reply the daemon writes back.
     pub fn into_reply(self) -> Reply {
         Reply::error(self.id, self.kind, self.message)
+    }
+}
+
+/// Encode a demand vector as a JSON object of its set lanes, keyed by
+/// the canonical dimension names.
+pub fn demand_value(demand: &DimVec) -> Value {
+    obj(demand
+        .iter()
+        .map(|(dim, v)| (dim.name(), n(v)))
+        .collect::<Vec<_>>())
+}
+
+/// Decode the optional `demand` object of a v2 submit. Unknown dimension
+/// names and non-finite or negative values are structured field errors.
+fn field_demand(doc: &Value, id: &Option<String>) -> Result<Option<DimVec>, DecodeError> {
+    let bad = |message: String| DecodeError {
+        id: id.clone(),
+        kind: ErrorKind::BadField,
+        message,
+    };
+    match doc.get("demand") {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Obj(pairs)) => {
+            let mut demand = DimVec::new();
+            for (key, value) in pairs {
+                let dim = ResourceDim::parse(key).ok_or_else(|| {
+                    bad(format!(
+                        "unknown resource dimension '{key}' (known: {})",
+                        ResourceDim::ALL
+                            .iter()
+                            .map(|d| d.name())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ))
+                })?;
+                match value.as_f64() {
+                    Some(v) if v.is_finite() && v >= 0.0 => demand.set(dim, v),
+                    _ => {
+                        return Err(bad(format!(
+                            "invalid demand for '{key}' (expected finite non-negative number)"
+                        )))
+                    }
+                }
+            }
+            Ok(Some(demand))
+        }
+        Some(_) => Err(bad(
+            "invalid 'demand' (expected object of dimension -> number)".to_string(),
+        )),
     }
 }
 
@@ -261,13 +329,14 @@ pub fn decode_request(line: &str) -> Result<Envelope, DecodeError> {
     }
     let id = doc.get("id").and_then(Value::as_str).map(str::to_string);
     match doc.get("v").and_then(Value::as_u64) {
-        Some(PROTOCOL_VERSION) => {}
+        Some(v) if (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&v) => {}
         Some(other) => {
             return Err(DecodeError {
                 id,
                 kind: ErrorKind::BadVersion,
                 message: format!(
-                    "unsupported protocol version {other} (daemon speaks {PROTOCOL_VERSION})"
+                    "unsupported protocol version {other} (daemon speaks \
+                     {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION})"
                 ),
             })
         }
@@ -293,6 +362,7 @@ pub fn decode_request(line: &str) -> Result<Envelope, DecodeError> {
         "submit" => match doc.get("app").and_then(Value::as_str) {
             Some(app) if !app.is_empty() => Request::Submit {
                 app: app.to_string(),
+                demand: field_demand(&doc, &id)?,
             },
             _ => {
                 return Err(DecodeError {
@@ -401,10 +471,57 @@ mod tests {
             id: Some("c3-17".to_string()),
             request: Request::Submit {
                 app: "video".to_string(),
+                demand: None,
             },
         };
         let line = encode_request(&envelope);
+        assert!(!line.contains("demand"), "legacy submit stays lean: {line}");
         assert_eq!(decode_request(&line).unwrap(), envelope);
+    }
+
+    #[test]
+    fn submit_demand_roundtrip() {
+        let envelope = Envelope {
+            id: None,
+            request: Request::Submit {
+                app: "video".to_string(),
+                demand: Some(
+                    DimVec::new()
+                        .with(ResourceDim::Disk, 120.0)
+                        .with(ResourceDim::Network, 40.5),
+                ),
+            },
+        };
+        let line = encode_request(&envelope);
+        assert!(line.contains("\"network\":40.5"), "{line}");
+        assert_eq!(decode_request(&line).unwrap(), envelope);
+    }
+
+    #[test]
+    fn legacy_v1_submit_still_decodes() {
+        let e = decode_request("{\"v\":1,\"op\":\"submit\",\"app\":\"video\"}").unwrap();
+        assert_eq!(
+            e.request,
+            Request::Submit {
+                app: "video".to_string(),
+                demand: None,
+            }
+        );
+    }
+
+    #[test]
+    fn bad_demand_is_a_structured_field_error() {
+        let e = decode_request("{\"v\":2,\"op\":\"submit\",\"app\":\"a\",\"demand\":{\"tape\":1}}")
+            .unwrap_err();
+        assert_eq!(e.kind, ErrorKind::BadField);
+        assert!(e.message.contains("tape"), "{}", e.message);
+        let e =
+            decode_request("{\"v\":2,\"op\":\"submit\",\"app\":\"a\",\"demand\":{\"disk\":-4}}")
+                .unwrap_err();
+        assert_eq!(e.kind, ErrorKind::BadField);
+        let e =
+            decode_request("{\"v\":2,\"op\":\"submit\",\"app\":\"a\",\"demand\":7}").unwrap_err();
+        assert_eq!(e.kind, ErrorKind::BadField);
     }
 
     #[test]

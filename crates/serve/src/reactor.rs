@@ -639,7 +639,7 @@ impl Reactor {
                 self.complete(id, seq, line);
                 self.begin_stop();
             }
-            Request::Submit { app } => {
+            Request::Submit { app, demand } => {
                 let shard = match self.app_ids.get(&app) {
                     Some(&app_id) => route_app(app_id, self.shards()),
                     None => route_name(&app, self.shards()),
@@ -650,7 +650,7 @@ impl Reactor {
                         conn: id,
                         seq,
                         id: req_id,
-                        request: Request::Submit { app },
+                        request: Request::Submit { app, demand },
                         hops: 0,
                     },
                 );

@@ -202,6 +202,10 @@ pub struct TaskRecord {
     /// Failed executions so far (lease expiries; a reported completion
     /// never increments this).
     pub attempts: u32,
+    /// Client-declared per-dimension demand (protocol v2). Advisory —
+    /// echoed in `task` replies, never persisted to the WAL (a replayed
+    /// task re-queues with legacy defaults). Empty when unspecified.
+    pub demand: tracon_core::DimVec,
 }
 
 /// Why a request was refused; the daemon maps these onto protocol errors.
@@ -556,6 +560,9 @@ impl Service {
                     phase,
                     submitted: now,
                     attempts,
+                    // Demand is not in the WAL; replayed tasks fall back
+                    // to the legacy defaults.
+                    demand: tracon_core::DimVec::new(),
                 },
             );
         }
@@ -684,6 +691,17 @@ impl Service {
     /// Admit one task by name, dispatching immediately when the scheduler
     /// allows.
     pub fn submit(&mut self, app: &str, now: Instant) -> Result<Admitted, Refusal> {
+        self.submit_with_demand(app, tracon_core::DimVec::new(), now)
+    }
+
+    /// [`Service::submit`] with a client-declared demand vector attached
+    /// to the task record (protocol v2 `demand` map; advisory).
+    pub fn submit_with_demand(
+        &mut self,
+        app: &str,
+        demand: tracon_core::DimVec,
+        now: Instant,
+    ) -> Result<Admitted, Refusal> {
         if self.draining {
             self.metrics
                 .drain_rejections
@@ -698,7 +716,7 @@ impl Service {
                 })
             }
         };
-        self.admit(app_id, now)
+        self.admit(app_id, demand, now)
     }
 
     /// Admit one task by interned id — the sharded daemon's entry point,
@@ -710,14 +728,24 @@ impl Service {
                 .fetch_add(1, Ordering::Relaxed);
             return Err(Refusal::Draining);
         }
-        self.admit(app, now)
+        self.admit(app, tracon_core::DimVec::new(), now)
     }
 
-    fn admit(&mut self, app_id: AppId, now: Instant) -> Result<Admitted, Refusal> {
-        self.wal_transaction(|s| s.admit_inner(app_id, now))
+    fn admit(
+        &mut self,
+        app_id: AppId,
+        demand: tracon_core::DimVec,
+        now: Instant,
+    ) -> Result<Admitted, Refusal> {
+        self.wal_transaction(|s| s.admit_inner(app_id, demand, now))
     }
 
-    fn admit_inner(&mut self, app_id: AppId, now: Instant) -> Result<Admitted, Refusal> {
+    fn admit_inner(
+        &mut self,
+        app_id: AppId,
+        demand: tracon_core::DimVec,
+        now: Instant,
+    ) -> Result<Admitted, Refusal> {
         let app_idx = match self.perf_index.get(&app_id) {
             Some(idx) => *idx,
             None => {
@@ -744,6 +772,7 @@ impl Service {
                 phase: TaskPhase::Queued,
                 submitted: now,
                 attempts: 0,
+                demand,
             },
         );
         self.admitted += 1;
@@ -1128,6 +1157,9 @@ impl Service {
                     phase: TaskPhase::Queued,
                     submitted: now,
                     attempts: s.attempts,
+                    // Migration messages carry no demand; stolen tasks
+                    // keep the legacy defaults.
+                    demand: tracon_core::DimVec::new(),
                 },
             );
             // A task stolen back home clears its own stale tombstone.

@@ -127,7 +127,10 @@ fn killed_daemon_recovers_queue_and_counters_from_wal() {
     let mut first_task = None;
     for _ in 0..4 {
         match client
-            .request(Request::Submit { app: app.clone() })
+            .request(Request::Submit {
+                app: app.clone(),
+                demand: None,
+            })
             .expect("submit")
         {
             Reply::Ok { result, .. } => {
@@ -171,7 +174,10 @@ fn killed_daemon_recovers_queue_and_counters_from_wal() {
 
     // Task ids must not be reused across the restart.
     match client
-        .request(Request::Submit { app: app.clone() })
+        .request(Request::Submit {
+            app: app.clone(),
+            demand: None,
+        })
         .expect("post-restart submit")
     {
         Reply::Ok { result, .. } => {

@@ -3,6 +3,7 @@
 //! lines always yield a structured error, never a panic.
 
 use proptest::prelude::*;
+use tracon_core::{DimVec, ResourceDim};
 use tracon_serve::json::{self, n, obj, s, Value};
 use tracon_serve::proto::{
     decode_reply, decode_request, encode_reply, encode_request, Envelope, ErrorKind, Reply, Request,
@@ -26,14 +27,33 @@ fn task_id() -> impl Strategy<Value = u64> {
     0u64..(1 << 53)
 }
 
+/// An optional v2 demand map: any subset of the resource dimensions with
+/// finite non-negative values (`None` = legacy submit).
+fn demand() -> impl Strategy<Value = Option<DimVec>> {
+    proptest::collection::vec((0usize..ResourceDim::ALL.len(), 0.0f64..1.0e9), 0..4).prop_map(
+        |lanes| {
+            if lanes.is_empty() {
+                None
+            } else {
+                let mut d = DimVec::new();
+                for (i, v) in lanes {
+                    d.set(ResourceDim::ALL[i], v);
+                }
+                Some(d)
+            }
+        },
+    )
+}
+
 fn request() -> impl Strategy<Value = Request> {
     (
         0u8..6,
         wire_string(12),
         task_id(),
         (-1.0e9f64..1.0e9, 0.0f64..1.0e9),
+        demand(),
     )
-        .prop_map(|(op, text, task, (runtime, iops))| match op {
+        .prop_map(|(op, text, task, (runtime, iops), demand)| match op {
             0 => Request::Submit {
                 // Submits require a non-empty app name.
                 app: if text.is_empty() {
@@ -41,6 +61,7 @@ fn request() -> impl Strategy<Value = Request> {
                 } else {
                     text
                 },
+                demand,
             },
             1 => Request::Complete {
                 task,

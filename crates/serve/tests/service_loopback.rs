@@ -33,6 +33,7 @@ fn submit_reply(client: &mut Client, app: &str) -> Reply {
     client
         .request(Request::Submit {
             app: app.to_string(),
+            demand: None,
         })
         .expect("submit roundtrip")
 }

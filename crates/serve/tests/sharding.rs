@@ -88,7 +88,7 @@ fn shards_1_placement_stream_is_byte_identical_to_the_single_service_path() {
         let expected = expected_submit_line(&mut reference, &id, &app, now);
         let request_line = proto::encode_request(&Envelope {
             id: Some(id),
-            request: Request::Submit { app },
+            request: Request::Submit { app, demand: None },
         });
         let got = client.raw_roundtrip(&request_line).expect("roundtrip");
         assert_eq!(
@@ -130,7 +130,10 @@ fn multi_shard_daemon_keeps_one_conserved_view() {
     let mut shards_seen = [false; 2];
     for i in 0..8usize {
         let app = tb.perf.names[i % tb.perf.names.len()].clone();
-        match client.request(Request::Submit { app }).expect("submit") {
+        match client
+            .request(Request::Submit { app, demand: None })
+            .expect("submit")
+        {
             Reply::Ok { result, .. } => {
                 let task = result.get("task").and_then(Value::as_u64).expect("task id");
                 shards_seen[stride_shard(task, 2)] = true;

@@ -15,7 +15,9 @@
 //! * [`knn`] — k-nearest-neighbour inverse-distance regression,
 //! * [`descriptive`] — means, variances, percentiles, scalers,
 //! * [`dist`] — Gaussian / Poisson / exponential sampling,
-//! * [`online`] — Welford accumulators, sliding windows, drift detection.
+//! * [`online`] — Welford accumulators, sliding windows, drift detection,
+//! * [`queueing`] — M/M/1 shared-bandwidth contention factors (the
+//!   network resource dimension's analytic interference model).
 //!
 //! The crate is deliberately dependency-light (only `rand` and `serde`)
 //! and sized for TRACON's workloads: design matrices of a few hundred
@@ -35,6 +37,7 @@ pub mod matrix;
 pub mod ols;
 pub mod online;
 pub mod pca;
+pub mod queueing;
 pub mod stepwise;
 
 pub use correlation::{pearson, spearman};
@@ -47,4 +50,5 @@ pub use matrix::{dot, euclidean_distance, norm2, Matrix};
 pub use ols::OlsFit;
 pub use online::{DriftDetector, DriftKind, SlidingWindow, Welford};
 pub use pca::Pca;
+pub use queueing::{mm1_slowdown, mm1_throughput_factor};
 pub use stepwise::{aic_gaussian, aicc_gaussian, stepwise_aic, StepwiseFit, StepwiseOptions};

@@ -1,0 +1,101 @@
+//! Shared-bandwidth queueing primitives for the network resource
+//! dimension: M/M/1-style throughput degradation on a contended link.
+//!
+//! When several VMs on a host push their storage traffic through one
+//! shared network path (the iSCSI initiator, a NIC), per-request latency
+//! inflates with the offered load. The classic M/M/1 response-time
+//! factor `1 / (1 - rho)` captures the shape: negligible below ~50%
+//! utilization, then a sharp knee as the link saturates. The utilization
+//! is clamped below 1 so the factor stays finite when demand exceeds
+//! capacity — the simulator models an overloaded link as *very* slow,
+//! not infinitely slow.
+
+/// Highest utilization the slowdown model evaluates at; offered load
+/// beyond capacity saturates here. At `rho = 0.95` the M/M/1 factor is
+/// 20x, comfortably past the worst pairwise interference the paper
+/// measures (~16x), so the clamp never hides a contention signal.
+pub const MAX_UTILIZATION: f64 = 0.95;
+
+/// Link utilization `rho = demand / capacity`, clamped to
+/// `[0, MAX_UTILIZATION]`. A non-positive capacity saturates.
+pub fn utilization(demand: f64, capacity: f64) -> f64 {
+    if demand <= 0.0 {
+        return 0.0;
+    }
+    if capacity <= 0.0 {
+        return MAX_UTILIZATION;
+    }
+    (demand / capacity).min(MAX_UTILIZATION)
+}
+
+/// M/M/1 response-time inflation of a shared link carrying `demand`
+/// (MB/s) over `capacity` (MB/s): `1 / (1 - rho)` with `rho` clamped.
+///
+/// Exactly `1.0` when `demand <= 0` — a zero-demand network dimension
+/// never perturbs a simulation, which is what makes the N-dim resource
+/// API a bit-identical generalization of the 2-dim one.
+pub fn mm1_slowdown(demand: f64, capacity: f64) -> f64 {
+    let rho = utilization(demand, capacity);
+    if rho == 0.0 {
+        return 1.0;
+    }
+    1.0 / (1.0 - rho)
+}
+
+/// Effective throughput share of the link under the same model:
+/// `1 / mm1_slowdown` (so a component pushing through a contended link
+/// progresses at this fraction of its uncontended rate).
+pub fn mm1_throughput_factor(demand: f64, capacity: f64) -> f64 {
+    1.0 / mm1_slowdown(demand, capacity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_demand_is_exactly_one() {
+        assert_eq!(mm1_slowdown(0.0, 100.0).to_bits(), 1.0f64.to_bits());
+        assert_eq!(mm1_slowdown(-5.0, 100.0).to_bits(), 1.0f64.to_bits());
+        assert_eq!(mm1_slowdown(0.0, 0.0).to_bits(), 1.0f64.to_bits());
+    }
+
+    #[test]
+    fn slowdown_is_monotone_in_demand() {
+        let mut prev = 1.0;
+        for d in [10.0, 25.0, 50.0, 75.0, 90.0, 120.0] {
+            let s = mm1_slowdown(d, 100.0);
+            assert!(s >= prev, "slowdown must not decrease: {s} < {prev}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn half_utilization_doubles_latency() {
+        assert!((mm1_slowdown(50.0, 100.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overload_saturates_at_the_clamp() {
+        let at_cap = mm1_slowdown(100.0, 100.0);
+        let over = mm1_slowdown(1e9, 100.0);
+        assert_eq!(at_cap.to_bits(), over.to_bits());
+        assert!((over - 1.0 / (1.0 - MAX_UTILIZATION)).abs() < 1e-9);
+        assert!(over.is_finite());
+    }
+
+    #[test]
+    fn zero_capacity_saturates() {
+        let s = mm1_slowdown(10.0, 0.0);
+        assert!((s - 1.0 / (1.0 - MAX_UTILIZATION)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_factor_inverts_slowdown() {
+        for (d, c) in [(0.0, 50.0), (20.0, 50.0), (49.0, 50.0), (80.0, 50.0)] {
+            let f = mm1_throughput_factor(d, c);
+            assert!((f * mm1_slowdown(d, c) - 1.0).abs() < 1e-12);
+            assert!(f > 0.0 && f <= 1.0);
+        }
+    }
+}

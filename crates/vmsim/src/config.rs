@@ -134,6 +134,72 @@ pub struct HostConfig {
     pub max_sim_time: f64,
 }
 
+/// Fluent construction of a [`HostConfig`], starting from the calibrated
+/// testbed defaults. Obtained from [`HostConfig::builder`]:
+///
+/// ```
+/// use tracon_vmsim::{DiskParams, HostConfig};
+/// let host = HostConfig::builder()
+///     .disk(DiskParams::ssd())
+///     .cpu_capacity(2.0)
+///     .build();
+/// assert_eq!(host.cpu_capacity, 2.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HostConfigBuilder {
+    cfg: HostConfig,
+}
+
+impl HostConfigBuilder {
+    /// Replaces the storage device parameters.
+    pub fn disk(mut self, disk: DiskParams) -> Self {
+        self.cfg.disk = disk;
+        self
+    }
+
+    /// Sets the shared CPU pool capacity in cores.
+    pub fn cpu_capacity(mut self, cores: f64) -> Self {
+        self.cfg.cpu_capacity = cores;
+        self
+    }
+
+    /// Sets the guest and driver-domain scheduling weights.
+    pub fn weights(mut self, guest: f64, dom0: f64) -> Self {
+        self.cfg.guest_weight = guest;
+        self.cfg.dom0_weight = dom0;
+        self
+    }
+
+    /// Sets the Dom0 CPU cost per handled I/O request, in CPU seconds.
+    pub fn dom0_cost_per_req_s(mut self, cost: f64) -> Self {
+        self.cfg.dom0_cost_per_req_s = cost;
+        self
+    }
+
+    /// Sets the scheduling-latency penalty factor.
+    pub fn dom0_latency_gamma(mut self, gamma: f64) -> Self {
+        self.cfg.dom0_latency_gamma = gamma;
+        self
+    }
+
+    /// Sets the simulation step granularity upper bound, in seconds.
+    pub fn dt_max(mut self, dt: f64) -> Self {
+        self.cfg.dt_max = dt;
+        self
+    }
+
+    /// Sets the co-run abort cap, in simulated seconds.
+    pub fn max_sim_time(mut self, t: f64) -> Self {
+        self.cfg.max_sim_time = t;
+        self
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> HostConfig {
+        self.cfg
+    }
+}
+
 impl HostConfig {
     /// The calibrated testbed configuration with local SATA storage.
     pub fn testbed() -> Self {
@@ -150,29 +216,79 @@ impl HostConfig {
         }
     }
 
-    /// The testbed configuration with iSCSI remote storage (Fig. 7).
-    pub fn testbed_iscsi() -> Self {
-        HostConfig {
-            disk: DiskParams::iscsi(),
-            ..HostConfig::testbed()
+    /// A builder seeded with the [`HostConfig::testbed`] defaults.
+    pub fn builder() -> HostConfigBuilder {
+        HostConfigBuilder {
+            cfg: HostConfig::testbed(),
         }
     }
 
+    /// The fixed class names [`HostConfig::class`] resolves, with
+    /// `raid0x<N>` standing for the parametric RAID-0 family
+    /// (`raid0x4` = a four-disk stripe).
+    pub fn class_names() -> &'static [&'static str] {
+        &["local", "iscsi", "ssd", "raid0x<N>"]
+    }
+
+    /// The testbed host with the named storage class: `"local"` (SATA),
+    /// `"iscsi"` (remote storage), `"ssd"`, or `"raid0x<N>"` (an `N`-disk
+    /// stripe). Returns `None` for unknown names.
+    pub fn try_class(name: &str) -> Option<Self> {
+        let disk = match name {
+            "local" => DiskParams::local_sata(),
+            "iscsi" => DiskParams::iscsi(),
+            "ssd" => DiskParams::ssd(),
+            _ => {
+                let n: usize = name.strip_prefix("raid0x")?.parse().ok()?;
+                if n == 0 {
+                    return None;
+                }
+                DiskParams::raid0(n)
+            }
+        };
+        Some(HostConfig::builder().disk(disk).build())
+    }
+
+    /// The testbed host with the named storage class (see
+    /// [`HostConfig::try_class`]).
+    ///
+    /// # Panics
+    /// Panics on an unknown class name.
+    pub fn class(name: &str) -> Self {
+        HostConfig::try_class(name).unwrap_or_else(|| {
+            panic!(
+                "unknown machine class '{name}' (known: {})",
+                HostConfig::class_names().join(", ")
+            )
+        })
+    }
+
+    /// The testbed configuration with iSCSI remote storage (Fig. 7).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `HostConfig::class(\"iscsi\")` or the builder"
+    )]
+    pub fn testbed_iscsi() -> Self {
+        HostConfig::class("iscsi")
+    }
+
     /// The testbed with an SSD (future-work extension).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `HostConfig::class(\"ssd\")` or the builder"
+    )]
     pub fn testbed_ssd() -> Self {
-        HostConfig {
-            disk: DiskParams::ssd(),
-            ..HostConfig::testbed()
-        }
+        HostConfig::class("ssd")
     }
 
     /// The testbed with a RAID-0 stripe over `n` local disks
     /// (future-work extension).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `HostConfig::class(\"raid0x<N>\")` or the builder"
+    )]
     pub fn testbed_raid0(n: usize) -> Self {
-        HostConfig {
-            disk: DiskParams::raid0(n),
-            ..HostConfig::testbed()
-        }
+        HostConfig::class(&format!("raid0x{n}"))
     }
 }
 
@@ -193,7 +309,7 @@ mod tests {
         assert!(t.disk.seq_bandwidth_mb > 0.0);
         assert!(t.dt_max > 0.0 && t.dt_max < 10.0);
 
-        let i = HostConfig::testbed_iscsi();
+        let i = HostConfig::class("iscsi");
         assert!(i.disk.per_req_overhead_ms > t.disk.per_req_overhead_ms);
         assert!(i.disk.seq_bandwidth_mb < t.disk.seq_bandwidth_mb);
         // Non-disk parameters identical: same host, different storage.
@@ -228,5 +344,49 @@ mod tests {
     #[should_panic(expected = "at least one disk")]
     fn raid0_zero_panics() {
         DiskParams::raid0(0);
+    }
+
+    #[test]
+    fn builder_starts_from_testbed_defaults() {
+        assert_eq!(HostConfig::builder().build(), HostConfig::testbed());
+        let custom = HostConfig::builder()
+            .disk(DiskParams::ssd())
+            .cpu_capacity(2.0)
+            .weights(512.0, 256.0)
+            .dom0_cost_per_req_s(0.001)
+            .dom0_latency_gamma(0.3)
+            .dt_max(0.1)
+            .max_sim_time(1_000.0)
+            .build();
+        assert_eq!(custom.disk, DiskParams::ssd());
+        assert_eq!(custom.cpu_capacity, 2.0);
+        assert_eq!(custom.guest_weight, 512.0);
+        assert_eq!(custom.max_sim_time, 1_000.0);
+    }
+
+    #[test]
+    fn class_registry_resolves_known_names() {
+        assert_eq!(HostConfig::class("local"), HostConfig::testbed());
+        assert_eq!(HostConfig::class("iscsi").disk, DiskParams::iscsi());
+        assert_eq!(HostConfig::class("ssd").disk, DiskParams::ssd());
+        assert_eq!(HostConfig::class("raid0x4").disk, DiskParams::raid0(4));
+        assert!(HostConfig::try_class("nope").is_none());
+        assert!(HostConfig::try_class("raid0x0").is_none());
+        assert!(HostConfig::try_class("raid0xfour").is_none());
+        assert!(!HostConfig::class_names().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown machine class")]
+    fn unknown_class_panics() {
+        HostConfig::class("floppy");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_class_registry() {
+        assert_eq!(HostConfig::testbed_iscsi(), HostConfig::class("iscsi"));
+        assert_eq!(HostConfig::testbed_ssd(), HostConfig::class("ssd"));
+        assert_eq!(HostConfig::testbed_raid0(3), HostConfig::class("raid0x3"));
     }
 }

@@ -21,7 +21,12 @@ fn main() {
     // 2. Inspect what the testbed learned: how badly does each benchmark
     //    suffer next to the most I/O-intensive neighbour (video)?
     println!("\nmeasured slowdown next to `video` (vs running alone):");
-    let video = testbed.perf.index_of("video");
+    let video = testbed
+        .perf
+        .names
+        .iter()
+        .position(|n| n == "video")
+        .expect("video is profiled");
     for (i, name) in testbed.perf.names.iter().enumerate() {
         println!("  {name:10} {:5.2}x", testbed.perf.slowdown(i, video));
     }

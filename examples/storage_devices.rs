@@ -20,9 +20,9 @@ fn main() {
     let dedup = Benchmark::Dedup.model().time_scaled(0.25).as_endless();
     for (name, host) in [
         ("SATA disk", HostConfig::testbed()),
-        ("RAID-0 x4", HostConfig::testbed_raid0(4)),
-        ("SSD", HostConfig::testbed_ssd()),
-        ("iSCSI", HostConfig::testbed_iscsi()),
+        ("RAID-0 x4", HostConfig::class("raid0x4")),
+        ("SSD", HostConfig::class("ssd")),
+        ("iSCSI", HostConfig::class("iscsi")),
     ] {
         let engine = Engine::new(host);
         let solo = engine.solo_run(&video, 1);
@@ -39,7 +39,7 @@ fn main() {
 
     // The Table 1 killer cell, re-run on the SSD: the motivating
     // interference disappears with the seek.
-    let engine = Engine::new(HostConfig::testbed_ssd());
+    let engine = Engine::new(HostConfig::class("ssd"));
     let sr = apps::seq_read();
     let solo = engine.solo_run(&sr, 3).runtime[0];
     let io_high = engine

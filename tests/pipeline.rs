@@ -25,7 +25,7 @@ fn testbed_covers_all_benchmarks() {
     assert_eq!(tb.perf.n_apps(), 8);
     for b in Benchmark::ALL {
         assert!(tb.predictor.knows(b.name()));
-        let i = tb.perf.index_of(b.name());
+        let i = tb.perf.names.iter().position(|n| n == b.name()).unwrap();
         assert!(tb.perf.solo_runtime(i) > 0.0);
         assert!(tb.perf.solo_iops(i) > 0.0);
     }
@@ -36,7 +36,7 @@ fn interference_matrix_has_scheduling_room() {
     // The scheduler can only help if pairings differ: the worst pair must
     // be far costlier than the best pair for the I/O-heavy applications.
     let tb = testbed();
-    let video = tb.perf.index_of("video");
+    let video = tb.perf.names.iter().position(|n| n == "video").unwrap();
     let worst = (0..8)
         .map(|b| tb.perf.slowdown(video, b))
         .fold(0.0, f64::max);
