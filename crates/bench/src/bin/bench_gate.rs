@@ -9,7 +9,8 @@
 //! fresh artifact from `--fresh`, and compares every throughput row —
 //! where higher is better — that appears in both. Throughput rows are
 //! the `events/s` kernel figures, the `req/s` tracond loopback figures,
-//! and the `records/s` WAL fsync figures; each unit carries its own
+//! the `records/s` WAL fsync figures, and the `frames/s` WAL shipping
+//! figure; each unit carries its own
 //! tolerance band (see `GATED_UNITS`), and a fresh value below the
 //! committed one by more than its band fails the gate (exit 1). When no
 //! committed artifact exists yet the gate skips
@@ -35,7 +36,12 @@ use std::path::{Path, PathBuf};
 /// device fsync latency, which drifts by tens of percent run to run on
 /// shared runners, so their band is wide enough to only catch
 /// architectural regressions (a lost fsync batch, a serialized shard).
-const GATED_UNITS: &[(&str, f64)] = &[("events/s", 0.20), ("req/s", 0.45), ("records/s", 0.45)];
+const GATED_UNITS: &[(&str, f64)] = &[
+    ("events/s", 0.20),
+    ("req/s", 0.45),
+    ("records/s", 0.45),
+    ("frames/s", 0.45),
+];
 
 /// Rows gated by *name* (lower is better), each with the fractional
 /// slowdown tolerated before the gate fails. `scoring_ndim_ns` is the

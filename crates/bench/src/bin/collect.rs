@@ -619,6 +619,94 @@ fn tracond_suite(quick: bool, tb: &Testbed, results: &mut Vec<serde_json::Value>
         }));
         eprintln!("tracond/wal_fsync_batch{batch_size}: {best_per_sec:.0} records/s (best of 2)");
     }
+
+    // WAL shipping: a follower-style client drains the leader's ship log
+    // over loopback in `repl_pull` chunks — the replication fan-out path
+    // a warm standby rides. The daemon keeps its ship log intact
+    // (compaction disabled), so each pass re-pulls the same frames from
+    // cursor zero; the row reports frames served per wall-clock second
+    // across the reactor's inline pull handler and the NDJSON codec.
+    let dir = std::env::temp_dir().join(format!("tracon-bench-ship-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let ship_tasks = if quick { 256usize } else { 1024 };
+    let passes = if quick { 4usize } else { 8 };
+    let cfg = ServeConfig {
+        machines: 512,
+        slots_per_machine: 4,
+        scheduler: SchedKind::Mios,
+        queue_capacity: 4096,
+        lease_base_ms: 600_000,
+        wal_dir: Some(dir.clone()),
+        wal_snapshot_every: u64::MAX,
+        ..ServeConfig::default()
+    };
+    let handle = daemon::start(tb, cfg, NetConfig::default()).expect("ship bench daemon starts");
+    let addr = handle.addr.to_string();
+    let mut client = Client::connect(&addr).expect("ship bench client connects");
+    // Seed the ship log: every admission appends one WAL frame.
+    for chunk_start in (0..ship_tasks).step_by(128) {
+        let reqs: Vec<Request> = (chunk_start..(chunk_start + 128).min(ship_tasks))
+            .map(|i| Request::Submit {
+                app: submit_mix[i % submit_mix.len()].clone(),
+                demand: None,
+            })
+            .collect();
+        client.pipeline(&reqs).expect("ship bench submits");
+    }
+    let mut best_fps = 0.0f64;
+    for _pass in 0..2 {
+        let mut frames = 0u64;
+        let t0 = Instant::now();
+        for _ in 0..passes {
+            let mut cursor = 0u64;
+            loop {
+                let reply = client
+                    .request(Request::ReplPull {
+                        epoch: 0,
+                        shard: 0,
+                        cursor,
+                        addr: "bench:0".to_string(),
+                    })
+                    .expect("ship bench pull");
+                let Reply::Ok { result, .. } = reply else {
+                    panic!("ship bench pull refused: {reply:?}");
+                };
+                frames += result
+                    .get("frames")
+                    .and_then(|v| v.as_arr())
+                    .map(|a| a.len() as u64)
+                    .unwrap_or(0);
+                let next = result
+                    .get("next")
+                    .and_then(|v| v.as_u64())
+                    .expect("pull chunk carries next");
+                let ship_next = result
+                    .get("ship_next")
+                    .and_then(|v| v.as_u64())
+                    .expect("pull chunk carries ship_next");
+                cursor = next;
+                if next >= ship_next {
+                    break;
+                }
+            }
+        }
+        let fps = frames as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+        best_fps = best_fps.max(fps);
+        eprintln!("tracond/wal_ship pass: {fps:.0} frames/s ({frames} frames)");
+    }
+    handle.stop();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+    results.push(json!({
+        "suite": "tracond",
+        "name": "wal_ship_frames_per_sec",
+        "metric": "repl_throughput",
+        "unit": "frames/s",
+        "value": best_fps,
+        "tasks": ship_tasks,
+        "passes": passes,
+    }));
+    eprintln!("tracond/wal_ship_frames_per_sec: {best_fps:.0} frames/s (best of 2)");
 }
 
 fn macro_suite(quick: bool, tb: &Testbed, results: &mut Vec<serde_json::Value>) {

@@ -42,13 +42,21 @@ COMMANDS:
              [--queue-cap N=64] [--rebuild-every N] [--batch-deadline-ms N=100]
              [--wal DIR]  (persist admissions to an fsync'd write-ahead log
                            and recover queue/counters on restart)
+             [--replica-of HOST:PORT]  (boot as a warm follower of a running
+                           leader: pull WAL frames, refuse mutations with
+                           not_leader, and self-promote when the leader's
+                           lease lapses; requires --wal)
+             [--repl-ttl-ms N=1500] [--repl-poll-ms N=50]
              [--lease-ms N=30000] [--lease-per-s-ms N=2000]
              [--max-attempts N=5] [--backoff-ms N=100] [--backoff-cap-ms N=5000]
              [--testbed FILE | --points N=6 --time-scale F=0.05 --seed N]
   submit     Submit tasks to a running tracond and print the placements
              --addr HOST:PORT --app NAME [--count N=1]
   loadgen    Drive a running tracond with Poisson load, print latency stats
-             --addr HOST:PORT [--requests N=100] [--lambda TASKS/MIN=60]
+             --addr HOST:PORT[,HOST:PORT...]  (extra addresses are tried in
+                           order when the first answers not_leader or a
+                           failover promotes a replica mid-run)
+             [--requests N=100] [--lambda TASKS/MIN=60]
              [--mix light|medium|heavy|uniform] [--mode open|closed]
              [--concurrency N=8] [--seed N] [--quick] [--idle-conns N=0]
              [--chaos]    (adversarial mode: killed connections, garbage and
@@ -454,6 +462,23 @@ pub fn serve(args: &Args) -> Result<String, String> {
     if max_attempts == 0 {
         return Err("--max-attempts must be positive".into());
     }
+    let replica_of = args.options.get("replica-of").cloned();
+    if replica_of.is_some() && !args.options.contains_key("wal") {
+        return Err(
+            "--replica-of requires --wal DIR (the follower persists shipped frames)".into(),
+        );
+    }
+    let repl_ttl_ms: u64 = args.num_or("repl-ttl-ms", 1_500)?;
+    let repl_poll_ms: u64 = args.num_or("repl-poll-ms", 50)?;
+    if repl_ttl_ms == 0 || repl_poll_ms == 0 {
+        return Err("--repl-ttl-ms and --repl-poll-ms must be positive".into());
+    }
+    if repl_poll_ms >= repl_ttl_ms {
+        return Err(format!(
+            "--repl-poll-ms ({repl_poll_ms}) must be below --repl-ttl-ms ({repl_ttl_ms}) \
+             or the follower can never renew the lease"
+        ));
+    }
     let cfg = ServeConfig {
         machines,
         slots_per_machine: slots,
@@ -472,6 +497,9 @@ pub fn serve(args: &Args) -> Result<String, String> {
         wal_snapshot_every: args.num_or("wal-snapshot-every", 4_096)?,
         monitor,
         shards,
+        replica_of,
+        repl_ttl_ms,
+        repl_poll_ms,
     };
     let net = NetConfig {
         addr: format!("127.0.0.1:{}", args.num_or::<u16>("port", 0)?),
@@ -606,8 +634,21 @@ pub fn loadgen(args: &Args) -> Result<String, String> {
         other => return Err(format!("unknown mode '{other}' (open, closed)")),
     };
     let quick = args.flag("quick");
+    // Like --chaos, --addr accepts a comma-separated failover list: the
+    // first entry is the primary, the rest are tried in order when a
+    // not_leader redirect (or a dead leader) forces a reconnect.
+    let mut addr_list: Vec<String> = addr
+        .split(',')
+        .filter(|a| !a.is_empty())
+        .map(str::to_string)
+        .collect();
+    if addr_list.is_empty() {
+        return Err("--addr needs at least one HOST:PORT".into());
+    }
+    let primary = addr_list.remove(0);
     let cfg = LoadgenConfig {
-        addr: addr.to_string(),
+        addr: primary,
+        addrs: addr_list,
         requests: args.num_or("requests", 100)?,
         lambda_per_min: args.num_or("lambda", 60.0)?,
         mix: mix(args.get_or("mix", "medium"))?,
@@ -856,6 +897,25 @@ mod tests {
         ))
         .unwrap_err();
         assert!(err.contains("--requests"), "{err}");
+    }
+
+    #[test]
+    fn replica_flags_validate_before_touching_the_network() {
+        let err = serve(&parse_str("serve --replica-of 127.0.0.1:1")).unwrap_err();
+        assert!(err.contains("--replica-of requires --wal"), "{err}");
+        let err = serve(&parse_str(
+            "serve --replica-of 127.0.0.1:1 --wal /tmp/x --repl-ttl-ms 0",
+        ))
+        .unwrap_err();
+        assert!(err.contains("must be positive"), "{err}");
+        let err = serve(&parse_str(
+            "serve --replica-of 127.0.0.1:1 --wal /tmp/x --repl-ttl-ms 100 --repl-poll-ms 100",
+        ))
+        .unwrap_err();
+        assert!(err.contains("below --repl-ttl-ms"), "{err}");
+        // An empty --addr list is rejected before any connect.
+        let err = loadgen(&parse_str("loadgen --addr ,")).unwrap_err();
+        assert!(err.contains("at least one HOST:PORT"), "{err}");
     }
 
     #[test]

@@ -28,9 +28,13 @@ use crate::json::{n, obj, s, Value};
 use crate::metrics::Metrics;
 use crate::proto::{ErrorKind, Reply, Request};
 use crate::reactor::{self, OutMsg, OutSender, ReactorConfig, ShardMsg};
+use crate::repl::{
+    follower::{run_follower, FollowerConfig, FollowerRuntime},
+    read_epoch, write_epoch, ReplState, Role, ShipLog,
+};
 use crate::shard::{recover_dir, route_app, shard_machines};
 use crate::state::{Refusal, ServeConfig, Service, TaskPhase};
-use crate::wal::remove_shard_files;
+use crate::wal::{remove_shard_files, RecoveredTask, Wal};
 
 /// Network-layer knobs, separate from the scheduling policy in
 /// [`ServeConfig`].
@@ -159,29 +163,83 @@ pub fn start(testbed: &Testbed, cfg: ServeConfig, net: NetConfig) -> std::io::Re
         .filter_map(|name| services[0].app_id(&name).map(|id| (name, id)))
         .collect();
 
+    if cfg.replica_of.is_some() && cfg.wal_dir.is_none() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "replica mode (--replica-of) requires a WAL directory",
+        ));
+    }
+
+    let mut repl_state: Option<Arc<ReplState>> = None;
+    let mut follower_wals: Option<Vec<Wal>> = None;
+
     if let Some(dir) = cfg.wal_dir.clone() {
         let route = |name: &str| app_ids.get(name).map(|&id| route_app(id, shards));
-        let (wals, recovery) = recover_dir(&dir, shards, cfg.wal_snapshot_every, &route)?;
-        metrics
-            .wal_replayed_records
-            .store(recovery.replayed_records, Ordering::Relaxed);
-        let now = Instant::now();
-        for (shard, wal) in wals.into_iter().enumerate() {
-            let homed: Vec<_> = recovery
-                .tasks
-                .iter()
-                .filter(|t| t.home == shard)
-                .map(|t| t.rec.clone())
-                .collect();
-            services[shard].attach_wal(wal);
-            services[shard].adopt_recovered(&homed, now);
-            services[shard].align_next_task_id(recovery.next_task_id);
-            services[shard].write_snapshot();
+        let ship = Arc::new(ShipLog::new(shards));
+        for svc in &mut services {
+            svc.attach_shipper(Arc::clone(&ship));
         }
-        // Only now that every survivor is snapshotted under the new
-        // layout can files from a larger previous shard count go.
-        for stale in shards..recovery.old_shards {
-            remove_shard_files(&dir, stale)?;
+        if let Some(leader_addr) = cfg.replica_of.clone() {
+            // Follower: local shard state is a cache of the leader's
+            // stream. Wipe it (a rejoining stale leader must not
+            // resurrect a divergent tail) and resync from cursor zero —
+            // the snapshot-install path covers any gap. The epoch
+            // sidecar survives the wipe on purpose.
+            let (stale_wals, stale) = recover_dir(&dir, shards, cfg.wal_snapshot_every, &route)?;
+            drop(stale_wals);
+            for shard in 0..stale.old_shards.max(shards) {
+                remove_shard_files(&dir, shard)?;
+            }
+            let (wals, _) = recover_dir(&dir, shards, cfg.wal_snapshot_every, &route)?;
+            repl_state = Some(Arc::new(ReplState::new(
+                Role::Follower,
+                read_epoch(&dir),
+                Some(leader_addr),
+                ship,
+                Arc::clone(&metrics),
+                Some(dir),
+                boot_nonce(),
+            )));
+            follower_wals = Some(wals);
+        } else {
+            let (wals, recovery) = recover_dir(&dir, shards, cfg.wal_snapshot_every, &route)?;
+            metrics
+                .wal_replayed_records
+                .store(recovery.replayed_records, Ordering::Relaxed);
+            let now = Instant::now();
+            for (shard, wal) in wals.into_iter().enumerate() {
+                let homed: Vec<_> = recovery
+                    .tasks
+                    .iter()
+                    .filter(|t| t.home == shard)
+                    .map(|t| t.rec.clone())
+                    .collect();
+                services[shard].attach_wal(wal);
+                services[shard].adopt_recovered(&homed, now);
+                services[shard].align_next_task_id(recovery.next_task_id);
+                // Also seeds the ship log: the boot snapshot becomes
+                // what a fresh follower at cursor zero installs.
+                services[shard].write_snapshot();
+            }
+            // Only now that every survivor is snapshotted under the new
+            // layout can files from a larger previous shard count go.
+            for stale in shards..recovery.old_shards {
+                remove_shard_files(&dir, stale)?;
+            }
+            // Every WAL-backed node is leader-capable: claim (or re-claim)
+            // the durable epoch before serving. Epoch 0 is reserved for
+            // "never led", so a fresh leader starts at 1.
+            let epoch = read_epoch(&dir).max(1);
+            write_epoch(&dir, epoch, Role::Leader)?;
+            repl_state = Some(Arc::new(ReplState::new(
+                Role::Leader,
+                epoch,
+                None,
+                ship,
+                Arc::clone(&metrics),
+                Some(dir),
+                boot_nonce(),
+            )));
         }
     }
 
@@ -217,6 +275,30 @@ pub fn start(testbed: &Testbed, cfg: ServeConfig, net: NetConfig) -> std::io::Re
         }));
     }
 
+    // The follower replication thread: pulls WAL frames from the leader
+    // and promotes this node when the leader's lease lapses.
+    if let (Some(wals), Some(repl)) = (follower_wals, repl_state.as_ref()) {
+        let leader_addr = cfg.replica_of.clone().unwrap_or_default();
+        let dir = cfg.wal_dir.clone().unwrap_or_default();
+        let follower_cfg = FollowerConfig {
+            leader_addr,
+            self_addr: addr.to_string(),
+            dir,
+            shards,
+            snapshot_every: cfg.wal_snapshot_every,
+            ttl_ms: cfg.repl_ttl_ms,
+            poll_ms: cfg.repl_poll_ms,
+        };
+        let rt = FollowerRuntime {
+            wals,
+            repl: Arc::clone(repl),
+            shard_txs: shard_txs.clone(),
+            app_ids: app_ids.clone(),
+            shutdown: Arc::clone(&shutdown),
+        };
+        core_threads.push(std::thread::spawn(move || run_follower(follower_cfg, rt)));
+    }
+
     // The reactor thread: owns the protocol listener and every client.
     {
         let reactor_cfg = ReactorConfig {
@@ -229,6 +311,7 @@ pub fn start(testbed: &Testbed, cfg: ServeConfig, net: NetConfig) -> std::io::Re
             draining: Arc::clone(&draining),
             metrics: Arc::clone(&metrics),
             app_ids,
+            repl: repl_state,
         };
         core_threads.push(std::thread::spawn(move || reactor::run(reactor_cfg)));
     }
@@ -272,6 +355,19 @@ pub fn start(testbed: &Testbed, cfg: ServeConfig, net: NetConfig) -> std::io::Re
         core_threads,
         conn_threads,
     })
+}
+
+/// A per-process boot nonce for the replication protocol: pull replies
+/// carry it so followers detect a leader restart (whose ship sequence
+/// numbering restarted with it) and reset their cursors instead of
+/// silently skipping frames.
+fn boot_nonce() -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(1);
+    // Never zero, and distinct across same-nanosecond restarts in tests.
+    (nanos ^ (u64::from(std::process::id()) << 32)) | 1
 }
 
 /// Join every connection thread that has already returned, keeping the
@@ -365,6 +461,21 @@ fn shard_worker(
                 }
                 ShardMsg::Inject { from, tasks } => {
                     svc.inject_stolen(&tasks, from, now);
+                }
+                ShardMsg::Promote {
+                    wal,
+                    tasks,
+                    next_task_id,
+                } => {
+                    // This shard's half of a follower promotion: adopt
+                    // the replayed state and the now-writable WAL. FIFO
+                    // order guarantees this lands before any client
+                    // request the reactor routed after the role flip.
+                    svc.attach_wal(wal);
+                    let recs: Vec<RecoveredTask> = tasks.into_iter().map(|t| t.rec).collect();
+                    svc.adopt_recovered(&recs, now);
+                    svc.align_next_task_id(next_task_id);
+                    svc.write_snapshot();
                 }
             }
             sent = true;

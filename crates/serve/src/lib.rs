@@ -28,6 +28,9 @@
 //!   frames) while asserting task conservation.
 //! * [`wal`] — the append-only, checksummed write-ahead log and snapshot
 //!   compaction behind crash recovery.
+//! * [`repl`] — leader/follower replication: WAL frame shipping over the
+//!   protocol, lease-based promotion with durable epoch fencing, and a
+//!   deterministic in-process failover harness.
 
 #![warn(missing_docs)]
 // The daemon request path must never panic on client input or I/O: a
@@ -42,6 +45,7 @@ pub mod loadgen;
 pub mod metrics;
 pub mod proto;
 mod reactor;
+pub mod repl;
 pub mod shard;
 pub mod state;
 pub mod wal;
@@ -54,6 +58,7 @@ pub use proto::{
     decode_reply, decode_request, encode_reply, encode_request, Envelope, ErrorKind, Reply,
     Request, PROTOCOL_VERSION,
 };
+pub use repl::{FollowerCore, PullChunk, ReplState, Role, ShipLog};
 pub use shard::{recover_dir, route_app, route_key, shard_machines, stride_shard, MergedRecovery};
 pub use state::{Refusal, SchedKind, ServeConfig, Service, StatusSnapshot, StolenTask, TaskPhase};
 pub use wal::{RecState, RecoveredTask, Recovery, Wal, WalRecord};

@@ -40,6 +40,10 @@ pub enum LoadMode {
 pub struct LoadgenConfig {
     /// Daemon submission address, e.g. `127.0.0.1:7070`.
     pub addr: String,
+    /// Additional daemon addresses in failover order. On a `not_leader`
+    /// refusal the generator reconnects to the redirect hint (or walks
+    /// this list) and retries, up to a bounded number of failovers.
+    pub addrs: Vec<String>,
     /// Total requests to push through.
     pub requests: usize,
     /// Poisson arrival rate, tasks per minute (open mode).
@@ -71,6 +75,7 @@ impl Default for LoadgenConfig {
     fn default() -> Self {
         LoadgenConfig {
             addr: String::new(),
+            addrs: Vec::new(),
             requests: 100,
             lambda_per_min: 60.0,
             mix: WorkloadMix::Medium,
@@ -149,6 +154,44 @@ enum Action {
     Complete(u64),
 }
 
+/// Upper bound on `not_leader` failovers one clean-path run absorbs
+/// before giving up (a redirect loop means the cluster is misconfigured).
+const MAX_FAILOVERS: usize = 8;
+
+/// Reconnect after a `not_leader` refusal: the hinted address first, then
+/// the primary and the failover list, retrying briefly — a promotion in
+/// progress needs a moment before the new leader starts serving.
+fn follow_leader(
+    cfg: &LoadgenConfig,
+    hint: Option<String>,
+    failovers: &mut usize,
+) -> Result<Client, String> {
+    *failovers += 1;
+    if *failovers > MAX_FAILOVERS {
+        return Err(format!(
+            "gave up after {MAX_FAILOVERS} not-leader failovers; no stable leader"
+        ));
+    }
+    let mut targets: Vec<&str> = Vec::new();
+    if let Some(addr) = hint.as_deref() {
+        targets.push(addr);
+    }
+    targets.push(cfg.addr.as_str());
+    targets.extend(cfg.addrs.iter().map(String::as_str));
+    let deadline = Instant::now() + Duration::from_millis(5_000);
+    loop {
+        for addr in &targets {
+            if let Ok(client) = Client::connect_with_timeout(addr, Duration::from_millis(500)) {
+                return Ok(client);
+            }
+        }
+        if Instant::now() > deadline {
+            return Err(format!("no daemon reachable at any of {targets:?}"));
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
 struct InFlight {
     submitted_us: u64,
     predicted_runtime: f64,
@@ -215,6 +258,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
     let mut admitted = 0usize;
     let mut completed = 0usize;
     let mut retries = 0usize;
+    let mut failovers = 0usize;
 
     while let Some(Reverse((due_us, _, action))) = heap.pop() {
         let now_us = start.elapsed().as_micros() as u64;
@@ -270,6 +314,16 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
                         let now = start.elapsed().as_micros() as u64;
                         push(&mut heap, now + delay_ms * 1_000, Action::Submit(i));
                     }
+                    Reply::Error {
+                        kind: ErrorKind::NotLeader,
+                        leader,
+                        ..
+                    } => {
+                        let hint = leader.and_then(|h| h.leader_addr);
+                        client = follow_leader(cfg, hint, &mut failovers)?;
+                        let now = start.elapsed().as_micros() as u64;
+                        push(&mut heap, now, Action::Submit(i));
+                    }
                     Reply::Error { kind, message, .. } => {
                         return Err(format!("submit rejected ({}): {message}", kind.as_str()))
                     }
@@ -279,8 +333,20 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
                 let reply = client
                     .request(Request::TaskInfo { task })
                     .map_err(|e| format!("poll: {e}"))?;
-                let Reply::Ok { result, .. } = reply else {
-                    return Err(format!("poll of task {task} failed"));
+                let result = match reply {
+                    Reply::Ok { result, .. } => result,
+                    Reply::Error {
+                        kind: ErrorKind::NotLeader,
+                        leader,
+                        ..
+                    } => {
+                        let hint = leader.and_then(|h| h.leader_addr);
+                        client = follow_leader(cfg, hint, &mut failovers)?;
+                        let now = start.elapsed().as_micros() as u64;
+                        push(&mut heap, now + cfg.poll_ms * 1_000, Action::Poll(task));
+                        continue;
+                    }
+                    _ => return Err(format!("poll of task {task} failed")),
                 };
                 let now = start.elapsed().as_micros() as u64;
                 match result.get("state").and_then(Value::as_str) {
@@ -331,6 +397,17 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
                             push(&mut heap, now, Action::Submit(next_arrival));
                             next_arrival += 1;
                         }
+                    }
+                    Reply::Error {
+                        kind: ErrorKind::NotLeader,
+                        leader,
+                        ..
+                    } => {
+                        let hint = leader.and_then(|h| h.leader_addr);
+                        client = follow_leader(cfg, hint, &mut failovers)?;
+                        in_flight.insert(task, entry);
+                        let now = start.elapsed().as_micros() as u64;
+                        push(&mut heap, now, Action::Complete(task));
                     }
                     Reply::Error { kind, message, .. } => {
                         return Err(format!(
@@ -465,6 +542,9 @@ pub struct ChaosReport {
     pub connection_kills: usize,
     /// Successful (re)connects, including the first.
     pub reconnects: usize,
+    /// `not_leader` refusals absorbed by reconnecting to the hinted (or
+    /// next listed) address — expected when a follower takes over.
+    pub not_leader_redirects: usize,
     /// Probe replies that were not the expected structured error.
     pub unexpected_replies: usize,
     /// Conservation checks performed against `status`.
@@ -488,7 +568,8 @@ impl ChaosReport {
         format!(
             "chaos: {} submits acked ({} ambiguous, {} backpressure), \
              {} completions ({} refused, {} ambiguous), {} orphaned\n\
-             probes: {} garbage, {} oversized, {} partial frames, {} kills, {} reconnects, {} unexpected replies\n\
+             probes: {} garbage, {} oversized, {} partial frames, {} kills, {} reconnects, \
+             {} not-leader redirects, {} unexpected replies\n\
              conservation: {}/{} checks ok, settled: {} \
              (admitted {}, completed {}, dead-lettered {})\n\
              verdict: {}\n",
@@ -504,6 +585,7 @@ impl ChaosReport {
             self.partial_frames,
             self.connection_kills,
             self.reconnects,
+            self.not_leader_redirects,
             self.unexpected_replies,
             self.conservation_checks - self.conservation_violations,
             self.conservation_checks,
@@ -539,12 +621,16 @@ impl WireStatus {
 
 fn connect_failover(
     addrs: &[String],
+    preferred: Option<&str>,
     timeout_ms: u64,
     reconnects: &mut usize,
 ) -> Result<Client, String> {
     let deadline = Instant::now() + Duration::from_millis(timeout_ms.max(1));
     loop {
-        for addr in addrs {
+        // The believed leader first (a `not_leader` hint), then the
+        // configured list in order.
+        let preferred = preferred.into_iter();
+        for addr in preferred.chain(addrs.iter().map(String::as_str)) {
             if let Ok(client) = Client::connect_with_timeout(addr, Duration::from_secs(2)) {
                 *reconnects += 1;
                 return Ok(client);
@@ -591,9 +677,20 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
         return Err("chaos mode needs at least one request".to_string());
     }
     let mut report = ChaosReport::default();
-    let reconnect =
-        |reconnects: &mut usize| connect_failover(&cfg.addrs, cfg.reconnect_timeout_ms, reconnects);
-    let mut client = reconnect(&mut report.reconnects)?;
+    // The address a `not_leader` refusal pointed at; reconnects try it
+    // before walking the configured list.
+    let mut leader_hint: Option<String> = None;
+    macro_rules! reconnect {
+        () => {
+            connect_failover(
+                &cfg.addrs,
+                leader_hint.as_deref(),
+                cfg.reconnect_timeout_ms,
+                &mut report.reconnects,
+            )?
+        };
+    }
+    let mut client = reconnect!();
     let apps = fetch_apps(&mut client)?;
     if apps.is_empty() {
         return Err("daemon reports no profiled applications".to_string());
@@ -607,14 +704,14 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
     for i in 0..cfg.requests {
         if every(cfg.kill_every, i) {
             report.connection_kills += 1;
-            client = reconnect(&mut report.reconnects)?;
+            client = reconnect!();
         }
         if every(cfg.partial_every, i) {
             // Leave a torn frame on the wire, then vanish.
             let _ = client.send_raw_bytes(b"{\"v\":1,\"op\":\"subm");
             report.partial_frames += 1;
             report.connection_kills += 1;
-            client = reconnect(&mut report.reconnects)?;
+            client = reconnect!();
         }
         if every(cfg.garbage_every, i) {
             match client.raw_roundtrip("\u{1}garbage ][ not json \u{7f}") {
@@ -625,7 +722,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
                     }
                 }
                 Err(_) => {
-                    client = reconnect(&mut report.reconnects)?;
+                    client = reconnect!();
                 }
             }
         }
@@ -646,7 +743,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
                     }
                 }
                 Err(_) => {
-                    client = reconnect(&mut report.reconnects)?;
+                    client = reconnect!();
                 }
             }
         }
@@ -680,12 +777,26 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
                 kind: ErrorKind::Draining,
                 ..
             }) => break,
+            Ok(Reply::Error {
+                kind: ErrorKind::NotLeader,
+                leader,
+                ..
+            }) => {
+                // This node is a follower or has been fenced by a
+                // promotion. Chase the hint; the refused submit is not
+                // retried (it was unambiguously not admitted).
+                report.not_leader_redirects += 1;
+                if let Some(addr) = leader.and_then(|h| h.leader_addr) {
+                    leader_hint = Some(addr);
+                }
+                client = reconnect!();
+            }
             Ok(Reply::Error { .. }) => report.unexpected_replies += 1,
             Err(_) => {
                 // The reply is gone; the admission may have landed. Never
                 // retried — the server-side invariant covers both fates.
                 report.ambiguous_submits += 1;
-                client = reconnect(&mut report.reconnects)?;
+                client = reconnect!();
             }
         }
 
@@ -700,12 +811,35 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
                 runtime,
                 iops,
             };
-            match client.request(complete) {
+            match client.request(complete.clone()) {
                 Ok(Reply::Ok { .. }) => report.completions_acked += 1,
+                Ok(Reply::Error {
+                    kind: ErrorKind::NotLeader,
+                    leader,
+                    ..
+                }) => {
+                    // Redirect and retry the completion exactly once on
+                    // the believed leader; a second refusal is terminal
+                    // (a promoted leader requeued the task, so the old
+                    // lease is gone — that is the expected outcome).
+                    report.not_leader_redirects += 1;
+                    if let Some(addr) = leader.and_then(|h| h.leader_addr) {
+                        leader_hint = Some(addr);
+                    }
+                    client = reconnect!();
+                    match client.request(complete) {
+                        Ok(Reply::Ok { .. }) => report.completions_acked += 1,
+                        Ok(Reply::Error { .. }) => report.completion_refusals += 1,
+                        Err(_) => {
+                            report.ambiguous_completes += 1;
+                            client = reconnect!();
+                        }
+                    }
+                }
                 Ok(Reply::Error { .. }) => report.completion_refusals += 1,
                 Err(_) => {
                     report.ambiguous_completes += 1;
-                    client = reconnect(&mut report.reconnects)?;
+                    client = reconnect!();
                 }
             }
         }
@@ -719,7 +853,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
                     }
                 }
                 Err(_) => {
-                    client = reconnect(&mut report.reconnects)?;
+                    client = reconnect!();
                 }
             }
         }
@@ -734,12 +868,31 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
             runtime,
             iops,
         };
-        match client.request(complete) {
+        match client.request(complete.clone()) {
             Ok(Reply::Ok { .. }) => report.completions_acked += 1,
+            Ok(Reply::Error {
+                kind: ErrorKind::NotLeader,
+                leader,
+                ..
+            }) => {
+                report.not_leader_redirects += 1;
+                if let Some(addr) = leader.and_then(|h| h.leader_addr) {
+                    leader_hint = Some(addr);
+                }
+                client = reconnect!();
+                match client.request(complete) {
+                    Ok(Reply::Ok { .. }) => report.completions_acked += 1,
+                    Ok(Reply::Error { .. }) => report.completion_refusals += 1,
+                    Err(_) => {
+                        report.ambiguous_completes += 1;
+                        client = reconnect!();
+                    }
+                }
+            }
             Ok(Reply::Error { .. }) => report.completion_refusals += 1,
             Err(_) => {
                 report.ambiguous_completes += 1;
-                client = reconnect(&mut report.reconnects)?;
+                client = reconnect!();
             }
         }
     }
@@ -762,7 +915,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
                 }
             }
             Err(_) => {
-                client = reconnect(&mut report.reconnects)?;
+                client = reconnect!();
             }
         }
         if Instant::now() > deadline {

@@ -49,6 +49,9 @@ pub struct Metrics {
     pub dead_letters: AtomicU64,
     /// Records appended to the write-ahead log.
     pub wal_records: AtomicU64,
+    /// Successful group-commit fsyncs (one per `append_batch`, however
+    /// many records it carried).
+    pub wal_fsyncs: AtomicU64,
     /// Records replayed from the log during crash recovery.
     pub wal_replayed_records: AtomicU64,
     /// Snapshot compactions written.
@@ -66,6 +69,13 @@ pub struct Metrics {
     /// Currently running (placed, not yet completed) tasks, summed over
     /// shards (gauge).
     pub running: AtomicU64,
+    /// Frames the slowest replica still has to pull, max over shards
+    /// (gauge; 0 when replication is off or fully caught up).
+    pub repl_lag_frames: AtomicU64,
+    /// Current replication epoch (gauge; 0 when replication is off).
+    pub repl_epoch: AtomicU64,
+    /// Replication role: 0 = leader, 1 = follower, 2 = fenced (gauge).
+    pub repl_role: AtomicU64,
     /// Per-shard gauge vectors (length = shard count, 1 by default).
     shard_gauges: Vec<ShardGauges>,
     /// Cumulative dispatch-latency histogram counts per bucket.
@@ -212,6 +222,26 @@ impl Metrics {
         );
         counter(
             &mut out,
+            "wal_fsyncs_total",
+            "Successful WAL group-commit fsyncs (one per append batch).",
+            self.wal_fsyncs.load(Ordering::Relaxed),
+        );
+        // Derived gauge: mean records per group-commit fsync, the batch
+        // amortization the reactor's batching actually achieved.
+        {
+            let records = self.wal_records.load(Ordering::Relaxed);
+            let fsyncs = self.wal_fsyncs.load(Ordering::Relaxed);
+            let mean = if fsyncs == 0 {
+                0.0
+            } else {
+                records as f64 / fsyncs as f64
+            };
+            out.push_str(&format!(
+                "# HELP tracond_wal_records_per_fsync Mean WAL records per group-commit fsync.\n# TYPE tracond_wal_records_per_fsync gauge\ntracond_wal_records_per_fsync {mean}\n"
+            ));
+        }
+        counter(
+            &mut out,
             "wal_replayed_records_total",
             "Log records replayed during crash recovery.",
             self.wal_replayed_records.load(Ordering::Relaxed),
@@ -257,6 +287,24 @@ impl Metrics {
             "running_tasks",
             "Tasks currently placed on a VM and not yet completed.",
             self.running.load(Ordering::Relaxed),
+        );
+        gauge(
+            &mut out,
+            "repl_lag_frames",
+            "WAL frames the slowest replica still has to pull (max over shards).",
+            self.repl_lag_frames.load(Ordering::Relaxed),
+        );
+        gauge(
+            &mut out,
+            "repl_epoch",
+            "Current replication epoch (0 when replication is off).",
+            self.repl_epoch.load(Ordering::Relaxed),
+        );
+        gauge(
+            &mut out,
+            "repl_role",
+            "Replication role: 0 leader, 1 follower, 2 fenced.",
+            self.repl_role.load(Ordering::Relaxed),
         );
         // Per-shard gauge vectors, one labeled series per shard.
         for (name, help, read) in [
@@ -344,6 +392,7 @@ mod tests {
         m.wal_snapshots.fetch_add(6, Ordering::Relaxed);
         m.wal_errors.fetch_add(7, Ordering::Relaxed);
         m.rebuild_failures.fetch_add(8, Ordering::Relaxed);
+        m.wal_fsyncs.fetch_add(2, Ordering::Relaxed);
         let text = m.render_prometheus();
         for pinned in [
             "tracond_lease_expiries_total 1",
@@ -354,6 +403,29 @@ mod tests {
             "tracond_wal_snapshots_total 6",
             "tracond_wal_errors_total 7",
             "tracond_rebuild_failures_total 8",
+            "tracond_wal_fsyncs_total 2",
+            // 4 records over 2 fsyncs: the derived batch-size gauge.
+            "tracond_wal_records_per_fsync 2",
+        ] {
+            assert!(text.contains(pinned), "missing series: {pinned}\n{text}");
+        }
+    }
+
+    /// Same pinning contract for the replication series: the failover CI
+    /// job and the README HA walkthrough grep for these names.
+    #[test]
+    fn replication_metric_names_are_pinned() {
+        let m = Metrics::new();
+        m.repl_lag_frames.store(17, Ordering::Relaxed);
+        m.repl_epoch.store(3, Ordering::Relaxed);
+        m.repl_role.store(1, Ordering::Relaxed);
+        let text = m.render_prometheus();
+        for pinned in [
+            "tracond_repl_lag_frames 17",
+            "tracond_repl_epoch 3",
+            "tracond_repl_role 1",
+            // No fsyncs yet: the derived gauge must render 0, not NaN.
+            "tracond_wal_records_per_fsync 0",
         ] {
             assert!(text.contains(pinned), "missing series: {pinned}\n{text}");
         }

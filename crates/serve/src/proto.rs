@@ -57,6 +57,29 @@ pub enum Request {
     Drain,
     /// Stop immediately, abandoning queued and running tasks.
     Shutdown,
+    /// Replication: a follower asks the leader for WAL frames past its
+    /// cursor on one shard. Served inline by the reactor, never routed to
+    /// a scheduler shard.
+    ReplPull {
+        /// Highest leader epoch the follower has observed. A pull carrying
+        /// a *newer* epoch than the receiver's own fences the receiver.
+        epoch: u64,
+        /// WAL shard the cursor addresses.
+        shard: usize,
+        /// Index of the next frame the follower wants (0-based, monotone
+        /// over the leader's shipped history for that shard).
+        cursor: u64,
+        /// The follower's own protocol address, echoed into `not_leader`
+        /// hints once the follower promotes.
+        addr: String,
+    },
+    /// Replication: a newly promoted leader fences its predecessor.
+    ReplLease {
+        /// The claimant's epoch; receivers with an older epoch step down.
+        epoch: u64,
+        /// Protocol address of the claimant, for redirect hints.
+        leader_addr: String,
+    },
 }
 
 /// A request together with its echoed client id.
@@ -90,6 +113,9 @@ pub enum ErrorKind {
     /// The request line exceeded the daemon's frame bound; the rest of
     /// the line is discarded but the connection stays open.
     FrameTooLarge,
+    /// This node is not the replication leader; mutating requests carry a
+    /// `leader_addr`/`epoch` hint naming where to go instead.
+    NotLeader,
 }
 
 impl ErrorKind {
@@ -105,6 +131,7 @@ impl ErrorKind {
             ErrorKind::UnknownApp => "unknown-app",
             ErrorKind::UnknownTask => "unknown-task",
             ErrorKind::FrameTooLarge => "frame-too-large",
+            ErrorKind::NotLeader => "not-leader",
         }
     }
 
@@ -121,9 +148,22 @@ impl ErrorKind {
             "unknown-app" => ErrorKind::UnknownApp,
             "unknown-task" => ErrorKind::UnknownTask,
             "frame-too-large" => ErrorKind::FrameTooLarge,
+            "not-leader" => ErrorKind::NotLeader,
             _ => return None,
         })
     }
+}
+
+/// Redirect hint carried by [`ErrorKind::NotLeader`] errors: where the
+/// current leader (as far as the refusing node knows) lives, and at what
+/// epoch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LeaderHint {
+    /// Protocol address of the believed leader. `None` when the node is
+    /// fenced but has not yet heard who outranked it.
+    pub leader_addr: Option<String>,
+    /// The refusing node's view of the current replication epoch.
+    pub epoch: u64,
 }
 
 /// A daemon reply, one line on the wire.
@@ -146,6 +186,8 @@ pub enum Reply {
         message: String,
         /// Backpressure hint: retry after this many milliseconds.
         retry_after_ms: Option<u64>,
+        /// `not_leader` redirect hint; `None` for every other kind.
+        leader: Option<LeaderHint>,
     },
 }
 
@@ -162,6 +204,7 @@ impl Reply {
             kind,
             message: message.into(),
             retry_after_ms: None,
+            leader: None,
         }
     }
 
@@ -176,6 +219,20 @@ impl Reply {
             kind: ErrorKind::Backpressure,
             message: message.into(),
             retry_after_ms: Some(retry_after_ms),
+            leader: None,
+        }
+    }
+
+    /// Build a `not_leader` refusal pointing the client at the believed
+    /// leader.
+    pub fn not_leader(id: Option<String>, leader_addr: Option<String>, epoch: u64) -> Reply {
+        let target = leader_addr.as_deref().unwrap_or("unknown");
+        Reply::Error {
+            id,
+            kind: ErrorKind::NotLeader,
+            message: format!("this node is not the leader (epoch {epoch}, try {target})"),
+            retry_after_ms: None,
+            leader: Some(LeaderHint { leader_addr, epoch }),
         }
     }
 }
@@ -218,6 +275,23 @@ pub fn encode_request(envelope: &Envelope) -> String {
         }
         Request::Drain => pairs.push(("op", s("drain"))),
         Request::Shutdown => pairs.push(("op", s("shutdown"))),
+        Request::ReplPull {
+            epoch,
+            shard,
+            cursor,
+            addr,
+        } => {
+            pairs.push(("op", s("repl_pull")));
+            pairs.push(("epoch", n(*epoch as f64)));
+            pairs.push(("shard", n(*shard as f64)));
+            pairs.push(("cursor", n(*cursor as f64)));
+            pairs.push(("addr", s(addr.clone())));
+        }
+        Request::ReplLease { epoch, leader_addr } => {
+            pairs.push(("op", s("repl_lease")));
+            pairs.push(("epoch", n(*epoch as f64)));
+            pairs.push(("leader_addr", s(leader_addr.clone())));
+        }
     }
     obj(pairs).to_string()
 }
@@ -383,6 +457,36 @@ pub fn decode_request(line: &str) -> Result<Envelope, DecodeError> {
         },
         "drain" => Request::Drain,
         "shutdown" => Request::Shutdown,
+        "repl_pull" => Request::ReplPull {
+            epoch: field_u64(&doc, &id, "epoch")?,
+            shard: field_u64(&doc, &id, "shard")? as usize,
+            cursor: field_u64(&doc, &id, "cursor")?,
+            addr: match doc.get("addr").and_then(Value::as_str) {
+                Some(addr) if !addr.is_empty() => addr.to_string(),
+                _ => {
+                    return Err(DecodeError {
+                        id,
+                        kind: ErrorKind::BadField,
+                        message: "missing or invalid 'addr' (expected non-empty string)"
+                            .to_string(),
+                    })
+                }
+            },
+        },
+        "repl_lease" => Request::ReplLease {
+            epoch: field_u64(&doc, &id, "epoch")?,
+            leader_addr: match doc.get("leader_addr").and_then(Value::as_str) {
+                Some(addr) if !addr.is_empty() => addr.to_string(),
+                _ => {
+                    return Err(DecodeError {
+                        id,
+                        kind: ErrorKind::BadField,
+                        message: "missing or invalid 'leader_addr' (expected non-empty string)"
+                            .to_string(),
+                    })
+                }
+            },
+        },
         other => {
             return Err(DecodeError {
                 id,
@@ -409,10 +513,17 @@ pub fn encode_reply(reply: &Reply) -> String {
             kind,
             message,
             retry_after_ms,
+            leader,
         } => {
             let mut error = vec![("kind", s(kind.as_str())), ("message", s(message.clone()))];
             if let Some(ms) = retry_after_ms {
                 error.push(("retry_after_ms", n(*ms as f64)));
+            }
+            if let Some(hint) = leader {
+                if let Some(addr) = &hint.leader_addr {
+                    error.push(("leader_addr", s(addr.clone())));
+                }
+                error.push(("epoch", n(hint.epoch as f64)));
             }
             obj(vec![
                 ("v", n(PROTOCOL_VERSION as f64)),
@@ -450,11 +561,22 @@ pub fn decode_reply(line: &str) -> Result<Reply, String> {
                 .unwrap_or("")
                 .to_string();
             let retry_after_ms = error.get("retry_after_ms").and_then(Value::as_u64);
+            let leader = error
+                .get("epoch")
+                .and_then(Value::as_u64)
+                .map(|epoch| LeaderHint {
+                    leader_addr: error
+                        .get("leader_addr")
+                        .and_then(Value::as_str)
+                        .map(str::to_string),
+                    epoch,
+                });
             Ok(Reply::Error {
                 id,
                 kind,
                 message,
                 retry_after_ms,
+                leader,
             })
         }
         None => Err("reply without boolean 'ok' field".to_string()),
@@ -586,9 +708,58 @@ mod tests {
             ErrorKind::UnknownApp,
             ErrorKind::UnknownTask,
             ErrorKind::FrameTooLarge,
+            ErrorKind::NotLeader,
         ] {
             assert_eq!(ErrorKind::from_str(kind.as_str()), Some(kind));
         }
         assert_eq!(ErrorKind::from_str("nope"), None);
+    }
+
+    #[test]
+    fn repl_requests_roundtrip() {
+        for request in [
+            Request::ReplPull {
+                epoch: 3,
+                shard: 1,
+                cursor: 4096,
+                addr: "127.0.0.1:7431".to_string(),
+            },
+            Request::ReplLease {
+                epoch: 4,
+                leader_addr: "127.0.0.1:7432".to_string(),
+            },
+        ] {
+            let envelope = Envelope {
+                id: Some("r-1".to_string()),
+                request,
+            };
+            let line = encode_request(&envelope);
+            assert_eq!(decode_request(&line).unwrap(), envelope);
+        }
+        let e =
+            decode_request("{\"v\":2,\"op\":\"repl_pull\",\"epoch\":1,\"shard\":0,\"cursor\":0}")
+                .unwrap_err();
+        assert_eq!(e.kind, ErrorKind::BadField);
+        let e = decode_request("{\"v\":2,\"op\":\"repl_lease\",\"epoch\":1}").unwrap_err();
+        assert_eq!(e.kind, ErrorKind::BadField);
+    }
+
+    #[test]
+    fn not_leader_reply_carries_redirect_hint() {
+        let reply = Reply::not_leader(Some("s-2".to_string()), Some("127.0.0.1:7431".into()), 7);
+        let line = encode_reply(&reply);
+        assert!(
+            line.contains("\"leader_addr\":\"127.0.0.1:7431\""),
+            "{line}"
+        );
+        assert!(line.contains("\"epoch\":7"), "{line}");
+        assert_eq!(decode_reply(&line).unwrap(), reply);
+
+        // A fenced node that has not yet heard the new leader's address
+        // still names the epoch that outranked it.
+        let reply = Reply::not_leader(None, None, 9);
+        let line = encode_reply(&reply);
+        assert!(!line.contains("leader_addr"), "{line}");
+        assert_eq!(decode_reply(&line).unwrap(), reply);
     }
 }

@@ -48,8 +48,10 @@ use crate::daemon::NetConfig;
 use crate::json::{n, obj, s, Value};
 use crate::metrics::Metrics;
 use crate::proto::{self, ErrorKind, Reply, Request};
-use crate::shard::{route_app, route_name, stride_shard};
+use crate::repl::{ReplState, Role};
+use crate::shard::{route_app, route_name, stride_shard, HomedTask};
 use crate::state::{StatusSnapshot, StolenTask};
+use crate::wal::Wal;
 
 /// Queue-depth gap between the deepest and shallowest shard before the
 /// reactor triggers a work-steal rebalance pass.
@@ -106,6 +108,18 @@ pub(crate) enum ShardMsg {
         from: usize,
         /// The stolen tasks.
         tasks: Vec<StolenTask>,
+    },
+    /// A follower promoted to leader: adopt the recovered state and the
+    /// now-writable WAL. Sent exactly once per shard, before the role
+    /// flip, so channel FIFO order guarantees it lands ahead of any
+    /// ungated client request.
+    Promote {
+        /// The shard's recovered, append-ready WAL.
+        wal: Wal,
+        /// Recovered tasks homed to this shard.
+        tasks: Vec<HomedTask>,
+        /// Global `next_task_id` high-water mark across all shards.
+        next_task_id: u64,
     },
 }
 
@@ -334,6 +348,8 @@ pub(crate) struct ReactorConfig {
     pub metrics: Arc<Metrics>,
     /// Profiled application name -> interned id, for decode-time routing.
     pub app_ids: HashMap<String, AppId>,
+    /// Replication state; `None` disables `repl_*` requests and gating.
+    pub repl: Option<Arc<ReplState>>,
 }
 
 /// Run the reactor event loop until shutdown. Consumes the config; the
@@ -352,6 +368,10 @@ struct Reactor {
     draining: Arc<AtomicBool>,
     metrics: Arc<Metrics>,
     app_ids: HashMap<String, AppId>,
+    repl: Option<Arc<ReplState>>,
+    /// Per-shard replication lag (`ship_next - follower cursor`) from the
+    /// latest served pull; the max is exported as `repl_lag_frames`.
+    repl_lag: Vec<u64>,
 
     conns: HashMap<u64, Conn>,
     next_conn: u64,
@@ -371,6 +391,7 @@ struct Reactor {
 
 impl Reactor {
     fn new(cfg: ReactorConfig) -> Reactor {
+        let repl_lag = vec![0u64; cfg.shard_txs.len()];
         Reactor {
             listener: cfg.listener,
             net: cfg.net,
@@ -381,6 +402,8 @@ impl Reactor {
             draining: cfg.draining,
             metrics: cfg.metrics,
             app_ids: cfg.app_ids,
+            repl: cfg.repl,
+            repl_lag,
             conns: HashMap::new(),
             next_conn: 0,
             aggs: HashMap::new(),
@@ -639,7 +662,24 @@ impl Reactor {
                 self.complete(id, seq, line);
                 self.begin_stop();
             }
+            Request::ReplPull {
+                epoch,
+                shard,
+                cursor,
+                addr,
+            } => {
+                let line = self.serve_repl_pull(req_id, epoch, shard, cursor, &addr);
+                self.complete(id, seq, line);
+            }
+            Request::ReplLease { epoch, leader_addr } => {
+                let line = self.serve_repl_lease(req_id, epoch, leader_addr);
+                self.complete(id, seq, line);
+            }
             Request::Submit { app, demand } => {
+                if let Some(line) = self.refuse_if_not_leader(&req_id) {
+                    self.complete(id, seq, line);
+                    return;
+                }
                 let shard = match self.app_ids.get(&app) {
                     Some(&app_id) => route_app(app_id, self.shards()),
                     None => route_name(&app, self.shards()),
@@ -656,6 +696,12 @@ impl Reactor {
                 );
             }
             request @ (Request::Complete { .. } | Request::TaskInfo { .. }) => {
+                if matches!(request, Request::Complete { .. }) {
+                    if let Some(line) = self.refuse_if_not_leader(&req_id) {
+                        self.complete(id, seq, line);
+                        return;
+                    }
+                }
                 let task = match &request {
                     Request::Complete { task, .. } | Request::TaskInfo { task } => *task,
                     _ => unreachable!(),
@@ -682,6 +728,90 @@ impl Reactor {
     fn send_shard(&mut self, shard: usize, msg: ShardMsg) {
         // A dead worker only happens during shutdown; the reply is moot.
         let _ = self.shard_txs[shard].send(msg);
+    }
+
+    /// When replication is on and this node is not the leader, the
+    /// rendered `not_leader` refusal for a mutating request.
+    fn refuse_if_not_leader(&self, req_id: &Option<String>) -> Option<String> {
+        let repl = self.repl.as_ref()?;
+        if repl.role() == Role::Leader {
+            return None;
+        }
+        let reply = Reply::not_leader(req_id.clone(), repl.leader_addr(), repl.epoch());
+        Some(proto::encode_reply(&reply))
+    }
+
+    /// Serve one follower pull: fence on a newer epoch, refuse when not
+    /// leader, otherwise hand back a chunk from the ship log and record
+    /// the follower's lag.
+    fn serve_repl_pull(
+        &mut self,
+        req_id: Option<String>,
+        epoch: u64,
+        shard: usize,
+        cursor: u64,
+        _addr: &str,
+    ) -> String {
+        let Some(repl) = self.repl.as_ref() else {
+            let reply = Reply::error(
+                req_id,
+                ErrorKind::Malformed,
+                "replication is not enabled on this node".to_string(),
+            );
+            return proto::encode_reply(&reply);
+        };
+        // A pull stamped with a higher epoch proves a promotion happened
+        // while this node thought it was still leading: step down first.
+        if epoch > repl.epoch() {
+            repl.fence(epoch, None);
+        }
+        if repl.role() != Role::Leader {
+            let reply = Reply::not_leader(req_id, repl.leader_addr(), repl.epoch());
+            return proto::encode_reply(&reply);
+        }
+        if shard >= self.shards() {
+            let reply = Reply::error(
+                req_id,
+                ErrorKind::Malformed,
+                format!("shard {shard} out of range (shards={})", self.shards()),
+            );
+            return proto::encode_reply(&reply);
+        }
+        let chunk = repl.ship().pull(shard, cursor);
+        if let Some(slot) = self.repl_lag.get_mut(shard) {
+            *slot = chunk.ship_next.saturating_sub(chunk.next);
+        }
+        let lag = self.repl_lag.iter().copied().max().unwrap_or(0);
+        self.metrics.repl_lag_frames.store(lag, Ordering::Relaxed);
+        let payload = crate::repl::encode_pull_chunk(repl.epoch(), repl.boot(), shard, &chunk);
+        proto::encode_reply(&Reply::ok(req_id, payload))
+    }
+
+    /// Serve a promoted peer's lease claim: an equal-or-newer epoch
+    /// fences this node and records the claimant as the leader to
+    /// redirect clients to.
+    fn serve_repl_lease(
+        &mut self,
+        req_id: Option<String>,
+        epoch: u64,
+        leader_addr: String,
+    ) -> String {
+        let Some(repl) = self.repl.as_ref() else {
+            let reply = Reply::error(
+                req_id,
+                ErrorKind::Malformed,
+                "replication is not enabled on this node".to_string(),
+            );
+            return proto::encode_reply(&reply);
+        };
+        if epoch >= repl.epoch() && repl.role() == Role::Leader {
+            repl.fence(epoch, Some(leader_addr));
+        }
+        let payload = obj(vec![
+            ("epoch", n(repl.epoch() as f64)),
+            ("role", s(repl.role().as_str())),
+        ]);
+        proto::encode_reply(&Reply::ok(req_id, payload))
     }
 
     fn start_agg(&mut self, conn: u64, seq: u64, id: Option<String>, drain: bool) {

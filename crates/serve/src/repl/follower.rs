@@ -1,0 +1,465 @@
+//! Follower-side replication: the pure pull/lease state machine
+//! ([`FollowerCore`]) and the thread that drives it against a live
+//! leader ([`run_follower`]), including automatic promotion.
+//!
+//! The core is deliberately free of clocks, sockets, and files — time is
+//! a `u64` of caller-supplied milliseconds and replies arrive as decoded
+//! chunks — so the deterministic [`crate::repl::sim`] harness and the
+//! real thread run the exact same election/lease logic.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tracon_core::AppId;
+
+use crate::client::Client;
+use crate::proto::{ErrorKind, Reply, Request};
+use crate::reactor::ShardMsg;
+use crate::repl::{decode_pull_chunk, write_epoch, ReplState, Role};
+use crate::shard::{recover_dir, route_app, HomedTask};
+use crate::wal::Wal;
+
+/// Static configuration for a follower node.
+#[derive(Debug, Clone)]
+pub struct FollowerConfig {
+    /// The leader's protocol address (`--replica-of`).
+    pub leader_addr: String,
+    /// This node's own protocol address, echoed in pulls and used as the
+    /// redirect target once promoted.
+    pub self_addr: String,
+    /// WAL directory (shard logs + `repl.epoch` sidecar).
+    pub dir: PathBuf,
+    /// Shard count (must match the leader's).
+    pub shards: usize,
+    /// Snapshot cadence handed to promoted WAL handles.
+    pub snapshot_every: u64,
+    /// Lease TTL: no successful pull for this long promotes the follower.
+    pub ttl_ms: u64,
+    /// Pull cadence.
+    pub poll_ms: u64,
+}
+
+/// What the caller should do with one decoded pull reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkAction {
+    /// Install the snapshot (if any) and append the frames.
+    Apply {
+        /// The leader's epoch advanced; persist it before applying.
+        epoch_changed: bool,
+    },
+    /// The leader rebooted (boot nonce changed): cursors were reset to
+    /// zero, discard this chunk and re-pull from scratch.
+    Reset,
+    /// Reply from an older epoch than one already observed; discard.
+    Stale,
+}
+
+/// The pure follower state machine: epoch tracking, per-shard cursors,
+/// and the leader lease.
+#[derive(Debug)]
+pub struct FollowerCore {
+    epoch: u64,
+    cursors: Vec<u64>,
+    /// Boot nonce of the leader incarnation the cursors refer to.
+    boot: Option<u64>,
+    last_contact_ms: u64,
+    ttl_ms: u64,
+    /// At least one pull succeeded. A follower that never reached the
+    /// leader may not promote: promotion safety rests on the claimed
+    /// epoch exceeding the leader's, which requires having observed it.
+    synced: bool,
+}
+
+impl FollowerCore {
+    /// A fresh follower at `epoch` (its durable sidecar value; 0 for a
+    /// brand-new node) whose lease clock starts at `now_ms`.
+    pub fn new(shards: usize, epoch: u64, ttl_ms: u64, now_ms: u64) -> FollowerCore {
+        FollowerCore {
+            epoch,
+            cursors: vec![0; shards.max(1)],
+            boot: None,
+            last_contact_ms: now_ms,
+            ttl_ms,
+            synced: false,
+        }
+    }
+
+    /// Last observed leader epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// One shard's pull cursor.
+    pub fn cursor(&self, shard: usize) -> u64 {
+        self.cursors.get(shard).copied().unwrap_or(0)
+    }
+
+    /// Whether a successful pull has ever happened.
+    pub fn synced(&self) -> bool {
+        self.synced
+    }
+
+    /// Build the next pull request for `shard`.
+    pub fn pull_request(&self, shard: usize, self_addr: &str) -> Request {
+        Request::ReplPull {
+            epoch: self.epoch,
+            shard,
+            cursor: self.cursor(shard),
+            addr: self_addr.to_string(),
+        }
+    }
+
+    /// Digest one pull reply's header; mutates cursor/epoch/lease state
+    /// and says what to do with the chunk body.
+    pub fn on_chunk(
+        &mut self,
+        shard: usize,
+        leader_epoch: u64,
+        leader_boot: u64,
+        next: u64,
+        now_ms: u64,
+    ) -> ChunkAction {
+        if leader_epoch < self.epoch {
+            return ChunkAction::Stale;
+        }
+        let epoch_changed = leader_epoch > self.epoch;
+        let rebooted = self.boot.is_some_and(|b| b != leader_boot);
+        self.boot = Some(leader_boot);
+        self.epoch = leader_epoch;
+        self.last_contact_ms = now_ms;
+        self.synced = true;
+        if rebooted {
+            // Ship sequence numbers restart with the leader process;
+            // cursors from the previous incarnation are meaningless.
+            for cursor in &mut self.cursors {
+                *cursor = 0;
+            }
+            return ChunkAction::Reset;
+        }
+        if let Some(cursor) = self.cursors.get_mut(shard) {
+            *cursor = next;
+        }
+        ChunkAction::Apply { epoch_changed }
+    }
+
+    /// The leader's lease has lapsed: synced at least once and silent
+    /// for the TTL.
+    pub fn lease_lapsed(&self, now_ms: u64) -> bool {
+        self.synced && now_ms.saturating_sub(self.last_contact_ms) >= self.ttl_ms
+    }
+
+    /// The epoch this node would claim on promotion: strictly greater
+    /// than every epoch the old leader served at (it cannot have served
+    /// at a higher one without this follower or its successor observing
+    /// it — epochs only change on promotions, which are durably claimed
+    /// before serving).
+    pub fn claim_epoch(&self) -> u64 {
+        self.epoch + 1
+    }
+}
+
+/// Everything the follower thread borrows from the daemon.
+pub(crate) struct FollowerRuntime {
+    /// The follower's open WAL handles (one per shard); surrendered to
+    /// the shard workers at promotion.
+    pub wals: Vec<Wal>,
+    /// Shared replication state.
+    pub repl: Arc<ReplState>,
+    /// Per-shard worker channels (for `ShardMsg::Promote`).
+    pub shard_txs: Vec<Sender<ShardMsg>>,
+    /// Profiled app name -> id, for recovery routing at promotion.
+    pub app_ids: HashMap<String, AppId>,
+    /// Daemon-wide shutdown flag.
+    pub shutdown: Arc<AtomicBool>,
+}
+
+/// The follower replication thread: pull every shard each poll round,
+/// append/install locally, and promote when the leader's lease lapses.
+/// Returns when the daemon shuts down or after a successful promotion
+/// (a promoted leader never re-demotes; rejoin requires a restart).
+pub(crate) fn run_follower(cfg: FollowerConfig, rt: FollowerRuntime) {
+    let FollowerRuntime {
+        wals,
+        repl,
+        shard_txs,
+        app_ids,
+        shutdown,
+    } = rt;
+    let start = Instant::now();
+    let mut core = FollowerCore::new(cfg.shards, repl.epoch(), cfg.ttl_ms.max(1), 0);
+    let mut wals = wals;
+    let mut leader = cfg.leader_addr.clone();
+    let mut client: Option<Client> = None;
+    let connect_timeout = Duration::from_millis(cfg.ttl_ms.clamp(100, 2_000));
+
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let now = start.elapsed().as_millis() as u64;
+        if core.lease_lapsed(now) {
+            promote(
+                &cfg, &core, wals, &repl, &shard_txs, &app_ids, &shutdown, &leader,
+            );
+            return;
+        }
+
+        if client.is_none() {
+            client = Client::connect_with_timeout(&leader, connect_timeout).ok();
+        }
+        if let Some(conn) = client.as_mut() {
+            let mut round_lag = 0u64;
+            let mut drop_conn = false;
+            for (shard, wal) in wals.iter_mut().enumerate() {
+                let before = core.epoch();
+                match conn.request(core.pull_request(shard, &cfg.self_addr)) {
+                    Ok(Reply::Ok { result, .. }) => {
+                        let Some((epoch, boot, rshard, chunk)) = decode_pull_chunk(&result) else {
+                            drop_conn = true;
+                            break;
+                        };
+                        if rshard != shard {
+                            drop_conn = true;
+                            break;
+                        }
+                        let now = start.elapsed().as_millis() as u64;
+                        match core.on_chunk(shard, epoch, boot, chunk.next, now) {
+                            ChunkAction::Apply { .. } => {
+                                if core.epoch() != before {
+                                    persist_epoch(&cfg.dir, core.epoch(), &repl);
+                                }
+                                apply_chunk(wal, &chunk, &repl);
+                                round_lag =
+                                    round_lag.max(chunk.ship_next.saturating_sub(chunk.next));
+                            }
+                            ChunkAction::Reset => {
+                                if core.epoch() != before {
+                                    persist_epoch(&cfg.dir, core.epoch(), &repl);
+                                }
+                                // Cursors went back to zero; the next
+                                // round re-pulls from the snapshot.
+                            }
+                            ChunkAction::Stale => {}
+                        }
+                    }
+                    Ok(Reply::Error {
+                        kind: ErrorKind::NotLeader,
+                        leader: hint,
+                        ..
+                    }) => {
+                        // The node we poll is itself fenced or following;
+                        // chase the hint (never ourselves).
+                        if let Some(hint) = hint {
+                            if let Some(addr) = hint.leader_addr {
+                                if addr != cfg.self_addr {
+                                    leader = addr;
+                                    repl.set_leader_addr(Some(leader.clone()));
+                                }
+                            }
+                        }
+                        drop_conn = true;
+                        break;
+                    }
+                    Ok(_) | Err(_) => {
+                        drop_conn = true;
+                        break;
+                    }
+                }
+            }
+            if drop_conn {
+                client = None;
+            } else {
+                repl.metrics()
+                    .repl_lag_frames
+                    .store(round_lag, Ordering::Relaxed);
+            }
+        }
+
+        // Sleep one poll interval in small slices so shutdown stays snappy.
+        let mut slept = 0u64;
+        let poll = cfg.poll_ms.max(1);
+        while slept < poll {
+            if shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let step = (poll - slept).min(25);
+            std::thread::sleep(Duration::from_millis(step));
+            slept += step;
+        }
+    }
+}
+
+/// Durably record an observed epoch; a failure is counted but not fatal
+/// for a *follower* (promotion, by contrast, refuses to proceed).
+fn persist_epoch(dir: &Path, epoch: u64, repl: &Arc<ReplState>) {
+    if write_epoch(dir, epoch, Role::Follower).is_err() {
+        repl.metrics().wal_errors.fetch_add(1, Ordering::Relaxed);
+    }
+    repl.observe_epoch(epoch);
+}
+
+/// Install the snapshot (if any) and append the frames to one shard WAL,
+/// mirroring the leader-side counters.
+fn apply_chunk(wal: &mut Wal, chunk: &crate::repl::PullChunk, repl: &Arc<ReplState>) {
+    let metrics = repl.metrics();
+    if let Some(blob) = &chunk.snapshot {
+        if wal.install_snapshot_blob(blob).is_ok() {
+            metrics.wal_snapshots.fetch_add(1, Ordering::Relaxed);
+        } else {
+            metrics.wal_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    if !chunk.frames.is_empty() {
+        match wal.append_batch(&chunk.frames) {
+            Ok(()) => {
+                metrics
+                    .wal_records
+                    .fetch_add(chunk.frames.len() as u64, Ordering::Relaxed);
+                metrics.wal_fsyncs.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                metrics.wal_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Take over: durably claim `epoch+1`, replay the shipped WALs through
+/// merged recovery, hand every shard worker its state and WAL handle,
+/// flip the shared role to leader (last, with Release ordering), and
+/// best-effort fence the old leader.
+#[allow(clippy::too_many_arguments)]
+fn promote(
+    cfg: &FollowerConfig,
+    core: &FollowerCore,
+    wals: Vec<Wal>,
+    repl: &Arc<ReplState>,
+    shard_txs: &[Sender<ShardMsg>],
+    app_ids: &HashMap<String, AppId>,
+    shutdown: &Arc<AtomicBool>,
+    old_leader: &str,
+) {
+    let new_epoch = core.claim_epoch();
+    // Release the file handles before recovery reopens them.
+    drop(wals);
+    let shards = cfg.shards;
+    let route = |name: &str| app_ids.get(name).map(|&id| route_app(id, shards));
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // The epoch claim must be durable BEFORE any request is served
+        // under it: a power cut between promotion and the first serve
+        // must come back as (at least) this epoch, or a concurrently
+        // promoted peer could be outranked by our zombie.
+        if write_epoch(&cfg.dir, new_epoch, Role::Leader).is_err() {
+            repl.metrics().wal_errors.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(Duration::from_millis(100));
+            continue;
+        }
+        let recovered = recover_dir(&cfg.dir, shards, cfg.snapshot_every, &route);
+        let (new_wals, recovery) = match recovered {
+            Ok(pair) => pair,
+            Err(_) => {
+                repl.metrics().wal_errors.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(100));
+                continue;
+            }
+        };
+        repl.metrics()
+            .wal_replayed_records
+            .fetch_add(recovery.replayed_records, Ordering::Relaxed);
+        for (shard, wal) in new_wals.into_iter().enumerate() {
+            let tasks: Vec<HomedTask> = recovery
+                .tasks
+                .iter()
+                .filter(|t| t.home == shard)
+                .cloned()
+                .collect();
+            let _ = shard_txs[shard].send(ShardMsg::Promote {
+                wal,
+                tasks,
+                next_task_id: recovery.next_task_id,
+            });
+        }
+        // Role flip last: a reactor that observes Leader (Acquire) is
+        // guaranteed the Promote messages are already in each shard's
+        // FIFO ahead of any request it routes afterwards.
+        repl.promote(new_epoch, Some(cfg.self_addr.clone()));
+        repl.metrics().repl_lag_frames.store(0, Ordering::Relaxed);
+        // Best-effort fence: tell the old leader (if it is back) that it
+        // has been superseded so it redirects instead of splitting the
+        // brain. Safety does not depend on this arriving — a stale
+        // leader also fences on the first higher-epoch pull it sees, and
+        // clients walking the address list reach the new leader anyway.
+        if let Ok(mut conn) = Client::connect_with_timeout(old_leader, Duration::from_millis(500)) {
+            let _ = conn.request(Request::ReplLease {
+                epoch: new_epoch,
+                leader_addr: cfg.self_addr.clone(),
+            });
+        }
+        return;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_renews_on_chunks_and_lapses_when_silent() {
+        let mut core = FollowerCore::new(1, 0, 100, 0);
+        // Never synced: silence alone must NOT promote.
+        assert!(!core.lease_lapsed(10_000));
+        // First contact observes epoch 1 (we booted at 0): persist it.
+        assert_eq!(
+            core.on_chunk(0, 1, 7, 5, 50),
+            ChunkAction::Apply {
+                epoch_changed: true
+            }
+        );
+        assert_eq!(core.cursor(0), 5);
+        assert!(!core.lease_lapsed(149));
+        assert!(core.lease_lapsed(150));
+        assert_eq!(
+            core.on_chunk(0, 1, 7, 9, 200),
+            ChunkAction::Apply {
+                epoch_changed: false
+            }
+        );
+        assert!(!core.lease_lapsed(299));
+        assert_eq!(core.claim_epoch(), 2);
+    }
+
+    #[test]
+    fn older_epochs_are_dropped() {
+        let mut core = FollowerCore::new(1, 5, 100, 0);
+        assert_eq!(core.on_chunk(0, 4, 7, 9, 10), ChunkAction::Stale);
+        assert_eq!(core.cursor(0), 0, "stale chunk must not move the cursor");
+        assert!(!core.synced(), "stale contact must not arm the lease");
+    }
+
+    #[test]
+    fn leader_reboot_resets_cursors() {
+        let mut core = FollowerCore::new(2, 0, 100, 0);
+        core.on_chunk(0, 1, 7, 40, 10);
+        core.on_chunk(1, 1, 7, 12, 10);
+        assert_eq!((core.cursor(0), core.cursor(1)), (40, 12));
+        // Same epoch, new boot nonce: a restarted leader whose ship
+        // numbering restarted — both cursors go home.
+        assert_eq!(core.on_chunk(0, 1, 8, 3, 20), ChunkAction::Reset);
+        assert_eq!((core.cursor(0), core.cursor(1)), (0, 0));
+        // And the next chunk from the new incarnation applies normally.
+        assert_eq!(
+            core.on_chunk(0, 1, 8, 3, 30),
+            ChunkAction::Apply {
+                epoch_changed: false
+            }
+        );
+        assert_eq!(core.cursor(0), 3);
+    }
+}

@@ -125,6 +125,14 @@ pub struct ServeConfig {
     pub wal_dir: Option<PathBuf>,
     /// WAL records between snapshot compactions.
     pub wal_snapshot_every: u64,
+    /// Replicate from this leader address instead of serving mutations
+    /// (`None` = standalone or leader). Requires `wal_dir`.
+    pub replica_of: Option<String>,
+    /// Leader lease TTL: a follower that completes no successful pull
+    /// for this long promotes itself.
+    pub repl_ttl_ms: u64,
+    /// Follower pull cadence.
+    pub repl_poll_ms: u64,
     /// Scheduler shards the daemon splits the cluster across. Each shard
     /// owns a contiguous machine slice, its own queue (so
     /// `queue_capacity` is per shard), and its own WAL file. Must be
@@ -151,6 +159,9 @@ impl Default for ServeConfig {
             backoff_cap_ms: 5_000,
             wal_dir: None,
             wal_snapshot_every: 4096,
+            replica_of: None,
+            repl_ttl_ms: 1_500,
+            repl_poll_ms: 50,
             shards: 1,
         }
     }
@@ -363,6 +374,9 @@ pub struct Service {
     /// [`Service::wal_transaction`] commits.
     wal_txn: Option<Vec<WalRecord>>,
     rebuild_fail_injections: u32,
+    /// Replication ship log: every group-committed batch is also pushed
+    /// here for followers to pull (`None` when replication is off).
+    shipper: Option<Arc<crate::repl::ShipLog>>,
     metrics: Arc<Metrics>,
 }
 
@@ -450,6 +464,7 @@ impl Service {
             wal: None,
             wal_txn: None,
             rebuild_fail_injections: 0,
+            shipper: None,
             metrics,
             cfg,
         }
@@ -469,6 +484,22 @@ impl Service {
     /// front through [`crate::shard::recover_dir`]).
     pub fn attach_wal(&mut self, wal: Wal) {
         self.wal = Some(wal);
+    }
+
+    /// Attach the replication ship log; from here on every WAL batch this
+    /// shard commits is also staged for follower pulls.
+    pub fn attach_shipper(&mut self, ship: Arc<crate::repl::ShipLog>) {
+        self.shipper = Some(ship);
+    }
+
+    /// Override the snapshot/compaction cadence after construction (the
+    /// replication sim harness uses tiny cadences to force snapshot
+    /// installs in small tests).
+    pub fn set_snapshot_every(&mut self, every: u64) {
+        self.cfg.wal_snapshot_every = every;
+        if let Some(wal) = self.wal.as_mut() {
+            wal.set_snapshot_every(every);
+        }
     }
 
     /// Build a service and, when `cfg.wal_dir` is set, recover durable
@@ -618,13 +649,14 @@ impl Service {
             buf.extend_from_slice(recs);
             return;
         }
-        let due = match self.wal.as_mut() {
-            None => return,
+        let mut due = match self.wal.as_mut() {
+            None => false,
             Some(wal) => match wal.append_batch(recs) {
                 Ok(()) => {
                     self.metrics
                         .wal_records
                         .fetch_add(recs.len() as u64, Ordering::Relaxed);
+                    self.metrics.wal_fsyncs.fetch_add(1, Ordering::Relaxed);
                     wal.snapshot_due()
                 }
                 Err(_) => {
@@ -633,6 +665,21 @@ impl Service {
                 }
             },
         };
+        // Ship the batch after the fsync attempt, regardless of its
+        // outcome: a frame the leader failed to persist may still reach
+        // the follower, leaving it with a superset that the idempotent
+        // recovery merge collapses harmlessly — whereas durable-but-
+        // unshipped would lose acknowledged work on failover.
+        if let Some(ship) = &self.shipper {
+            ship.push(self.shard, recs);
+            // In WAL-less harnesses (the repl sim) the shipper alone
+            // drives the compaction cadence.
+            if self.wal.is_none()
+                && ship.frames_len(self.shard) as u64 >= self.cfg.wal_snapshot_every
+            {
+                due = true;
+            }
+        }
         if due {
             self.write_snapshot();
         }
@@ -641,7 +688,7 @@ impl Service {
     /// Serialize the full task table (plus migrated-away tombstones) into
     /// this shard's snapshot file and truncate the log.
     pub fn write_snapshot(&mut self) {
-        if self.wal.is_none() {
+        if self.wal.is_none() && self.shipper.is_none() {
             return;
         }
         let mut entries: Vec<RecoveredTask> = self
@@ -676,8 +723,9 @@ impl Service {
             .collect();
         entries.sort_unstable_by_key(|t| t.task);
         let next = self.next_task_id;
+        let blob = crate::wal::encode_snapshot(&entries, next);
         if let Some(wal) = self.wal.as_mut() {
-            match wal.snapshot(&entries, next) {
+            match wal.install_snapshot_blob(&blob) {
                 Ok(()) => {
                     self.metrics.wal_snapshots.fetch_add(1, Ordering::Relaxed);
                 }
@@ -685,6 +733,12 @@ impl Service {
                     self.metrics.wal_errors.fetch_add(1, Ordering::Relaxed);
                 }
             }
+        }
+        // Trim the ship even if the local install failed: the blob was
+        // built from live memory and is the authoritative horizon for
+        // followers either way.
+        if let Some(ship) = &self.shipper {
+            ship.trim(self.shard, blob);
         }
     }
 

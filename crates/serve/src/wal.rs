@@ -176,7 +176,10 @@ pub enum WalRecord {
 }
 
 impl WalRecord {
-    fn encode(&self) -> Value {
+    /// The JSON payload of this record, exactly as framed in the log.
+    /// Public so the replication layer can ship records over the wire in
+    /// the same format the WAL replays.
+    pub fn encode(&self) -> Value {
         match self {
             WalRecord::Submit { task, app } => json::obj(vec![
                 ("op", json::s("submit")),
@@ -220,7 +223,8 @@ impl WalRecord {
         }
     }
 
-    fn decode(v: &Value) -> Option<WalRecord> {
+    /// Inverse of [`WalRecord::encode`]; `None` on version skew.
+    pub fn decode(v: &Value) -> Option<WalRecord> {
         let task = v.get("task")?.as_u64()?;
         match v.get("op")?.as_str()? {
             "submit" => Some(WalRecord::Submit {
@@ -335,7 +339,14 @@ fn read_snapshot(dir: &Path, shard: usize, recovery: &mut Recovery) -> io::Resul
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
         Err(e) => return Err(e),
     };
-    let v = json::parse(&text)
+    decode_snapshot(&text, recovery)
+}
+
+/// Parses a snapshot document (the exact bytes of a `snapshot.N.json`
+/// file) into an in-progress [`Recovery`]. Undecodable entries bump
+/// `skipped_records` rather than failing the whole install.
+pub fn decode_snapshot(text: &str, recovery: &mut Recovery) -> io::Result<()> {
+    let v = json::parse(text)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("snapshot: {e}")))?;
     recovery.next_task_id = v.get("next_task_id").and_then(Value::as_u64).unwrap_or(0);
     if let Some(tasks) = v.get("tasks").and_then(Value::as_arr) {
@@ -371,7 +382,12 @@ fn read_snapshot(dir: &Path, shard: usize, recovery: &mut Recovery) -> io::Resul
     Ok(())
 }
 
-fn apply(recovery: &mut Recovery, rec: WalRecord, shard: usize) {
+/// Folds one record into an in-progress [`Recovery`], exactly as log
+/// replay does. Pure and idempotent per task (later records win), which
+/// is what lets replication re-deliver duplicate frames harmlessly.
+/// Public so the deterministic repl harness can replay shipped frames
+/// without touching a real log file.
+pub fn apply(recovery: &mut Recovery, rec: WalRecord, shard: usize) {
     let find = |tasks: &mut Vec<RecoveredTask>, id: u64| -> Option<usize> {
         tasks.iter().position(|t| t.task == id)
     };
@@ -583,42 +599,25 @@ impl Wal {
         self.records_since_snapshot >= self.snapshot_every
     }
 
+    /// Change the snapshot cadence after opening (clamped to >= 1).
+    pub fn set_snapshot_every(&mut self, every: u64) {
+        self.snapshot_every = every.max(1);
+    }
+
     /// Writes a full-state snapshot (atomically: tmp + rename) and
     /// truncates the log. `tasks` must be in submit order.
     pub fn snapshot(&mut self, tasks: &[RecoveredTask], next_task_id: u64) -> io::Result<()> {
-        let entries: Vec<Value> = tasks
-            .iter()
-            .map(|t| {
-                let mut fields = vec![
-                    ("task", json::n(t.task as f64)),
-                    ("app", json::s(t.app.clone())),
-                    ("attempts", json::n(f64::from(t.attempts))),
-                    (
-                        "state",
-                        json::s(match t.state {
-                            RecState::Queued => "queued",
-                            RecState::Leased => "leased",
-                            RecState::Completed => "completed",
-                            RecState::DeadLettered => "dead",
-                            RecState::Migrated => "migrated",
-                        }),
-                    ),
-                    ("runtime", json::n(t.runtime)),
-                ];
-                if let Some(to) = t.migrated_to {
-                    fields.push(("to", json::n(to as f64)));
-                }
-                json::obj(fields)
-            })
-            .collect();
-        let doc = json::obj(vec![
-            ("v", json::n(1.0)),
-            ("next_task_id", json::n(next_task_id as f64)),
-            ("tasks", Value::Arr(entries)),
-        ]);
+        let blob = encode_snapshot(tasks, next_task_id);
+        self.install_snapshot_blob(&blob)
+    }
+
+    /// Installs a pre-encoded snapshot document (tmp + rename + dir sync)
+    /// and truncates the log — how a lagging follower adopts the
+    /// leader's compaction horizon wholesale.
+    pub fn install_snapshot_blob(&mut self, blob: &str) -> io::Result<()> {
         let tmp = self.dir.join(format!("snapshot.{}.tmp", self.shard));
         let mut f = File::create(&tmp)?;
-        f.write_all(doc.to_string().as_bytes())?;
+        f.write_all(blob.as_bytes())?;
         f.sync_data()?;
         drop(f);
         std::fs::rename(&tmp, self.dir.join(shard_snapshot_name(self.shard)))?;
@@ -632,6 +631,43 @@ impl Wal {
         self.records_since_snapshot = 0;
         Ok(())
     }
+}
+
+/// Serializes a task table into the snapshot document format — the exact
+/// bytes [`Wal::snapshot`] persists and [`decode_snapshot`] parses.
+/// `tasks` must be in submit order.
+pub fn encode_snapshot(tasks: &[RecoveredTask], next_task_id: u64) -> String {
+    let entries: Vec<Value> = tasks
+        .iter()
+        .map(|t| {
+            let mut fields = vec![
+                ("task", json::n(t.task as f64)),
+                ("app", json::s(t.app.clone())),
+                ("attempts", json::n(f64::from(t.attempts))),
+                (
+                    "state",
+                    json::s(match t.state {
+                        RecState::Queued => "queued",
+                        RecState::Leased => "leased",
+                        RecState::Completed => "completed",
+                        RecState::DeadLettered => "dead",
+                        RecState::Migrated => "migrated",
+                    }),
+                ),
+                ("runtime", json::n(t.runtime)),
+            ];
+            if let Some(to) = t.migrated_to {
+                fields.push(("to", json::n(to as f64)));
+            }
+            json::obj(fields)
+        })
+        .collect();
+    json::obj(vec![
+        ("v", json::n(1.0)),
+        ("next_task_id", json::n(next_task_id as f64)),
+        ("tasks", Value::Arr(entries)),
+    ])
+    .to_string()
 }
 
 #[cfg(test)]

@@ -6,7 +6,8 @@ use proptest::prelude::*;
 use tracon_core::{DimVec, ResourceDim};
 use tracon_serve::json::{self, n, obj, s, Value};
 use tracon_serve::proto::{
-    decode_reply, decode_request, encode_reply, encode_request, Envelope, ErrorKind, Reply, Request,
+    decode_reply, decode_request, encode_reply, encode_request, Envelope, ErrorKind, LeaderHint,
+    Reply, Request,
 };
 
 /// Characters chosen to stress the JSON string escaper: quotes,
@@ -47,31 +48,44 @@ fn demand() -> impl Strategy<Value = Option<DimVec>> {
 
 fn request() -> impl Strategy<Value = Request> {
     (
-        0u8..6,
+        0u8..8,
         wire_string(12),
         task_id(),
         (-1.0e9f64..1.0e9, 0.0f64..1.0e9),
         demand(),
     )
-        .prop_map(|(op, text, task, (runtime, iops), demand)| match op {
-            0 => Request::Submit {
-                // Submits require a non-empty app name.
-                app: if text.is_empty() {
-                    "x".to_string()
-                } else {
-                    text
+        .prop_map(|(op, text, task, (runtime, iops), demand)| {
+            // Submits and repl ops require non-empty name/address strings.
+            let nonempty = if text.is_empty() {
+                "x".to_string()
+            } else {
+                text
+            };
+            match op {
+                0 => Request::Submit {
+                    app: nonempty,
+                    demand,
                 },
-                demand,
-            },
-            1 => Request::Complete {
-                task,
-                runtime,
-                iops,
-            },
-            2 => Request::Status,
-            3 => Request::TaskInfo { task },
-            4 => Request::Drain,
-            _ => Request::Shutdown,
+                1 => Request::Complete {
+                    task,
+                    runtime,
+                    iops,
+                },
+                2 => Request::Status,
+                3 => Request::TaskInfo { task },
+                4 => Request::Drain,
+                5 => Request::ReplPull {
+                    epoch: task,
+                    shard: (task % 64) as usize,
+                    cursor: task / 2,
+                    addr: nonempty,
+                },
+                6 => Request::ReplLease {
+                    epoch: task,
+                    leader_addr: nonempty,
+                },
+                _ => Request::Shutdown,
+            }
         })
 }
 
@@ -105,7 +119,7 @@ fn result_payload() -> impl Strategy<Value = Value> {
 }
 
 fn error_kind() -> impl Strategy<Value = ErrorKind> {
-    (0usize..8).prop_map(|i| {
+    (0usize..10).prop_map(|i| {
         [
             ErrorKind::Malformed,
             ErrorKind::BadVersion,
@@ -115,7 +129,25 @@ fn error_kind() -> impl Strategy<Value = ErrorKind> {
             ErrorKind::Draining,
             ErrorKind::UnknownApp,
             ErrorKind::UnknownTask,
+            ErrorKind::FrameTooLarge,
+            ErrorKind::NotLeader,
         ][i]
+    })
+}
+
+/// An optional `not_leader` redirect hint, with and without a known
+/// leader address.
+fn leader_hint() -> impl Strategy<Value = Option<LeaderHint>> {
+    (0u8..3, wire_string(12), task_id()).prop_map(|(tag, addr, epoch)| match tag {
+        0 => None,
+        1 => Some(LeaderHint {
+            leader_addr: None,
+            epoch,
+        }),
+        _ => Some(LeaderHint {
+            leader_addr: Some(addr),
+            epoch,
+        }),
     })
 }
 
@@ -124,20 +156,24 @@ fn reply() -> impl Strategy<Value = Reply> {
         request_id(),
         result_payload(),
         (error_kind(), wire_string(16), any::<bool>(), task_id()),
+        leader_hint(),
         any::<bool>(),
     )
-        .prop_map(|(id, result, (kind, message, with_retry, retry), ok)| {
-            if ok {
-                Reply::Ok { id, result }
-            } else {
-                Reply::Error {
-                    id,
-                    kind,
-                    message,
-                    retry_after_ms: with_retry.then_some(retry),
+        .prop_map(
+            |(id, result, (kind, message, with_retry, retry), leader, ok)| {
+                if ok {
+                    Reply::Ok { id, result }
+                } else {
+                    Reply::Error {
+                        id,
+                        kind,
+                        message,
+                        retry_after_ms: with_retry.then_some(retry),
+                        leader,
+                    }
                 }
-            }
-        })
+            },
+        )
 }
 
 proptest! {

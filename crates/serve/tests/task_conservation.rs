@@ -11,8 +11,9 @@ use std::time::{Duration, Instant};
 
 use proptest::prelude::*;
 use tracon_dcsim::{Testbed, TestbedConfig};
+use tracon_serve::repl::sim::{SimCluster, SimKnobs};
 use tracon_serve::shard::{route_app, shard_machines};
-use tracon_serve::{recover_dir, Metrics, SchedKind, ServeConfig, Service, StatusSnapshot};
+use tracon_serve::{recover_dir, Metrics, Role, SchedKind, ServeConfig, Service, StatusSnapshot};
 
 /// One shared testbed: profiling it dominates the cost of a case.
 fn testbed() -> &'static Testbed {
@@ -344,5 +345,95 @@ proptest! {
             st.queued, st.delayed, st.running
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The replicated generalization: conservation survives a full
+    /// failover. A leader takes random submit/complete/step traffic while
+    /// shipping its WAL to a warm follower over a lossy, duplicating,
+    /// reordering virtual link (optionally through a snapshot install
+    /// when compaction outruns the follower); the leader is then killed
+    /// at an arbitrary point, the follower promotes after the lease
+    /// lapses, and the promoted node must hold exactly the leader's
+    /// counters — conserved — and keep the invariant under fresh
+    /// post-failover traffic. When the old leader reconnects stale, the
+    /// promoted epoch must fence it.
+    #[test]
+    fn conservation_survives_replicated_failover(
+        seed in any::<u64>(),
+        ops in proptest::collection::vec((0u8..3, 0u16..512), 1..28),
+        loss_permille in 0u32..220,
+        shards in 1usize..3,
+        tight_snapshots in any::<bool>(),
+        stale_reconnect in any::<bool>(),
+    ) {
+        let knobs = SimKnobs {
+            drop_permille: loss_permille,
+            dup_permille: loss_permille,
+            ..SimKnobs::default()
+        };
+        let mut sim = SimCluster::new(seed, shards, 200, 20, knobs);
+        if tight_snapshots {
+            // Compaction outruns a fresh follower: force the snapshot
+            // install path rather than a pure frame replay.
+            sim.set_snapshot_every(4);
+        }
+        let mut tasks: Vec<u64> = Vec::new();
+        for (op, x) in ops {
+            let x = x as usize;
+            match op {
+                0 => {
+                    if let Some(task) = sim.submit_any() {
+                        tasks.push(task);
+                    }
+                }
+                1 => {
+                    if !tasks.is_empty() {
+                        let task = tasks[x % tasks.len()];
+                        sim.complete(task);
+                    }
+                }
+                _ => sim.step((x % 40 + 1) as u64),
+            }
+            prop_assert!(sim.leader_conserved(), "leader broke conservation mid-run");
+        }
+        // Heal the link and let the follower catch up — a failover can
+        // only preserve what the leader actually shipped.
+        sim.set_knobs(SimKnobs::default());
+        prop_assert!(sim.run_until_synced(20_000), "follower never caught up");
+        let shipped = sim.leader_counts();
+        let old_epoch = sim.leader_epoch();
+
+        sim.kill_leader();
+        prop_assert!(sim.run_until_lease_lapse(5_000), "lease never lapsed");
+        let mut promoted = sim.promote_follower();
+        prop_assert!(promoted.epoch > old_epoch, "promotion must outrank the old leader");
+        prop_assert!(promoted.conserved(), "promoted node broke conservation");
+        prop_assert_eq!(promoted.counts(), shipped, "failover lost or invented tasks");
+
+        if stale_reconnect {
+            // The dead leader comes back with its old state and receives
+            // the promoted node's lease claim: it must fence, and refuse
+            // mutations from then on.
+            sim.revive_leader();
+            let role = sim.deliver_lease_to_leader(promoted.epoch, "promoted:1");
+            prop_assert_eq!(role, Role::Fenced, "stale leader not fenced");
+            prop_assert!(sim.submit_any().is_none(), "fenced leader accepted a submit");
+        }
+
+        // The new leader keeps the invariant under fresh traffic.
+        let mut fresh: Vec<u64> = Vec::new();
+        for i in 0..6u64 {
+            if let Some(task) = promoted.submit(seed.wrapping_add(i)) {
+                fresh.push(task);
+            }
+        }
+        for task in fresh.iter().step_by(2) {
+            promoted.complete(*task);
+        }
+        prop_assert!(promoted.conserved(), "post-failover traffic broke conservation");
     }
 }
