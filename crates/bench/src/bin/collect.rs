@@ -666,6 +666,7 @@ fn tracond_suite(quick: bool, tb: &Testbed, results: &mut Vec<serde_json::Value>
                         shard: 0,
                         cursor,
                         addr: "bench:0".to_string(),
+                        ttl_ms: 0,
                     })
                     .expect("ship bench pull");
                 let Reply::Ok { result, .. } = reply else {

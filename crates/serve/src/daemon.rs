@@ -24,13 +24,14 @@ use std::time::{Duration, Instant};
 use tracon_core::AppId;
 use tracon_dcsim::Testbed;
 
+use crate::client::Client;
 use crate::json::{n, obj, s, Value};
 use crate::metrics::Metrics;
 use crate::proto::{ErrorKind, Reply, Request};
 use crate::reactor::{self, OutMsg, OutSender, ReactorConfig, ShardMsg};
 use crate::repl::{
     follower::{run_follower, FollowerConfig, FollowerRuntime},
-    read_epoch, write_epoch, ReplState, Role, ShipLog,
+    read_epoch, read_sidecar, write_sidecar, EpochSidecar, ReplState, Role, ShipLog,
 };
 use crate::shard::{recover_dir, route_app, shard_machines};
 use crate::state::{Refusal, ServeConfig, Service, TaskPhase};
@@ -170,6 +171,16 @@ pub fn start(testbed: &Testbed, cfg: ServeConfig, net: NetConfig) -> std::io::Re
         ));
     }
 
+    // Bind the listeners before replication boot: the WAL-backed leader
+    // path probes its recorded peer and needs this node's own address
+    // for the probe's leader hint.
+    let listener = TcpListener::bind(&net.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let http_listener = TcpListener::bind(&net.http_addr)?;
+    http_listener.set_nonblocking(true)?;
+    let http_addr = http_listener.local_addr()?;
+
     let mut repl_state: Option<Arc<ReplState>> = None;
     let mut follower_wals: Option<Vec<Wal>> = None;
 
@@ -226,33 +237,44 @@ pub fn start(testbed: &Testbed, cfg: ServeConfig, net: NetConfig) -> std::io::Re
             for stale in shards..recovery.old_shards {
                 remove_shard_files(&dir, stale)?;
             }
-            // Every WAL-backed node is leader-capable: claim (or re-claim)
-            // the durable epoch before serving. Epoch 0 is reserved for
-            // "never led", so a fresh leader starts at 1.
-            let epoch = read_epoch(&dir).max(1);
-            write_epoch(&dir, epoch, Role::Leader)?;
-            repl_state = Some(Arc::new(ReplState::new(
-                Role::Leader,
+            // Every WAL-backed node is leader-capable, but a node that
+            // previously ran inside a replicated pair must not blindly
+            // re-claim leadership: its follower may have promoted while
+            // it was down, and the promoted leader's one-shot fencing
+            // lease fired into the void. Consult the durable sidecar and
+            // probe the recorded peer before serving a single mutation.
+            let sidecar = read_sidecar(&dir);
+            let self_addr = addr.to_string();
+            let (role, epoch, leader_hint, peer) =
+                decide_leader_boot(&sidecar, |peer, probe_epoch| {
+                    probe_peer(peer, probe_epoch, &self_addr)
+                });
+            write_sidecar(
+                &dir,
+                &EpochSidecar {
+                    epoch,
+                    role,
+                    leader: leader_hint.clone(),
+                    peer: peer.clone(),
+                },
+            )?;
+            let state = Arc::new(ReplState::new(
+                role,
                 epoch,
-                None,
+                leader_hint,
                 ship,
                 Arc::clone(&metrics),
                 Some(dir),
                 boot_nonce(),
-            )));
+            ));
+            state.set_peer(peer);
+            repl_state = Some(state);
         }
     }
 
     let shutdown = Arc::new(AtomicBool::new(false));
     let draining = Arc::new(AtomicBool::new(false));
     let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-
-    let listener = TcpListener::bind(&net.addr)?;
-    listener.set_nonblocking(true)?;
-    let addr = listener.local_addr()?;
-    let http_listener = TcpListener::bind(&net.http_addr)?;
-    http_listener.set_nonblocking(true)?;
-    let http_addr = http_listener.local_addr()?;
 
     let tick = Duration::from_millis(net.tick_ms.max(1));
     let mut core_threads = Vec::new();
@@ -312,6 +334,7 @@ pub fn start(testbed: &Testbed, cfg: ServeConfig, net: NetConfig) -> std::io::Re
             metrics: Arc::clone(&metrics),
             app_ids,
             repl: repl_state,
+            repl_ttl_ms: cfg.repl_ttl_ms,
         };
         core_threads.push(std::thread::spawn(move || reactor::run(reactor_cfg)));
     }
@@ -355,6 +378,95 @@ pub fn start(testbed: &Testbed, cfg: ServeConfig, net: NetConfig) -> std::io::Re
         core_threads,
         conn_threads,
     })
+}
+
+/// Decide the boot role of a WAL-backed node that was *not* started with
+/// `--replica-of`, from its durable sidecar plus one best-effort probe of
+/// the recorded peer. Returns `(role, epoch, leader_hint, peer)`.
+///
+/// - A node fenced before its last shutdown stays fenced: the operator
+///   rejoins it with `--replica-of` (or wipes `repl.epoch`) explicitly.
+/// - A former leader probes its registered follower; a former follower
+///   restarted standalone probes its old leader. If the peer reports a
+///   higher epoch — or the same epoch while still leading — this node
+///   boots [`Role::Fenced`] with redirects pointing at the peer, closing
+///   the "crashed leader reboots into a second leadership" hole: the
+///   promoted peer's bounded lease retries may all have fired while this
+///   node was down.
+/// - Otherwise it claims leadership. A former follower claims
+///   `epoch + 1` (exactly like a live promotion, so the dead leader is
+///   outranked if it ever returns) and records that leader as its peer;
+///   a former leader re-claims its own epoch and keeps its peer.
+fn decide_leader_boot(
+    sidecar: &EpochSidecar,
+    probe: impl Fn(&str, u64) -> Option<(u64, Role)>,
+) -> (Role, u64, Option<String>, Option<String>) {
+    if sidecar.role == Role::Fenced {
+        return (
+            Role::Fenced,
+            sidecar.epoch,
+            sidecar.leader.clone(),
+            sidecar.peer.clone(),
+        );
+    }
+    let probe_target = match sidecar.role {
+        Role::Leader => sidecar.peer.clone(),
+        _ => sidecar.leader.clone(),
+    };
+    if let Some(peer) = probe_target.as_deref() {
+        // Probe one epoch *below* our own so the lease can never fence a
+        // healthy peer (fencing requires `lease epoch >= peer epoch`); it
+        // only reads back the peer's epoch and role.
+        if let Some((peer_epoch, peer_role)) = probe(peer, sidecar.epoch.saturating_sub(1)) {
+            let outranked = peer_epoch > sidecar.epoch
+                || (peer_epoch == sidecar.epoch && peer_role == Role::Leader);
+            if outranked {
+                return (
+                    Role::Fenced,
+                    peer_epoch,
+                    probe_target.clone(),
+                    sidecar.peer.clone(),
+                );
+            }
+        }
+    }
+    match sidecar.role {
+        Role::Leader => (
+            Role::Leader,
+            // Epoch 0 is reserved for "never led": a fresh leader starts
+            // at 1.
+            sidecar.epoch.max(1),
+            None,
+            sidecar.peer.clone(),
+        ),
+        _ => (
+            Role::Leader,
+            sidecar.epoch + 1,
+            None,
+            sidecar.leader.clone(),
+        ),
+    }
+}
+
+/// One best-effort `repl_lease` round trip to `peer`, returning its
+/// `(epoch, role)` when it is reachable and replies well-formed.
+fn probe_peer(peer: &str, probe_epoch: u64, self_addr: &str) -> Option<(u64, Role)> {
+    let mut conn = Client::connect_with_timeout(peer, Duration::from_millis(500)).ok()?;
+    let reply = conn
+        .request(Request::ReplLease {
+            epoch: probe_epoch,
+            leader_addr: self_addr.to_string(),
+        })
+        .ok()?;
+    let Reply::Ok { result, .. } = reply else {
+        return None;
+    };
+    let epoch = result.get("epoch").and_then(Value::as_u64)?;
+    let role = result
+        .get("role")
+        .and_then(Value::as_str)
+        .and_then(Role::parse)?;
+    Some((epoch, role))
 }
 
 /// A per-process boot nonce for the replication protocol: pull replies
@@ -719,4 +831,87 @@ fn serve_http(mut stream: TcpStream, draining: &AtomicBool, metrics: &Arc<Metric
         body.len()
     );
     let _ = stream.write_all(response.as_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sidecar(role: Role, epoch: u64, leader: Option<&str>, peer: Option<&str>) -> EpochSidecar {
+        EpochSidecar {
+            epoch,
+            role,
+            leader: leader.map(str::to_string),
+            peer: peer.map(str::to_string),
+        }
+    }
+
+    #[test]
+    fn a_fresh_or_standalone_leader_claims_epoch_one() {
+        let side = sidecar(Role::Leader, 0, None, None);
+        let (role, epoch, leader, peer) =
+            decide_leader_boot(&side, |_, _| panic!("no peer to probe"));
+        assert_eq!((role, epoch, leader, peer), (Role::Leader, 1, None, None));
+    }
+
+    #[test]
+    fn a_leader_with_an_unreachable_peer_reclaims_its_own_epoch() {
+        let side = sidecar(Role::Leader, 4, None, Some("f:1"));
+        let (role, epoch, _, peer) = decide_leader_boot(&side, |peer, probe_epoch| {
+            assert_eq!((peer, probe_epoch), ("f:1", 3));
+            None
+        });
+        assert_eq!((role, epoch, peer), (Role::Leader, 4, Some("f:1".into())));
+    }
+
+    #[test]
+    fn a_rebooted_leader_is_fenced_by_its_promoted_follower() {
+        // The crashed-leader-reboots hole: the follower promoted to
+        // epoch 5 while this node (epoch 4) was down, and its bounded
+        // lease retries all fired into the void. The boot probe is what
+        // keeps this node from serving as a second leader.
+        let side = sidecar(Role::Leader, 4, None, Some("f:1"));
+        let (role, epoch, leader, _) = decide_leader_boot(&side, |_, _| Some((5, Role::Leader)));
+        assert_eq!((role, epoch, leader), (Role::Fenced, 5, Some("f:1".into())));
+    }
+
+    #[test]
+    fn a_leader_whose_follower_is_still_following_leads_again() {
+        let side = sidecar(Role::Leader, 4, None, Some("f:1"));
+        let (role, epoch, _, _) = decide_leader_boot(&side, |_, _| Some((4, Role::Follower)));
+        assert_eq!((role, epoch), (Role::Leader, 4));
+    }
+
+    #[test]
+    fn a_follower_restarted_standalone_defers_to_its_live_leader() {
+        // Restarting a follower without --replica-of must not mint a
+        // second leader while the real one is alive at the same epoch.
+        let side = sidecar(Role::Follower, 4, Some("l:1"), None);
+        let (role, epoch, leader, _) = decide_leader_boot(&side, |peer, _| {
+            assert_eq!(peer, "l:1");
+            Some((4, Role::Leader))
+        });
+        assert_eq!((role, epoch, leader), (Role::Fenced, 4, Some("l:1".into())));
+    }
+
+    #[test]
+    fn a_follower_restarted_standalone_outranks_its_dead_leader() {
+        // Operator-driven failover: the old leader is gone, so convert
+        // to leadership exactly like a live promotion — epoch + 1, with
+        // the old leader recorded as the peer to keep fencing it.
+        let side = sidecar(Role::Follower, 4, Some("l:1"), None);
+        let (role, epoch, _, peer) = decide_leader_boot(&side, |_, _| None);
+        assert_eq!((role, epoch, peer), (Role::Leader, 5, Some("l:1".into())));
+    }
+
+    #[test]
+    fn a_fenced_node_stays_fenced_without_probing() {
+        let side = sidecar(Role::Fenced, 6, Some("l:2"), Some("l:1"));
+        let (role, epoch, leader, peer) =
+            decide_leader_boot(&side, |_, _| panic!("a fenced boot must not probe"));
+        assert_eq!(
+            (role, epoch, leader, peer),
+            (Role::Fenced, 6, Some("l:2".into()), Some("l:1".into()))
+        );
+    }
 }

@@ -76,6 +76,9 @@ pub struct Metrics {
     pub repl_epoch: AtomicU64,
     /// Replication role: 0 = leader, 1 = follower, 2 = fenced (gauge).
     pub repl_role: AtomicU64,
+    /// Whether the leader has suspended mutations because its registered
+    /// follower went silent for the replication TTL (gauge; 0 or 1).
+    pub repl_writes_suspended: AtomicU64,
     /// Per-shard gauge vectors (length = shard count, 1 by default).
     shard_gauges: Vec<ShardGauges>,
     /// Cumulative dispatch-latency histogram counts per bucket.
@@ -306,6 +309,12 @@ impl Metrics {
             "Replication role: 0 leader, 1 follower, 2 fenced.",
             self.repl_role.load(Ordering::Relaxed),
         );
+        gauge(
+            &mut out,
+            "repl_writes_suspended",
+            "1 while the leader refuses mutations because its follower went silent.",
+            self.repl_writes_suspended.load(Ordering::Relaxed),
+        );
         // Per-shard gauge vectors, one labeled series per shard.
         for (name, help, read) in [
             (
@@ -419,11 +428,13 @@ mod tests {
         m.repl_lag_frames.store(17, Ordering::Relaxed);
         m.repl_epoch.store(3, Ordering::Relaxed);
         m.repl_role.store(1, Ordering::Relaxed);
+        m.repl_writes_suspended.store(1, Ordering::Relaxed);
         let text = m.render_prometheus();
         for pinned in [
             "tracond_repl_lag_frames 17",
             "tracond_repl_epoch 3",
             "tracond_repl_role 1",
+            "tracond_repl_writes_suspended 1",
             // No fsyncs yet: the derived gauge must render 0, not NaN.
             "tracond_wal_records_per_fsync 0",
         ] {

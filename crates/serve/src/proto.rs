@@ -72,6 +72,10 @@ pub enum Request {
         /// The follower's own protocol address, echoed into `not_leader`
         /// hints once the follower promotes.
         addr: String,
+        /// The follower's promotion TTL in milliseconds (0 = unknown).
+        /// The leader suspends its own writes after this long without a
+        /// pull, so the two lease clocks agree on the failover window.
+        ttl_ms: u64,
     },
     /// Replication: a newly promoted leader fences its predecessor.
     ReplLease {
@@ -280,12 +284,16 @@ pub fn encode_request(envelope: &Envelope) -> String {
             shard,
             cursor,
             addr,
+            ttl_ms,
         } => {
             pairs.push(("op", s("repl_pull")));
             pairs.push(("epoch", n(*epoch as f64)));
             pairs.push(("shard", n(*shard as f64)));
             pairs.push(("cursor", n(*cursor as f64)));
             pairs.push(("addr", s(addr.clone())));
+            if *ttl_ms > 0 {
+                pairs.push(("ttl_ms", n(*ttl_ms as f64)));
+            }
         }
         Request::ReplLease { epoch, leader_addr } => {
             pairs.push(("op", s("repl_lease")));
@@ -472,6 +480,8 @@ pub fn decode_request(line: &str) -> Result<Envelope, DecodeError> {
                     })
                 }
             },
+            // Optional: pulls from pre-TTL-aware followers carry no hint.
+            ttl_ms: doc.get("ttl_ms").and_then(Value::as_u64).unwrap_or(0),
         },
         "repl_lease" => Request::ReplLease {
             epoch: field_u64(&doc, &id, "epoch")?,
@@ -723,6 +733,16 @@ mod tests {
                 shard: 1,
                 cursor: 4096,
                 addr: "127.0.0.1:7431".to_string(),
+                ttl_ms: 1_200,
+            },
+            Request::ReplPull {
+                epoch: 3,
+                shard: 0,
+                cursor: 0,
+                addr: "127.0.0.1:7431".to_string(),
+                // Unknown TTL must survive the roundtrip as 0 (the field
+                // is omitted on the wire).
+                ttl_ms: 0,
             },
             Request::ReplLease {
                 epoch: 4,

@@ -48,7 +48,7 @@ use crate::daemon::NetConfig;
 use crate::json::{n, obj, s, Value};
 use crate::metrics::Metrics;
 use crate::proto::{self, ErrorKind, Reply, Request};
-use crate::repl::{ReplState, Role};
+use crate::repl::{LeaderGuard, PullAdmission, ReplState, Role};
 use crate::shard::{route_app, route_name, stride_shard, HomedTask};
 use crate::state::{StatusSnapshot, StolenTask};
 use crate::wal::Wal;
@@ -350,6 +350,10 @@ pub(crate) struct ReactorConfig {
     pub app_ids: HashMap<String, AppId>,
     /// Replication state; `None` disables `repl_*` requests and gating.
     pub repl: Option<Arc<ReplState>>,
+    /// Leader-side lease TTL: with a registered follower silent for this
+    /// long, the reactor suspends mutations (tightened further by the
+    /// TTL followers advertise in their pulls).
+    pub repl_ttl_ms: u64,
 }
 
 /// Run the reactor event loop until shutdown. Consumes the config; the
@@ -372,6 +376,12 @@ struct Reactor {
     /// Per-shard replication lag (`ship_next - follower cursor`) from the
     /// latest served pull; the max is exported as `repl_lag_frames`.
     repl_lag: Vec<u64>,
+    /// Leader-side lease over the one registered follower: tracks the
+    /// last served pull and suspends mutations once the follower has
+    /// been silent long enough that it may have promoted.
+    repl_guard: LeaderGuard,
+    /// Millisecond origin for the guard's clock.
+    start: Instant,
 
     conns: HashMap<u64, Conn>,
     next_conn: u64,
@@ -404,6 +414,8 @@ impl Reactor {
             app_ids: cfg.app_ids,
             repl: cfg.repl,
             repl_lag,
+            repl_guard: LeaderGuard::new(cfg.repl_ttl_ms),
+            start: Instant::now(),
             conns: HashMap::new(),
             next_conn: 0,
             aggs: HashMap::new(),
@@ -495,6 +507,7 @@ impl Reactor {
 
             self.reap_timeouts(now);
             self.maybe_steal();
+            self.tick_repl_guard(now);
 
             if let Some(deadline) = self.stop_deadline {
                 let quiescent = self.aggs.is_empty() && self.conns.values().all(Conn::quiescent);
@@ -667,8 +680,9 @@ impl Reactor {
                 shard,
                 cursor,
                 addr,
+                ttl_ms,
             } => {
-                let line = self.serve_repl_pull(req_id, epoch, shard, cursor, &addr);
+                let line = self.serve_repl_pull(req_id, epoch, shard, cursor, &addr, ttl_ms);
                 self.complete(id, seq, line);
             }
             Request::ReplLease { epoch, leader_addr } => {
@@ -730,29 +744,58 @@ impl Reactor {
         let _ = self.shard_txs[shard].send(msg);
     }
 
-    /// When replication is on and this node is not the leader, the
-    /// rendered `not_leader` refusal for a mutating request.
+    /// When replication is on and this node cannot safely serve a
+    /// mutating request, the rendered `not_leader` refusal: either the
+    /// role is not Leader, or the registered follower has been silent
+    /// past the TTL — it may have promoted, so an ack here could be a
+    /// silently lost write. The suspension hint points at that follower,
+    /// the one address that may now be the leader.
     fn refuse_if_not_leader(&self, req_id: &Option<String>) -> Option<String> {
         let repl = self.repl.as_ref()?;
         if repl.role() == Role::Leader {
-            return None;
+            let holder = self.repl_guard.suspended_hint()?;
+            let reply = Reply::not_leader(req_id.clone(), Some(holder.to_string()), repl.epoch());
+            return Some(proto::encode_reply(&reply));
         }
         let reply = Reply::not_leader(req_id.clone(), repl.leader_addr(), repl.epoch());
         Some(proto::encode_reply(&reply))
     }
 
+    /// Advance the leader guard's clock: with a registered follower
+    /// silent past the TTL, mutations suspend until that follower pulls
+    /// again (proving it never promoted) or this node is fenced.
+    fn tick_repl_guard(&mut self, now: Instant) {
+        let Some(repl) = self.repl.as_ref() else {
+            return;
+        };
+        if repl.role() != Role::Leader {
+            self.metrics
+                .repl_writes_suspended
+                .store(0, Ordering::Relaxed);
+            return;
+        }
+        let now_ms = now.duration_since(self.start).as_millis() as u64;
+        self.repl_guard.tick(now_ms);
+        self.metrics.repl_writes_suspended.store(
+            u64::from(self.repl_guard.suspended_hint().is_some()),
+            Ordering::Relaxed,
+        );
+    }
+
     /// Serve one follower pull: fence on a newer epoch, refuse when not
-    /// leader, otherwise hand back a chunk from the ship log and record
-    /// the follower's lag.
+    /// leader, enforce the single-follower slot, renew the leader-side
+    /// lease, and hand back a chunk from the ship log with the
+    /// follower's lag recorded.
     fn serve_repl_pull(
         &mut self,
         req_id: Option<String>,
         epoch: u64,
         shard: usize,
         cursor: u64,
-        _addr: &str,
+        addr: &str,
+        ttl_ms: u64,
     ) -> String {
-        let Some(repl) = self.repl.as_ref() else {
+        let Some(repl) = self.repl.clone() else {
             let reply = Reply::error(
                 req_id,
                 ErrorKind::Malformed,
@@ -777,6 +820,59 @@ impl Reactor {
             );
             return proto::encode_reply(&reply);
         }
+        // The epoch check above proves this puller has not promoted (a
+        // promotion durably claims a strictly higher epoch before its
+        // first pull), so granting the lease — and resuming suspended
+        // writes — is safe. A second follower is refused outright:
+        // epochs are claimed as observed+1, so two synced followers
+        // could promote to the SAME epoch and never fence each other.
+        // A puller that advertises no promotion TTL (`ttl_ms: 0` — e.g.
+        // the replication bench, or ad-hoc inspection) can never promote,
+        // so it is served as a read-only observer: no slot, no lease, no
+        // suspension armed on its behalf.
+        if ttl_ms == 0 {
+            return self.encode_pull_chunk_reply(req_id, &repl, shard, cursor);
+        }
+        self.repl_guard.observe_ttl(ttl_ms);
+        let registering = self.repl_guard.vacant();
+        let now_ms = Instant::now().duration_since(self.start).as_millis() as u64;
+        match self.repl_guard.on_pull(addr, now_ms) {
+            PullAdmission::Conflict { holder } => {
+                let reply = Reply::backpressure(
+                    req_id,
+                    format!(
+                        "replication slot already held by {holder}; \
+                         tracond pairs support a single follower"
+                    ),
+                    self.net.tick_ms.max(1) * 40,
+                );
+                return proto::encode_reply(&reply);
+            }
+            PullAdmission::Granted { resumed } => {
+                if registering {
+                    // First pull of this incarnation: persist the peer so
+                    // a crashed-and-rebooted leader knows whom to probe.
+                    repl.record_peer(addr);
+                }
+                if resumed {
+                    self.metrics
+                        .repl_writes_suspended
+                        .store(0, Ordering::Relaxed);
+                }
+            }
+        }
+        self.encode_pull_chunk_reply(req_id, &repl, shard, cursor)
+    }
+
+    /// Ship one pull chunk and refresh the lag gauge — the tail shared by
+    /// registered-follower and observer pulls.
+    fn encode_pull_chunk_reply(
+        &mut self,
+        req_id: Option<String>,
+        repl: &Arc<ReplState>,
+        shard: usize,
+        cursor: u64,
+    ) -> String {
         let chunk = repl.ship().pull(shard, cursor);
         if let Some(slot) = self.repl_lag.get_mut(shard) {
             *slot = chunk.ship_next.saturating_sub(chunk.next);
@@ -787,9 +883,10 @@ impl Reactor {
         proto::encode_reply(&Reply::ok(req_id, payload))
     }
 
-    /// Serve a promoted peer's lease claim: an equal-or-newer epoch
-    /// fences this node and records the claimant as the leader to
-    /// redirect clients to.
+    /// Serve a peer's lease claim. An equal-or-newer epoch fences a
+    /// leader; a non-leader adopts the epoch and leader hint without
+    /// fencing, so its `not_leader` redirects converge on the claimant
+    /// immediately instead of waiting for a pull to propagate it.
     fn serve_repl_lease(
         &mut self,
         req_id: Option<String>,
@@ -804,8 +901,12 @@ impl Reactor {
             );
             return proto::encode_reply(&reply);
         };
-        if epoch >= repl.epoch() && repl.role() == Role::Leader {
-            repl.fence(epoch, Some(leader_addr));
+        if epoch >= repl.epoch() {
+            if repl.role() == Role::Leader {
+                repl.fence(epoch, Some(leader_addr));
+            } else {
+                repl.observe_leader(epoch, Some(leader_addr));
+            }
         }
         let payload = obj(vec![
             ("epoch", n(repl.epoch() as f64)),

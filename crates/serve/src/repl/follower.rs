@@ -17,11 +17,12 @@ use std::time::{Duration, Instant};
 use tracon_core::AppId;
 
 use crate::client::Client;
+use crate::json::Value;
 use crate::proto::{ErrorKind, Reply, Request};
 use crate::reactor::ShardMsg;
-use crate::repl::{decode_pull_chunk, write_epoch, ReplState, Role};
+use crate::repl::{decode_pull_chunk, write_sidecar, EpochSidecar, ReplState, Role};
 use crate::shard::{recover_dir, route_app, HomedTask};
-use crate::wal::Wal;
+use crate::wal::{self, Recovery, Wal};
 
 /// Static configuration for a follower node.
 #[derive(Debug, Clone)]
@@ -103,13 +104,16 @@ impl FollowerCore {
         self.synced
     }
 
-    /// Build the next pull request for `shard`.
+    /// Build the next pull request for `shard`. The request advertises
+    /// this follower's promotion TTL so the leader's write-suspension
+    /// clock runs at least as fast as the promotion clock.
     pub fn pull_request(&self, shard: usize, self_addr: &str) -> Request {
         Request::ReplPull {
             epoch: self.epoch,
             shard,
             cursor: self.cursor(shard),
             addr: self_addr.to_string(),
+            ttl_ms: self.ttl_ms,
         }
     }
 
@@ -192,6 +196,10 @@ pub(crate) fn run_follower(cfg: FollowerConfig, rt: FollowerRuntime) {
     let start = Instant::now();
     let mut core = FollowerCore::new(cfg.shards, repl.epoch(), cfg.ttl_ms.max(1), 0);
     let mut wals = wals;
+    // Per-shard materialized mirror of the shipped stream (snapshot +
+    // frames applied in order): what lets a caught-up follower compact
+    // its own WAL instead of growing it for the life of the pair.
+    let mut mirrors: Vec<Recovery> = wals.iter().map(|_| Recovery::default()).collect();
     let mut leader = cfg.leader_addr.clone();
     let mut client: Option<Client> = None;
     let connect_timeout = Duration::from_millis(cfg.ttl_ms.clamp(100, 2_000));
@@ -230,15 +238,15 @@ pub(crate) fn run_follower(cfg: FollowerConfig, rt: FollowerRuntime) {
                         match core.on_chunk(shard, epoch, boot, chunk.next, now) {
                             ChunkAction::Apply { .. } => {
                                 if core.epoch() != before {
-                                    persist_epoch(&cfg.dir, core.epoch(), &repl);
+                                    persist_epoch(&cfg.dir, core.epoch(), &leader, &repl);
                                 }
-                                apply_chunk(wal, &chunk, &repl);
+                                apply_chunk(wal, &mut mirrors[shard], &chunk, shard, &repl);
                                 round_lag =
                                     round_lag.max(chunk.ship_next.saturating_sub(chunk.next));
                             }
                             ChunkAction::Reset => {
                                 if core.epoch() != before {
-                                    persist_epoch(&cfg.dir, core.epoch(), &repl);
+                                    persist_epoch(&cfg.dir, core.epoch(), &leader, &repl);
                                 }
                                 // Cursors went back to zero; the next
                                 // round re-pulls from the snapshot.
@@ -293,22 +301,46 @@ pub(crate) fn run_follower(cfg: FollowerConfig, rt: FollowerRuntime) {
     }
 }
 
-/// Durably record an observed epoch; a failure is counted but not fatal
-/// for a *follower* (promotion, by contrast, refuses to proceed).
-fn persist_epoch(dir: &Path, epoch: u64, repl: &Arc<ReplState>) {
-    if write_epoch(dir, epoch, Role::Follower).is_err() {
+/// Durably record an observed epoch, along with the leader we are
+/// following (the boot-time probe target if this node restarts without
+/// `--replica-of`). A failure is counted but not fatal for a *follower*
+/// (promotion, by contrast, refuses to proceed).
+fn persist_epoch(dir: &Path, epoch: u64, leader: &str, repl: &Arc<ReplState>) {
+    let sidecar = EpochSidecar {
+        epoch,
+        role: Role::Follower,
+        leader: Some(leader.to_string()),
+        peer: None,
+    };
+    if write_sidecar(dir, &sidecar).is_err() {
         repl.metrics().wal_errors.fetch_add(1, Ordering::Relaxed);
     }
     repl.observe_epoch(epoch);
 }
 
 /// Install the snapshot (if any) and append the frames to one shard WAL,
-/// mirroring the leader-side counters.
-fn apply_chunk(wal: &mut Wal, chunk: &crate::repl::PullChunk, repl: &Arc<ReplState>) {
+/// mirroring the leader-side counters. The materialized `mirror` tracks
+/// the same stream so that, once enough frames accumulate, the follower
+/// compacts its own WAL locally — a healthy pair never crosses the
+/// leader's compaction horizon, so without this the follower's log (and
+/// its promotion replay time) would grow for the life of the pair.
+fn apply_chunk(
+    wal: &mut Wal,
+    mirror: &mut Recovery,
+    chunk: &crate::repl::PullChunk,
+    shard: usize,
+    repl: &Arc<ReplState>,
+) {
     let metrics = repl.metrics();
     if let Some(blob) = &chunk.snapshot {
         if wal.install_snapshot_blob(blob).is_ok() {
             metrics.wal_snapshots.fetch_add(1, Ordering::Relaxed);
+            // The install truncated the log: the mirror restarts from
+            // exactly the installed document.
+            *mirror = Recovery::default();
+            if wal::decode_snapshot(blob, mirror).is_err() {
+                metrics.wal_errors.fetch_add(1, Ordering::Relaxed);
+            }
         } else {
             metrics.wal_errors.fetch_add(1, Ordering::Relaxed);
         }
@@ -316,6 +348,9 @@ fn apply_chunk(wal: &mut Wal, chunk: &crate::repl::PullChunk, repl: &Arc<ReplSta
     if !chunk.frames.is_empty() {
         match wal.append_batch(&chunk.frames) {
             Ok(()) => {
+                for frame in &chunk.frames {
+                    wal::apply(mirror, frame.clone(), shard);
+                }
                 metrics
                     .wal_records
                     .fetch_add(chunk.frames.len() as u64, Ordering::Relaxed);
@@ -324,6 +359,21 @@ fn apply_chunk(wal: &mut Wal, chunk: &crate::repl::PullChunk, repl: &Arc<ReplSta
             Err(_) => {
                 metrics.wal_errors.fetch_add(1, Ordering::Relaxed);
             }
+        }
+    }
+    if wal.snapshot_due() {
+        let next = mirror
+            .tasks
+            .iter()
+            .map(|t| t.task + 1)
+            .max()
+            .unwrap_or(0)
+            .max(mirror.next_task_id);
+        mirror.next_task_id = next;
+        if wal.snapshot(&mirror.tasks, next).is_ok() {
+            metrics.wal_snapshots.fetch_add(1, Ordering::Relaxed);
+        } else {
+            metrics.wal_errors.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -355,8 +405,16 @@ fn promote(
         // The epoch claim must be durable BEFORE any request is served
         // under it: a power cut between promotion and the first serve
         // must come back as (at least) this epoch, or a concurrently
-        // promoted peer could be outranked by our zombie.
-        if write_epoch(&cfg.dir, new_epoch, Role::Leader).is_err() {
+        // promoted peer could be outranked by our zombie. The deposed
+        // leader goes in as the peer so a reboot of THIS node probes it
+        // before re-claiming.
+        let claim = EpochSidecar {
+            epoch: new_epoch,
+            role: Role::Leader,
+            leader: Some(cfg.self_addr.clone()),
+            peer: Some(old_leader.to_string()),
+        };
+        if write_sidecar(&cfg.dir, &claim).is_err() {
             repl.metrics().wal_errors.fetch_add(1, Ordering::Relaxed);
             std::thread::sleep(Duration::from_millis(100));
             continue;
@@ -390,20 +448,79 @@ fn promote(
         // guaranteed the Promote messages are already in each shard's
         // FIFO ahead of any request it routes afterwards.
         repl.promote(new_epoch, Some(cfg.self_addr.clone()));
+        repl.set_peer(Some(old_leader.to_string()));
         repl.metrics().repl_lag_frames.store(0, Ordering::Relaxed);
-        // Best-effort fence: tell the old leader (if it is back) that it
-        // has been superseded so it redirects instead of splitting the
-        // brain. Safety does not depend on this arriving — a stale
-        // leader also fences on the first higher-epoch pull it sees, and
-        // clients walking the address list reach the new leader anyway.
-        if let Ok(mut conn) = Client::connect_with_timeout(old_leader, Duration::from_millis(500)) {
-            let _ = conn.request(Request::ReplLease {
-                epoch: new_epoch,
-                leader_addr: cfg.self_addr.clone(),
-            });
-        }
+        // Fence the predecessor. Safety does not depend on this
+        // arriving — the old leader suspends its own writes once our
+        // pulls stop, fences on any higher-epoch pull, and probes us at
+        // its next boot — but an acknowledged fence converges client
+        // redirects in one round trip instead of a TTL.
+        fence_predecessor(old_leader, new_epoch, &cfg.self_addr, cfg.ttl_ms, shutdown);
         return;
     }
+}
+
+/// How many times a freshly promoted leader re-sends its `repl_lease`
+/// to the predecessor before giving up (the boot-time probe covers a
+/// predecessor that is down for longer than this).
+const FENCE_ATTEMPTS: u32 = 8;
+
+/// Re-send `repl_lease` to the deposed leader, spaced about one TTL
+/// apart, until it acknowledges being outranked or the attempts run
+/// out. Bounded on purpose: the predecessor's port may be reassigned to
+/// an unrelated process after it dies, so this must not retry forever.
+fn fence_predecessor(
+    old_leader: &str,
+    epoch: u64,
+    self_addr: &str,
+    ttl_ms: u64,
+    shutdown: &Arc<AtomicBool>,
+) {
+    let pause_ms = ttl_ms.clamp(100, 2_000);
+    for attempt in 0..FENCE_ATTEMPTS {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if let Ok(mut conn) = Client::connect_with_timeout(old_leader, Duration::from_millis(500)) {
+            if let Ok(Reply::Ok { result, .. }) = conn.request(Request::ReplLease {
+                epoch,
+                leader_addr: self_addr.to_string(),
+            }) {
+                if lease_acknowledged(&result, epoch) {
+                    return;
+                }
+            }
+        }
+        if attempt + 1 == FENCE_ATTEMPTS {
+            return;
+        }
+        // Sleep in slices so daemon shutdown is never held up by this.
+        let mut slept = 0u64;
+        while slept < pause_ms {
+            if shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let step = (pause_ms - slept).min(25);
+            std::thread::sleep(Duration::from_millis(step));
+            slept += step;
+        }
+    }
+}
+
+/// Whether a `repl_lease` reply proves the receiver stepped down: it
+/// reports at least the claimed epoch under a non-leader role. Anything
+/// else (older epoch, still "leader", malformed) means the fence has
+/// not landed.
+fn lease_acknowledged(result: &Value, claimed: u64) -> bool {
+    let epoch_ok = result
+        .get("epoch")
+        .and_then(Value::as_u64)
+        .is_some_and(|epoch| epoch >= claimed);
+    let stepped_down = result
+        .get("role")
+        .and_then(Value::as_str)
+        .is_some_and(|role| role != Role::Leader.as_str());
+    epoch_ok && stepped_down
 }
 
 #[cfg(test)]
@@ -441,6 +558,89 @@ mod tests {
         assert_eq!(core.on_chunk(0, 4, 7, 9, 10), ChunkAction::Stale);
         assert_eq!(core.cursor(0), 0, "stale chunk must not move the cursor");
         assert!(!core.synced(), "stale contact must not arm the lease");
+    }
+
+    #[test]
+    fn lease_ack_requires_the_claimed_epoch_and_a_stepped_down_role() {
+        let ok = crate::json::parse(r#"{"epoch":5,"role":"fenced"}"#).unwrap();
+        assert!(lease_acknowledged(&ok, 5));
+        assert!(lease_acknowledged(&ok, 4));
+        // Higher epoch than claimed still acks (someone outranked us too,
+        // but the predecessor is certainly not serving at OUR epoch).
+        let higher = crate::json::parse(r#"{"epoch":9,"role":"follower"}"#).unwrap();
+        assert!(lease_acknowledged(&higher, 5));
+        // Still leading, older epoch, or malformed: not acknowledged.
+        let leading = crate::json::parse(r#"{"epoch":5,"role":"leader"}"#).unwrap();
+        assert!(!lease_acknowledged(&leading, 5));
+        let stale = crate::json::parse(r#"{"epoch":4,"role":"fenced"}"#).unwrap();
+        assert!(!lease_acknowledged(&stale, 5));
+        let junk = crate::json::parse(r#"{"ok":true}"#).unwrap();
+        assert!(!lease_acknowledged(&junk, 1));
+    }
+
+    /// REVIEW fix: a caught-up follower must compact its own WAL instead
+    /// of appending forever — the mirror replay must produce a snapshot
+    /// that a later recovery agrees with.
+    #[test]
+    fn a_caught_up_follower_compacts_its_wal_locally() {
+        use crate::metrics::Metrics;
+        use crate::repl::{PullChunk, ShipLog};
+        use crate::wal::WalRecord;
+
+        let dir =
+            std::env::temp_dir().join(format!("tracon-follower-compact-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let metrics = Arc::new(Metrics::new());
+        let repl = Arc::new(ReplState::new(
+            Role::Follower,
+            1,
+            None,
+            Arc::new(ShipLog::new(1)),
+            Arc::clone(&metrics),
+            Some(dir.clone()),
+            1,
+        ));
+        let (mut wal, _) = Wal::open_shard(&dir, 0, 4).unwrap();
+        let mut mirror = Recovery::default();
+
+        // Ship 3 tasks + 3 completions in caught-up-sized chunks: enough
+        // records to trip the snapshot_every=4 cadence at least once.
+        for task in 0..3u64 {
+            let chunk = PullChunk {
+                snapshot: None,
+                frames: vec![
+                    WalRecord::Submit {
+                        task,
+                        app: "grep".into(),
+                    },
+                    WalRecord::Complete { task, runtime: 1.0 },
+                ],
+                next: (task + 1) * 2,
+                ship_next: (task + 1) * 2,
+            };
+            apply_chunk(&mut wal, &mut mirror, &chunk, 0, &repl);
+        }
+        assert!(
+            metrics.wal_snapshots.load(Ordering::Relaxed) >= 1,
+            "no local compaction happened"
+        );
+        assert!(
+            !wal.snapshot_due(),
+            "compaction must reset the records-since-snapshot counter"
+        );
+        drop(wal);
+
+        // A recovery of the compacted directory sees the same world the
+        // mirror does: all 3 tasks completed, ids not reused.
+        let (_, recovered) = Wal::open_shard(&dir, 0, 4).unwrap();
+        assert_eq!(recovered.tasks.len(), 3);
+        assert_eq!(recovered.next_task_id, 3);
+        assert!(
+            recovered.replayed_records < 6,
+            "log was never truncated: all {} records replayed",
+            recovered.replayed_records
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,210 @@
+//! Leader-side lease bookkeeping: the replication **slot** and write
+//! **suspension**.
+//!
+//! The follower's lease logic ([`super::FollowerCore`]) promotes it when
+//! the leader goes silent for the TTL. This is the mirror image: the
+//! leader tracks the last `repl_pull` it served and, once its registered
+//! follower has been silent for the same TTL, stops acknowledging
+//! mutations — by then the follower may legitimately have promoted, and
+//! a write acked here would never be replicated. Suspension bounds the
+//! lost-acked-write window to at most one TTL of a partition; it does
+//! not change the node's [`super::Role`] (a suspended leader still
+//! serves reads and pulls, and resumes if its follower turns out to be
+//! alive).
+//!
+//! The slot also enforces the **single-follower pair**: epochs are
+//! claimed as `observed + 1` with no tiebreaker, so two followers of the
+//! same leader could promote to the *same* epoch and never fence each
+//! other. Allowing only one registered follower address per leader
+//! incarnation makes that topology unreachable — a second follower is
+//! refused until the operator restarts the leader to re-pair it.
+//!
+//! Like [`super::FollowerCore`], this is a pure state machine over
+//! caller-supplied milliseconds so the reactor and the deterministic
+//! [`super::sim`] harness run identical logic.
+
+/// Verdict on one incoming `repl_pull`. The caller must have fenced on a
+/// higher epoch *before* consulting the guard: a pull stamped with an
+/// epoch `<=` the leader's proves the puller has not durably promoted
+/// (promotion claims a strictly greater epoch before anything else),
+/// which is what makes [`PullAdmission::Granted`] with `resumed: true`
+/// safe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PullAdmission {
+    /// Serve the pull; the lease is renewed.
+    Granted {
+        /// Writes were suspended and this pull proved the follower never
+        /// promoted, so they may resume.
+        resumed: bool,
+    },
+    /// A different follower already holds the replication slot.
+    Conflict {
+        /// The registered follower's address.
+        holder: String,
+    },
+}
+
+/// The leader's view of its one follower: who holds the slot, when it
+/// last pulled, and whether writes are suspended.
+#[derive(Debug)]
+pub struct LeaderGuard {
+    ttl_ms: u64,
+    holder: Option<String>,
+    last_pull_ms: u64,
+    suspended: bool,
+}
+
+impl LeaderGuard {
+    /// A guard with no registered follower (a standalone WAL-backed
+    /// daemon never suspends).
+    pub fn new(ttl_ms: u64) -> LeaderGuard {
+        LeaderGuard {
+            ttl_ms: ttl_ms.max(1),
+            holder: None,
+            last_pull_ms: 0,
+            suspended: false,
+        }
+    }
+
+    /// The registered follower's address, if any.
+    pub fn holder(&self) -> Option<&str> {
+        self.holder.as_deref()
+    }
+
+    /// True when this pull registers the first follower of this leader
+    /// incarnation (worth persisting as the peer hint).
+    pub fn vacant(&self) -> bool {
+        self.holder.is_none()
+    }
+
+    /// Tighten the TTL to the puller's advertised promotion TTL (0 =
+    /// unknown, ignored). The guarantee "the leader suspends no later
+    /// than its follower promotes" needs the leader's clock to run on
+    /// the *follower's* TTL when that is the shorter one; TTLs only ever
+    /// shrink so a transiently misconfigured puller cannot loosen the
+    /// window back up.
+    pub fn observe_ttl(&mut self, ttl_ms: u64) {
+        if ttl_ms > 0 {
+            self.ttl_ms = self.ttl_ms.min(ttl_ms.max(1));
+        }
+    }
+
+    /// Admit (or refuse) one pull from `addr` at `now_ms`. The first
+    /// address to pull takes the slot for the life of the process; the
+    /// same address renews the lease and lifts any suspension.
+    pub fn on_pull(&mut self, addr: &str, now_ms: u64) -> PullAdmission {
+        match &self.holder {
+            Some(holder) if holder != addr => PullAdmission::Conflict {
+                holder: holder.clone(),
+            },
+            _ => {
+                if self.holder.is_none() {
+                    self.holder = Some(addr.to_string());
+                }
+                self.last_pull_ms = now_ms;
+                let resumed = self.suspended;
+                self.suspended = false;
+                PullAdmission::Granted { resumed }
+            }
+        }
+    }
+
+    /// Advance the clock; returns true when writes newly suspend (the
+    /// registered follower has been silent for the TTL).
+    pub fn tick(&mut self, now_ms: u64) -> bool {
+        if self.suspended || self.holder.is_none() {
+            return false;
+        }
+        if now_ms.saturating_sub(self.last_pull_ms) >= self.ttl_ms {
+            self.suspended = true;
+            return true;
+        }
+        false
+    }
+
+    /// When writes are suspended, the address of the silent follower —
+    /// the best redirect hint, since that node is the one that may have
+    /// promoted.
+    pub fn suspended_hint(&self) -> Option<&str> {
+        if self.suspended {
+            self.holder.as_deref()
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_follower_takes_the_slot_and_silence_suspends_writes() {
+        let mut guard = LeaderGuard::new(100);
+        assert!(guard.vacant());
+        // No follower registered: silence alone never suspends.
+        assert!(!guard.tick(10_000));
+        assert_eq!(
+            guard.on_pull("10.0.0.2:7400", 50),
+            PullAdmission::Granted { resumed: false }
+        );
+        assert!(!guard.vacant());
+        assert!(!guard.tick(149));
+        assert!(guard.tick(150), "TTL of silence must suspend writes");
+        assert_eq!(guard.suspended_hint(), Some("10.0.0.2:7400"));
+        // Only the first lapse reports a transition.
+        assert!(!guard.tick(500));
+    }
+
+    #[test]
+    fn a_pull_from_the_holder_renews_and_resumes() {
+        let mut guard = LeaderGuard::new(100);
+        guard.on_pull("f1", 0);
+        assert!(guard.tick(100));
+        // The holder turns out to be alive (and, by its epoch, provably
+        // unpromoted): writes resume.
+        assert_eq!(
+            guard.on_pull("f1", 120),
+            PullAdmission::Granted { resumed: true }
+        );
+        assert_eq!(guard.suspended_hint(), None);
+        assert!(!guard.tick(219));
+        assert!(guard.tick(220));
+    }
+
+    #[test]
+    fn the_ttl_tightens_to_the_pullers_but_never_loosens() {
+        let mut guard = LeaderGuard::new(1_500);
+        guard.observe_ttl(0); // unknown: ignored
+        guard.on_pull("f1", 0);
+        assert!(!guard.tick(1_499));
+        guard.observe_ttl(1_200);
+        guard.on_pull("f1", 2_000);
+        guard.observe_ttl(1_500); // looser advert changes nothing
+        assert!(!guard.tick(3_199));
+        assert!(guard.tick(3_200), "suspension must run on the tighter TTL");
+    }
+
+    #[test]
+    fn a_second_follower_is_refused_even_after_the_holder_lapses() {
+        let mut guard = LeaderGuard::new(100);
+        guard.on_pull("f1", 0);
+        assert_eq!(
+            guard.on_pull("f2", 10),
+            PullAdmission::Conflict {
+                holder: "f1".into()
+            }
+        );
+        // The slot stays with the (possibly promoted) holder even once
+        // it is silent: handing it to f2 could mint a second synced
+        // follower and, with it, an equal-epoch split brain.
+        assert!(guard.tick(200));
+        assert_eq!(
+            guard.on_pull("f2", 300),
+            PullAdmission::Conflict {
+                holder: "f1".into()
+            }
+        );
+        assert_eq!(guard.suspended_hint(), Some("f1"));
+    }
+}

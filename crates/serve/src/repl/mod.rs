@@ -32,6 +32,7 @@
 //! failover are fast deterministic unit properties.
 
 pub mod follower;
+pub mod guard;
 pub mod ship;
 pub mod sim;
 
@@ -45,6 +46,7 @@ use crate::metrics::Metrics;
 use crate::wal::WalRecord;
 
 pub use follower::{ChunkAction, FollowerConfig, FollowerCore};
+pub use guard::{LeaderGuard, PullAdmission};
 pub use ship::{PullChunk, ShipLog, MAX_PULL_FRAMES};
 
 /// A node's replication role. The numeric values are the wire/metrics
@@ -78,6 +80,16 @@ impl Role {
             _ => Role::Fenced,
         }
     }
+
+    /// Parse a sidecar/wire role name; `None` for anything unknown.
+    pub fn parse(name: &str) -> Option<Role> {
+        match name {
+            "leader" => Some(Role::Leader),
+            "follower" => Some(Role::Follower),
+            "fenced" => Some(Role::Fenced),
+            _ => None,
+        }
+    }
 }
 
 /// Shared replication state: the node's role, epoch, leader hint, and
@@ -88,6 +100,11 @@ pub struct ReplState {
     role: AtomicU8,
     epoch: AtomicU64,
     leader_addr: Mutex<Option<String>>,
+    /// The replication peer this node most recently paired with: the
+    /// registered follower on a leader, the deposed leader on a promoted
+    /// node. Persisted in the sidecar so a rebooted leader knows whom to
+    /// probe before serving.
+    peer: Mutex<Option<String>>,
     ship: Arc<ShipLog>,
     metrics: Arc<Metrics>,
     /// WAL directory holding the `repl.epoch` sidecar (`None` only in
@@ -118,6 +135,7 @@ impl ReplState {
             role: AtomicU8::new(role as u8),
             epoch: AtomicU64::new(epoch),
             leader_addr: Mutex::new(leader_addr),
+            peer: Mutex::new(None),
             ship,
             metrics,
             dir,
@@ -171,6 +189,57 @@ impl ReplState {
             .unwrap_or_else(|poisoned| poisoned.into_inner()) = addr;
     }
 
+    /// The recorded replication peer, if any.
+    pub fn peer(&self) -> Option<String> {
+        self.peer
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .clone()
+    }
+
+    /// Set the peer hint in memory only (boot-time load from the sidecar).
+    pub fn set_peer(&self, addr: Option<String>) {
+        *self
+            .peer
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner()) = addr;
+    }
+
+    /// Record a newly paired peer and persist it into the sidecar, so a
+    /// crashed-and-rebooted leader knows whom to probe before serving.
+    pub fn record_peer(&self, addr: &str) {
+        self.set_peer(Some(addr.to_string()));
+        self.persist(self.role());
+    }
+
+    /// Adopt a higher epoch and leader hint *without* fencing — how a
+    /// non-leader node digests a `repl_lease` so its redirects converge
+    /// on the claimant immediately.
+    pub fn observe_leader(&self, epoch: u64, leader: Option<String>) {
+        self.observe_epoch(epoch);
+        if leader.is_some() {
+            self.set_leader_addr(leader);
+        }
+    }
+
+    /// Durably rewrite the sidecar from current state under `role`;
+    /// failures are counted, not fatal (the caller decides whether
+    /// durability is a hard requirement — promotion persists *before*
+    /// flipping state and uses [`write_sidecar`] directly).
+    fn persist(&self, role: Role) {
+        if let Some(dir) = &self.dir {
+            let sidecar = EpochSidecar {
+                epoch: self.epoch(),
+                role,
+                leader: self.leader_addr(),
+                peer: self.peer(),
+            };
+            if write_sidecar(dir, &sidecar).is_err() {
+                self.metrics.wal_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// The shared ship log.
     pub fn ship(&self) -> &Arc<ShipLog> {
         &self.ship
@@ -196,11 +265,10 @@ impl ReplState {
         if leader.is_some() {
             self.set_leader_addr(leader);
         }
-        if let Some(dir) = &self.dir {
-            if write_epoch(dir, self.epoch(), Role::Fenced).is_err() {
-                self.metrics.wal_errors.fetch_add(1, Ordering::Relaxed);
-            }
-        }
+        // The persisted sidecar keeps the leader hint and peer too, so a
+        // fenced node that reboots comes back fenced and still knows
+        // where to redirect clients.
+        self.persist(Role::Fenced);
         self.set_role(Role::Fenced);
     }
 
@@ -218,26 +286,96 @@ impl ReplState {
 /// Name of the durable epoch sidecar inside the WAL directory.
 pub const EPOCH_FILE: &str = "repl.epoch";
 
+/// The durable replication sidecar: the claimed/observed epoch plus the
+/// role this node last held and its last known leader and peer
+/// addresses. Role and addresses let a rebooted node avoid the
+/// split-brain trap of blindly re-claiming leadership: a node that was
+/// fenced comes back fenced, and a node that led probes its recorded
+/// peer before serving mutations again.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochSidecar {
+    /// The durable epoch (0 = never replicated).
+    pub epoch: u64,
+    /// The role this node last persisted under.
+    pub role: Role,
+    /// Last known leader address (redirect hint for fenced/follower
+    /// boots).
+    pub leader: Option<String>,
+    /// The replication peer (the follower, seen from the leader; the
+    /// deposed leader, seen from a promoted node).
+    pub peer: Option<String>,
+}
+
+impl Default for EpochSidecar {
+    fn default() -> EpochSidecar {
+        EpochSidecar {
+            epoch: 0,
+            // A node with no sidecar (or a pre-role sidecar) has never
+            // been fenced, which is what booting as leader relied on.
+            role: Role::Leader,
+            leader: None,
+            peer: None,
+        }
+    }
+}
+
+/// Read the full sidecar from `dir`; all defaults when absent or
+/// unreadable (a fresh node).
+pub fn read_sidecar(dir: &Path) -> EpochSidecar {
+    let Ok(text) = std::fs::read_to_string(dir.join(EPOCH_FILE)) else {
+        return EpochSidecar::default();
+    };
+    let Ok(doc) = crate::json::parse(&text) else {
+        return EpochSidecar::default();
+    };
+    let grab = |key: &str| {
+        doc.get(key)
+            .and_then(Value::as_str)
+            .filter(|v| !v.is_empty())
+            .map(str::to_string)
+    };
+    EpochSidecar {
+        epoch: doc.get("epoch").and_then(Value::as_u64).unwrap_or(0),
+        role: doc
+            .get("role")
+            .and_then(Value::as_str)
+            .and_then(Role::parse)
+            .unwrap_or(Role::Leader),
+        leader: grab("leader"),
+        peer: grab("peer"),
+    }
+}
+
 /// Read the durable replication epoch from `dir`; 0 when the sidecar is
 /// absent or unreadable (a fresh node).
 pub fn read_epoch(dir: &Path) -> u64 {
-    let Ok(text) = std::fs::read_to_string(dir.join(EPOCH_FILE)) else {
-        return 0;
-    };
-    crate::json::parse(&text)
-        .ok()
-        .and_then(|v| v.get("epoch").and_then(|e| e.as_u64()))
-        .unwrap_or(0)
+    read_sidecar(dir).epoch
 }
 
-/// Durably persist the replication epoch: write to a temp file, fsync,
+/// Durably persist the replication sidecar: write to a temp file, fsync,
 /// rename over the sidecar, fsync the directory — the same discipline as
 /// snapshot installs, so a claimed epoch survives power loss before any
-/// request is served under it.
-pub fn write_epoch(dir: &Path, epoch: u64, role: Role) -> io::Result<()> {
+/// request is served under it. The temp name carries a sequence number
+/// so two writers (follower thread vs reactor fence) cannot interleave
+/// inside one temp file; last rename wins whole.
+pub fn write_sidecar(dir: &Path, sidecar: &EpochSidecar) -> io::Result<()> {
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
     std::fs::create_dir_all(dir)?;
-    let doc = obj(vec![("epoch", n(epoch as f64)), ("role", s(role.as_str()))]).to_string();
-    let tmp = dir.join("repl.epoch.tmp");
+    let mut pairs = vec![
+        ("epoch", n(sidecar.epoch as f64)),
+        ("role", s(sidecar.role.as_str())),
+    ];
+    if let Some(leader) = &sidecar.leader {
+        pairs.push(("leader", s(leader.clone())));
+    }
+    if let Some(peer) = &sidecar.peer {
+        pairs.push(("peer", s(peer.clone())));
+    }
+    let doc = obj(pairs).to_string();
+    let tmp = dir.join(format!(
+        "repl.epoch.{}.tmp",
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
     {
         let mut file = std::fs::File::create(&tmp)?;
         file.write_all(doc.as_bytes())?;
@@ -248,6 +386,20 @@ pub fn write_epoch(dir: &Path, epoch: u64, role: Role) -> io::Result<()> {
         let _ = dirf.sync_data();
     }
     Ok(())
+}
+
+/// Persist epoch and role only (no leader/peer hints) — the minimal
+/// sidecar write used by tests and simple callers.
+pub fn write_epoch(dir: &Path, epoch: u64, role: Role) -> io::Result<()> {
+    write_sidecar(
+        dir,
+        &EpochSidecar {
+            epoch,
+            role,
+            leader: None,
+            peer: None,
+        },
+    )
 }
 
 /// Render a `repl_pull` reply payload: epoch, boot nonce, shard, the
@@ -318,14 +470,64 @@ mod tests {
     fn epoch_sidecar_roundtrips_and_defaults_to_zero() {
         let dir = tmpdir("epoch");
         assert_eq!(read_epoch(&dir), 0);
+        assert_eq!(read_sidecar(&dir), EpochSidecar::default());
         write_epoch(&dir, 7, Role::Leader).unwrap();
         assert_eq!(read_epoch(&dir), 7);
+        assert_eq!(read_sidecar(&dir).role, Role::Leader);
         write_epoch(&dir, 9, Role::Fenced).unwrap();
         assert_eq!(read_epoch(&dir), 9);
+        assert_eq!(read_sidecar(&dir).role, Role::Fenced);
         // Garbage in the sidecar reads as a fresh node, not a panic.
         std::fs::write(dir.join(EPOCH_FILE), b"not json").unwrap();
         assert_eq!(read_epoch(&dir), 0);
+        assert_eq!(read_sidecar(&dir).role, Role::Leader);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sidecar_keeps_role_and_addresses_across_a_reboot() {
+        let dir = tmpdir("sidecar");
+        let full = EpochSidecar {
+            epoch: 4,
+            role: Role::Fenced,
+            leader: Some("10.0.0.2:7400".into()),
+            peer: Some("10.0.0.3:7400".into()),
+        };
+        write_sidecar(&dir, &full).unwrap();
+        assert_eq!(read_sidecar(&dir), full);
+        // A pre-role sidecar (epoch only) still parses, defaulting to the
+        // historical boot-as-leader behavior.
+        std::fs::write(dir.join(EPOCH_FILE), b"{\"epoch\":3}").unwrap();
+        assert_eq!(
+            read_sidecar(&dir),
+            EpochSidecar {
+                epoch: 3,
+                ..EpochSidecar::default()
+            }
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn observe_leader_adopts_epoch_and_hint_without_fencing() {
+        let state = ReplState::new(
+            Role::Follower,
+            3,
+            Some("old:1".into()),
+            Arc::new(ShipLog::new(1)),
+            Arc::new(Metrics::new()),
+            None,
+            1,
+        );
+        state.observe_leader(5, Some("new:2".into()));
+        assert_eq!(state.role(), Role::Follower, "observation must not fence");
+        assert_eq!(state.epoch(), 5);
+        assert_eq!(state.leader_addr().as_deref(), Some("new:2"));
+        // A stale observation neither regresses the epoch nor (with no
+        // hint) clears the address.
+        state.observe_leader(4, None);
+        assert_eq!(state.epoch(), 5);
+        assert_eq!(state.leader_addr().as_deref(), Some("new:2"));
     }
 
     #[test]

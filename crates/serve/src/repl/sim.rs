@@ -16,7 +16,7 @@ use std::time::{Duration, Instant};
 use tracon_dcsim::{Testbed, TestbedConfig};
 
 use crate::metrics::Metrics;
-use crate::repl::{ChunkAction, FollowerCore, PullChunk, ReplState, Role, ShipLog};
+use crate::repl::{ChunkAction, FollowerCore, LeaderGuard, PullChunk, ReplState, Role, ShipLog};
 use crate::shard::{route_app, shard_machines};
 use crate::state::{SchedKind, ServeConfig, Service, StatusSnapshot};
 use crate::wal::{self, Recovery};
@@ -152,6 +152,7 @@ pub struct SimCluster {
     cfg: ServeConfig,
     services: Vec<Service>,
     repl: ReplState,
+    guard: LeaderGuard,
 
     core: FollowerCore,
     journals: Vec<Journal>,
@@ -221,6 +222,9 @@ impl SimCluster {
             cfg,
             services,
             repl,
+            // The leader runs the same TTL as the follower, like a real
+            // pair whose pull hints have converged the two clocks.
+            guard: LeaderGuard::new(ttl_ms.max(1)),
             core: FollowerCore::new(shards, 0, ttl_ms.max(1), 0),
             journals: (0..shards).map(|_| Journal::default()).collect(),
             poll_ms: poll_ms.max(1),
@@ -290,10 +294,20 @@ impl SimCluster {
         self.net.clear();
     }
 
+    /// Whether the leader has suspended mutations because its follower
+    /// has been silent for the replication TTL.
+    pub fn leader_writes_suspended(&self) -> bool {
+        self.guard.suspended_hint().is_some()
+    }
+
     /// Submit one task to the leader, app chosen by the RNG. `None` when
-    /// the leader is dead/fenced or refuses (backpressure).
+    /// the leader is dead/fenced, write-suspended, or refuses
+    /// (backpressure).
     pub fn submit_any(&mut self) -> Option<u64> {
-        if !self.leader_alive || self.repl.role() != Role::Leader {
+        if !self.leader_alive
+            || self.repl.role() != Role::Leader
+            || self.guard.suspended_hint().is_some()
+        {
             return None;
         }
         let apps = self.services[0].app_list().len();
@@ -306,9 +320,12 @@ impl SimCluster {
     }
 
     /// Report one task complete on the leader. False when refused
-    /// (unknown/not running) or the leader is dead/fenced.
+    /// (unknown/not running) or the leader is dead/fenced/suspended.
     pub fn complete(&mut self, task: u64) -> bool {
-        if !self.leader_alive || self.repl.role() != Role::Leader {
+        if !self.leader_alive
+            || self.repl.role() != Role::Leader
+            || self.guard.suspended_hint().is_some()
+        {
             return false;
         }
         let now = self.inst();
@@ -349,6 +366,10 @@ impl SimCluster {
                 for svc in &mut self.services {
                     svc.tick(now);
                 }
+                // The leader-side lease: once the registered follower is
+                // silent past the TTL, the leader stops acking writes —
+                // before (or at latest when) the follower can promote.
+                self.guard.tick(self.now_ms);
             }
             if self.now_ms >= self.next_poll_ms {
                 self.next_poll_ms = self.now_ms + self.poll_ms;
@@ -391,6 +412,9 @@ impl SimCluster {
                     if self.repl.role() != Role::Leader {
                         continue; // not_leader: no chunk for the puller.
                     }
+                    // The pair's one follower renews the leader-side
+                    // lease (and lifts any suspension) on every pull.
+                    self.guard.on_pull("follower", self.now_ms);
                     let chunk = self.repl.ship().pull(shard, cursor);
                     self.send(SimMsg::Chunk {
                         shard,
@@ -661,6 +685,42 @@ mod tests {
         // A fenced node refuses mutations.
         assert!(sim.submit_any().is_none());
         assert!(promoted.conserved());
+    }
+
+    /// A partitioned leader must stop acking writes no later than its
+    /// follower's lease lapses (when promotion becomes legitimate): every
+    /// write acked past that point would be silently lost to the new
+    /// leader. Suspension is not fencing — the link healing (with the
+    /// follower provably unpromoted, by its epoch) resumes writes.
+    #[test]
+    fn partitioned_leader_suspends_writes_before_the_follower_promotes() {
+        let mut sim = SimCluster::new(42, 1, 200, 10, SimKnobs::default());
+        for _ in 0..5 {
+            sim.submit_any();
+            sim.step(5);
+        }
+        assert!(sim.run_until_synced(3_000));
+        sim.set_partitioned(true);
+        // Inside the TTL the leader still serves writes: this is the
+        // bounded lost-acked-write window.
+        assert!(sim.submit_any().is_some());
+        assert!(sim.run_until_lease_lapse(3_000));
+        // By the time the follower MAY promote, the leader has already
+        // gone read-only — without any message reaching it.
+        assert!(sim.leader_writes_suspended());
+        assert!(sim.submit_any().is_none());
+        assert!(!sim.complete(0));
+        assert_eq!(
+            sim.leader_role(),
+            Role::Leader,
+            "suspension must not change the role"
+        );
+        // Heal before anyone promotes: the follower's same-epoch pulls
+        // prove it never claimed leadership, so writes resume.
+        sim.set_partitioned(false);
+        sim.step(50);
+        assert!(!sim.leader_writes_suspended());
+        assert!(sim.submit_any().is_some());
     }
 
     /// Heavy duplication alone must not corrupt the follower: the merge

@@ -79,6 +79,7 @@ fn request() -> impl Strategy<Value = Request> {
                     shard: (task % 64) as usize,
                     cursor: task / 2,
                     addr: nonempty,
+                    ttl_ms: task % 5_000,
                 },
                 6 => Request::ReplLease {
                     epoch: task,
