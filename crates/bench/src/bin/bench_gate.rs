@@ -9,8 +9,8 @@
 //! fresh artifact from `--fresh`, and compares every throughput row —
 //! where higher is better — that appears in both. Throughput rows are
 //! the `events/s` kernel figures, the `req/s` tracond loopback figures,
-//! the `records/s` WAL fsync figures, and the `frames/s` WAL shipping
-//! figure; each unit carries its own
+//! the `records/s` WAL fsync figures, the `frames/s` WAL shipping
+//! figure, and the `MB/s` WAL scrub figure; each unit carries its own
 //! tolerance band (see `GATED_UNITS`), and a fresh value below the
 //! committed one by more than its band fails the gate (exit 1). When no
 //! committed artifact exists yet the gate skips
@@ -41,6 +41,10 @@ const GATED_UNITS: &[(&str, f64)] = &[
     ("req/s", 0.45),
     ("records/s", 0.45),
     ("frames/s", 0.45),
+    // WAL scrub throughput (MB scanned per second, higher is better):
+    // a CRC walk over a page-warm log, so regressions past the wide
+    // device band mean the scrubber grew a copy or re-read it must not.
+    ("MB/s", 0.45),
 ];
 
 /// Rows gated by *name* (lower is better), each with the fractional

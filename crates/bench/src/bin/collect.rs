@@ -620,6 +620,54 @@ fn tracond_suite(quick: bool, tb: &Testbed, results: &mut Vec<serde_json::Value>
         eprintln!("tracond/wal_fsync_batch{batch_size}: {best_per_sec:.0} records/s (best of 2)");
     }
 
+    // WAL scrub throughput: the background scrubber's read-only re-walk
+    // of a sealed log (length sanity + CRC per frame, snapshot parse) —
+    // the cost ceiling on how often a node can afford to re-verify its
+    // durable state. Reported as MB scanned per wall-clock second over a
+    // page-warm log, best of 2 like the other device-adjacent rows.
+    let dir = std::env::temp_dir().join(format!("tracon-bench-scrub-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let scrub_records = if quick { 2_000usize } else { 20_000 };
+    {
+        let (mut wal, _) = Wal::open_shard(&dir, 0, u64::MAX).expect("scrub bench WAL opens");
+        let recs: Vec<WalRecord> = (0..scrub_records as u64)
+            .map(|task| WalRecord::Submit {
+                task: task + 1,
+                app: "bench-app".to_string(),
+            })
+            .collect();
+        for chunk in recs.chunks(64) {
+            wal.append_batch(chunk).expect("scrub bench append");
+        }
+    }
+    let scrub_passes = if quick { 8usize } else { 32 };
+    // Warm pass: the row measures the CRC walk, not cold-cache reads.
+    let warm = tracon_serve::wal::scrub_shard(&dir, 0).expect("scrub bench warm pass");
+    assert!(warm.clean(), "bench log must scrub clean");
+    let mut best_mbps = 0.0f64;
+    for _pass in 0..2 {
+        let mut bytes = 0u64;
+        let t0 = Instant::now();
+        for _ in 0..scrub_passes {
+            bytes += tracon_serve::wal::scrub_shard(&dir, 0)
+                .expect("scrub bench pass")
+                .scanned_bytes;
+        }
+        let mbps = bytes as f64 / 1e6 / t0.elapsed().as_secs_f64().max(1e-9);
+        best_mbps = best_mbps.max(mbps);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    results.push(json!({
+        "suite": "tracond",
+        "name": "wal_scrub_mb_per_sec",
+        "metric": "scrub_throughput",
+        "unit": "MB/s",
+        "value": best_mbps,
+        "records": scrub_records,
+        "passes": scrub_passes,
+    }));
+    eprintln!("tracond/wal_scrub_mb_per_sec: {best_mbps:.0} MB/s (best of 2)");
+
     // WAL shipping: a follower-style client drains the leader's ship log
     // over loopback in `repl_pull` chunks — the replication fan-out path
     // a warm standby rides. The daemon keeps its ship log intact

@@ -46,6 +46,11 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Args {
 }
 
 impl Args {
+    /// Optional string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
     /// String option with a default.
     pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
         self.options.get(key).map(|s| s.as_str()).unwrap_or(default)

@@ -65,7 +65,11 @@ COMMANDS:
                            --addr takes a comma-separated failover list so a
                            restarted daemon may come back on another port;
                            [--settle-timeout-ms N=30000] bounds the final
-                           wait for all work to reach a terminal state)
+                           wait for all work to reach a terminal state;
+                           [--failpoints SPEC] arms server-side fault
+                           injection over the fail verb for the run, e.g.
+                           wal.append.sync=err%50;seed=7 — the report
+                           pairs faults injected with faults observed)
   drain      Ask a running tracond to stop admitting work and exit when idle
              --addr HOST:PORT
   table1     Reproduce the paper's motivating interference table
@@ -701,6 +705,7 @@ fn chaos(args: &Args, addr: &str) -> Result<String, String> {
         orphan_every: args.num_or("orphan-every", defaults.orphan_every)?,
         settle_timeout_ms: args.num_or("settle-timeout-ms", defaults.settle_timeout_ms)?,
         reconnect_timeout_ms: args.num_or("reconnect-timeout-ms", defaults.reconnect_timeout_ms)?,
+        failpoints: args.get("failpoints").map(str::to_string),
     };
     if cfg.requests == 0 {
         return Err("--requests must be positive".into());

@@ -136,6 +136,19 @@ pub fn start(testbed: &Testbed, cfg: ServeConfig, net: NetConfig) -> std::io::Re
             ),
         ));
     }
+    // Boot-time fault arming for torture harnesses: a daemon started
+    // with TRACON_FAILPOINTS=<spec> comes up with the registry armed, so
+    // CI can inject faults into a node it can only reach after boot.
+    if let Ok(spec) = std::env::var("TRACON_FAILPOINTS") {
+        if !spec.trim().is_empty() {
+            crate::failpoint::arm(&spec).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!("TRACON_FAILPOINTS: {e}"),
+                )
+            })?;
+        }
+    }
     let metrics = Arc::new(Metrics::with_shards(shards));
     let slices = shard_machines(cfg.machines, shards);
     let mut services: Vec<Service> = slices
@@ -321,6 +334,38 @@ pub fn start(testbed: &Testbed, cfg: ServeConfig, net: NetConfig) -> std::io::Re
         core_threads.push(std::thread::spawn(move || run_follower(follower_cfg, rt)));
     }
 
+    // Background WAL scrubber for leader/standalone nodes (a follower
+    // scrubs inline in its pull loop, where it can also repair), plus
+    // the self-healing rejoin supervisor for replicated nodes.
+    if let Some(dir) = cfg.wal_dir.clone() {
+        {
+            let metrics = Arc::clone(&metrics);
+            let repl = repl_state.clone();
+            let shutdown = Arc::clone(&shutdown);
+            let dir = dir.clone();
+            core_threads.push(std::thread::spawn(move || {
+                scrub_loop(&dir, shards, &metrics, repl.as_ref(), &shutdown);
+            }));
+        }
+        if let Some(repl) = repl_state.clone() {
+            let base = FollowerConfig {
+                leader_addr: String::new(), // filled in per rejoin
+                self_addr: addr.to_string(),
+                dir,
+                shards,
+                snapshot_every: cfg.wal_snapshot_every,
+                ttl_ms: cfg.repl_ttl_ms,
+                poll_ms: cfg.repl_poll_ms,
+            };
+            let shard_txs = shard_txs.clone();
+            let app_ids = app_ids.clone();
+            let shutdown = Arc::clone(&shutdown);
+            core_threads.push(std::thread::spawn(move || {
+                rejoin_supervisor(base, repl, shard_txs, app_ids, shutdown);
+            }));
+        }
+    }
+
     // The reactor thread: owns the protocol listener and every client.
     {
         let reactor_cfg = ReactorConfig {
@@ -482,6 +527,161 @@ fn boot_nonce() -> u64 {
     (nanos ^ (u64::from(std::process::id()) << 32)) | 1
 }
 
+/// Cadence of the leader/standalone background WAL scrubber.
+const SCRUB_LOOP_MS: u64 = 2_000;
+
+/// Background scrub for nodes whose WAL is authoritative (standalone, or
+/// the current leader of a pair — a follower scrubs inline in its pull
+/// loop, where it can also repair from the leader). Rot is quarantined
+/// by truncation: replay cannot see past a mid-file corruption anyway,
+/// so truncating loses nothing recovery could have used, and the next
+/// append lands on a clean frame boundary.
+fn scrub_loop(
+    dir: &std::path::Path,
+    shards: usize,
+    metrics: &Arc<Metrics>,
+    repl: Option<&Arc<ReplState>>,
+    shutdown: &Arc<AtomicBool>,
+) {
+    // Per-shard "already reported" latch so an unrepairable corrupt
+    // snapshot is counted once, not once per pass.
+    let mut reported = vec![false; shards];
+    loop {
+        let mut slept = 0u64;
+        while slept < SCRUB_LOOP_MS {
+            if shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+            slept += 25;
+        }
+        if repl.is_some_and(|r| r.role() != Role::Leader) {
+            continue;
+        }
+        metrics.scrub_runs.fetch_add(1, Ordering::Relaxed);
+        for (shard, latched) in reported.iter_mut().enumerate() {
+            let Ok(report) = crate::wal::scrub_shard(dir, shard) else {
+                continue;
+            };
+            if report.clean() {
+                *latched = false;
+                continue;
+            }
+            if let Some(at) = report.corrupt_at {
+                let _ = crate::wal::quarantine_shard(dir, shard, at);
+            }
+            if !*latched {
+                *latched = true;
+                metrics
+                    .scrub_corrupt_frames
+                    .fetch_add(report.corrupt_count(), Ordering::Relaxed);
+                metrics.wal_degraded.store(1, Ordering::Relaxed);
+                eprintln!(
+                    "tracond event=scrub_corrupt shard={shard} frames_ok={} \
+                     quarantined_bytes={} snapshot_corrupt={} \
+                     action=\"quarantined (no peer to repair from)\"",
+                    report.frames_ok, report.quarantined_bytes, report.snapshot_corrupt
+                );
+            }
+        }
+    }
+}
+
+/// How often a fenced node probes for a live leader to rejoin under.
+const REJOIN_PROBE_MS: u64 = 300;
+
+/// The self-healing rejoin supervisor: a node fenced mid-flight (by a
+/// promoted peer's lease, a higher-epoch pull, or the boot probe) keeps
+/// watching its leader hint and, once a live leader answers there,
+/// demotes itself back into the follower loop — every shard worker
+/// surrenders its state and WAL handle, the shard files are wiped (the
+/// epoch sidecar survives), and the node resyncs from the leader's
+/// snapshot. Loops for the life of the daemon so the pair survives any
+/// number of role swaps.
+fn rejoin_supervisor(
+    base: FollowerConfig,
+    repl: Arc<ReplState>,
+    shard_txs: Vec<mpsc::Sender<ShardMsg>>,
+    app_ids: HashMap<String, AppId>,
+    shutdown: Arc<AtomicBool>,
+) {
+    loop {
+        let mut slept = 0u64;
+        while slept < REJOIN_PROBE_MS {
+            if shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+            slept += 25;
+        }
+        if repl.role() != Role::Fenced {
+            continue;
+        }
+        let Some(leader) = repl.leader_addr() else {
+            continue;
+        };
+        if leader == base.self_addr {
+            continue;
+        }
+        // Confirm the hint actually leads before wiping anything. The
+        // probe runs one epoch below ours so it can never fence a peer.
+        let probed = probe_peer(&leader, repl.epoch().saturating_sub(1), &base.self_addr);
+        let Some((peer_epoch, Role::Leader)) = probed else {
+            continue;
+        };
+        if peer_epoch < repl.epoch() {
+            continue;
+        }
+        // Every shard worker must let go of its WAL handle before the
+        // shard files are deleted underneath it.
+        let (done_tx, done_rx) = mpsc::channel::<()>();
+        for tx in &shard_txs {
+            let _ = tx.send(ShardMsg::Demote {
+                done: done_tx.clone(),
+            });
+        }
+        drop(done_tx);
+        let mut acked = 0usize;
+        while acked < shard_txs.len() {
+            match done_rx.recv_timeout(Duration::from_secs(5)) {
+                Ok(()) => acked += 1,
+                Err(_) => break,
+            }
+        }
+        if acked < shard_txs.len() {
+            continue; // Shutdown mid-demote; re-evaluate next round.
+        }
+        if (0..base.shards).any(|shard| remove_shard_files(&base.dir, shard).is_err()) {
+            repl.metrics().wal_errors.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        let shards = base.shards;
+        let route = |name: &str| app_ids.get(name).map(|&id| route_app(id, shards));
+        let Ok((wals, _)) = recover_dir(&base.dir, shards, base.snapshot_every, &route) else {
+            repl.metrics().wal_errors.fetch_add(1, Ordering::Relaxed);
+            continue;
+        };
+        repl.demote_to_follower(leader.clone());
+        eprintln!(
+            "tracond event=rejoin addr={} leader={leader} epoch={}",
+            base.self_addr,
+            repl.epoch()
+        );
+        let mut cfg = base.clone();
+        cfg.leader_addr = leader;
+        let rt = FollowerRuntime {
+            wals,
+            repl: Arc::clone(&repl),
+            shard_txs: shard_txs.clone(),
+            app_ids: app_ids.clone(),
+            shutdown: Arc::clone(&shutdown),
+        };
+        // Blocks until shutdown or this node promotes again; either way
+        // the watch resumes.
+        run_follower(cfg, rt);
+    }
+}
+
 /// Join every connection thread that has already returned, keeping the
 /// Vec's length proportional to live connections.
 fn reap_finished(handles: &mut Vec<JoinHandle<()>>) {
@@ -588,6 +788,14 @@ fn shard_worker(
                     svc.adopt_recovered(&recs, now);
                     svc.align_next_task_id(next_task_id);
                     svc.write_snapshot();
+                }
+                ShardMsg::Demote { done } => {
+                    // The rejoin supervisor is folding this fenced node
+                    // back into a follower: drop every task and the WAL
+                    // handle so the shard files can be wiped and resynced
+                    // from the new leader's snapshot.
+                    svc.demote();
+                    let _ = done.send(());
                 }
             }
             sent = true;
@@ -804,21 +1012,39 @@ fn serve_http(mut stream: TcpStream, draining: &AtomicBool, metrics: &Arc<Metric
         }
     }
     let request = String::from_utf8_lossy(&buf);
-    let path = request
+    let target = request
         .lines()
         .next()
         .and_then(|line| line.split_whitespace().nth(1))
         .unwrap_or("");
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
     let (status, content_type, body) = match path {
-        "/healthz" => (
-            "200 OK",
-            "application/json",
-            obj(vec![
-                ("ok", Value::Bool(true)),
-                ("draining", Value::Bool(draining.load(Ordering::SeqCst))),
-            ])
-            .to_string(),
-        ),
+        "/healthz" => {
+            // `?strict=1` turns silent storage degradation into a
+            // non-200 so orchestrators can page on it: a daemon whose
+            // WAL went memory-only or whose scrub found unrepaired rot
+            // is up, but not durable.
+            let strict = query.split('&').any(|kv| kv == "strict=1");
+            let degraded = metrics.wal_degraded.load(Ordering::Relaxed) != 0;
+            let failing = strict && degraded;
+            (
+                if failing {
+                    "503 Service Unavailable"
+                } else {
+                    "200 OK"
+                },
+                "application/json",
+                obj(vec![
+                    ("ok", Value::Bool(!failing)),
+                    ("draining", Value::Bool(draining.load(Ordering::SeqCst))),
+                    ("wal_degraded", Value::Bool(degraded)),
+                ])
+                .to_string(),
+            )
+        }
         "/metrics" => (
             "200 OK",
             "text/plain; version=0.0.4",

@@ -27,10 +27,15 @@
 //!   attacks the daemon (killed connections, garbage bytes, partial
 //!   frames) while asserting task conservation.
 //! * [`wal`] — the append-only, checksummed write-ahead log and snapshot
-//!   compaction behind crash recovery.
+//!   compaction behind crash recovery, plus the background scrub that
+//!   re-verifies sealed regions against bit rot.
 //! * [`repl`] — leader/follower replication: WAL frame shipping over the
-//!   protocol, lease-based promotion with durable epoch fencing, and a
-//!   deterministic in-process failover harness.
+//!   protocol, lease-based promotion with durable epoch fencing,
+//!   automatic fenced-node rejoin, and a deterministic in-process
+//!   failover harness.
+//! * [`failpoint`] — deterministic fault injection: named sites in every
+//!   fallible I/O path, armable over the wire or `TRACON_FAILPOINTS`,
+//!   zero-cost while disarmed.
 
 #![warn(missing_docs)]
 // The daemon request path must never panic on client input or I/O: a
@@ -40,6 +45,7 @@
 
 pub mod client;
 pub mod daemon;
+pub mod failpoint;
 pub mod json;
 pub mod loadgen;
 pub mod metrics;

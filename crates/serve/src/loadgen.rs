@@ -492,6 +492,12 @@ pub struct ChaosConfig {
     pub settle_timeout_ms: u64,
     /// Total time budget for one reconnect (covers a daemon restart).
     pub reconnect_timeout_ms: u64,
+    /// Failpoint spec (`site[@scope]=action[*count][%permille];…`) armed
+    /// on the daemon over the `fail` control verb before the storm and
+    /// disarmed after; the report then pairs server-side injected faults
+    /// with the faults the client observed. `None` leaves the registry
+    /// alone.
+    pub failpoints: Option<String>,
 }
 
 impl Default for ChaosConfig {
@@ -507,6 +513,7 @@ impl Default for ChaosConfig {
             orphan_every: 7,
             settle_timeout_ms: 30_000,
             reconnect_timeout_ms: 15_000,
+            failpoints: None,
         }
     }
 }
@@ -555,6 +562,12 @@ pub struct ChaosReport {
     pub settled: bool,
     /// Final daemon counters (admitted, completed, dead-lettered).
     pub final_counts: (u64, u64, u64),
+    /// Failpoint sites armed on the daemon at the start of the run.
+    pub failpoints_armed: usize,
+    /// Faults the daemon reported injecting (its `fail status` counter at
+    /// the end of the run; 0 when no spec was armed or the armed node
+    /// died before it could be asked).
+    pub faults_injected: u64,
 }
 
 impl ChaosReport {
@@ -563,14 +576,32 @@ impl ChaosReport {
         self.conservation_violations == 0 && self.settled && self.conservation_checks > 0
     }
 
+    /// Faults the *client* observed: replies lost to dead connections
+    /// plus refused completions — the visible fallout of whatever the
+    /// injected faults (and the generator's own sabotage) broke.
+    pub fn faults_observed(&self) -> usize {
+        self.ambiguous_submits + self.ambiguous_completes + self.completion_refusals
+    }
+
     /// Render the human-readable summary the CLI prints.
     pub fn render(&self) -> String {
+        let failpoint_line = if self.failpoints_armed > 0 {
+            format!(
+                "failpoints: {} sites armed, {} faults injected server-side, \
+                 {} faults observed client-side\n",
+                self.failpoints_armed,
+                self.faults_injected,
+                self.faults_observed(),
+            )
+        } else {
+            String::new()
+        };
         format!(
             "chaos: {} submits acked ({} ambiguous, {} backpressure), \
              {} completions ({} refused, {} ambiguous), {} orphaned\n\
              probes: {} garbage, {} oversized, {} partial frames, {} kills, {} reconnects, \
              {} not-leader redirects, {} unexpected replies\n\
-             conservation: {}/{} checks ok, settled: {} \
+             {failpoint_line}conservation: {}/{} checks ok, settled: {} \
              (admitted {}, completed {}, dead-lettered {})\n\
              verdict: {}\n",
             self.acked_submits,
@@ -694,6 +725,25 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
     let apps = fetch_apps(&mut client)?;
     if apps.is_empty() {
         return Err("daemon reports no profiled applications".to_string());
+    }
+    // Arm server-side failpoints before the storm begins. A rejected spec
+    // is a usage error, not chaos: fail loudly.
+    if let Some(spec) = &cfg.failpoints {
+        let reply = client
+            .request(Request::Fail {
+                action: "arm".to_string(),
+                spec: Some(spec.clone()),
+            })
+            .map_err(|e| format!("failpoint arm: {e}"))?;
+        match reply {
+            Reply::Ok { result, .. } => {
+                report.failpoints_armed =
+                    result.get("armed").and_then(Value::as_u64).unwrap_or(0) as usize;
+            }
+            Reply::Error { message, .. } => {
+                return Err(format!("failpoint arm rejected: {message}"));
+            }
+        }
     }
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     // Placed tasks awaiting a synthesized completion: (task, predicted_runtime).
@@ -922,6 +972,22 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
             break;
         }
         std::thread::sleep(Duration::from_millis(100));
+    }
+    // Collect the server-side injection count, then leave the registry
+    // clean. Best effort: the armed node may have died mid-run (that is
+    // the point of some torture setups), and the survivor's count is
+    // still the honest answer for *it*.
+    if cfg.failpoints.is_some() {
+        if let Ok(Reply::Ok { result, .. }) = client.request(Request::Fail {
+            action: "status".to_string(),
+            spec: None,
+        }) {
+            report.faults_injected = result.get("injected").and_then(Value::as_u64).unwrap_or(0);
+        }
+        let _ = client.request(Request::Fail {
+            action: "disarm".to_string(),
+            spec: None,
+        });
     }
     Ok(report)
 }

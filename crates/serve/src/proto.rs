@@ -84,6 +84,17 @@ pub enum Request {
         /// Protocol address of the claimant, for redirect hints.
         leader_addr: String,
     },
+    /// Control: arm, disarm, or inspect the daemon's fault-injection
+    /// registry (see [`crate::failpoint`]). Served inline by the reactor
+    /// and honored on every node regardless of role — chaos harnesses
+    /// must be able to torment followers too.
+    Fail {
+        /// `"arm"`, `"disarm"`, or `"status"`.
+        action: String,
+        /// Failpoint spec for `arm` (grammar:
+        /// `site[@scope]=action[*count][%permille];…`).
+        spec: Option<String>,
+    },
 }
 
 /// A request together with its echoed client id.
@@ -300,6 +311,13 @@ pub fn encode_request(envelope: &Envelope) -> String {
             pairs.push(("epoch", n(*epoch as f64)));
             pairs.push(("leader_addr", s(leader_addr.clone())));
         }
+        Request::Fail { action, spec } => {
+            pairs.push(("op", s("fail")));
+            pairs.push(("action", s(action.clone())));
+            if let Some(spec) = spec {
+                pairs.push(("spec", s(spec.clone())));
+            }
+        }
     }
     obj(pairs).to_string()
 }
@@ -497,6 +515,28 @@ pub fn decode_request(line: &str) -> Result<Envelope, DecodeError> {
                 }
             },
         },
+        "fail" => {
+            let action = match doc.get("action").and_then(Value::as_str) {
+                Some(a @ ("arm" | "disarm" | "status")) => a.to_string(),
+                _ => {
+                    return Err(DecodeError {
+                        id,
+                        kind: ErrorKind::BadField,
+                        message: "missing or invalid 'action' (expected arm|disarm|status)"
+                            .to_string(),
+                    })
+                }
+            };
+            let spec = doc.get("spec").and_then(Value::as_str).map(str::to_string);
+            if action == "arm" && spec.is_none() {
+                return Err(DecodeError {
+                    id,
+                    kind: ErrorKind::BadField,
+                    message: "'arm' requires a 'spec' string".to_string(),
+                });
+            }
+            Request::Fail { action, spec }
+        }
         other => {
             return Err(DecodeError {
                 id,
@@ -761,6 +801,32 @@ mod tests {
                 .unwrap_err();
         assert_eq!(e.kind, ErrorKind::BadField);
         let e = decode_request("{\"v\":2,\"op\":\"repl_lease\",\"epoch\":1}").unwrap_err();
+        assert_eq!(e.kind, ErrorKind::BadField);
+    }
+
+    #[test]
+    fn fail_verb_roundtrips_and_validates() {
+        for request in [
+            Request::Fail {
+                action: "arm".to_string(),
+                spec: Some("wal.append.sync=err*3;seed=7".to_string()),
+            },
+            Request::Fail {
+                action: "disarm".to_string(),
+                spec: None,
+            },
+            Request::Fail {
+                action: "status".to_string(),
+                spec: None,
+            },
+        ] {
+            let envelope = Envelope { id: None, request };
+            let line = encode_request(&envelope);
+            assert_eq!(decode_request(&line).unwrap(), envelope);
+        }
+        let e = decode_request("{\"v\":2,\"op\":\"fail\",\"action\":\"explode\"}").unwrap_err();
+        assert_eq!(e.kind, ErrorKind::BadField);
+        let e = decode_request("{\"v\":2,\"op\":\"fail\",\"action\":\"arm\"}").unwrap_err();
         assert_eq!(e.kind, ErrorKind::BadField);
     }
 

@@ -121,6 +121,16 @@ pub(crate) enum ShardMsg {
         /// Global `next_task_id` high-water mark across all shards.
         next_task_id: u64,
     },
+    /// A fenced ex-leader is rejoining the pair as a follower: drop all
+    /// scheduler state and surrender the WAL handle so the rejoin
+    /// supervisor can wipe the shard files and resync from the new
+    /// leader's snapshot. Mirror of [`ShardMsg::Promote`]. The `done`
+    /// ack lets the supervisor wait until every worker has let go of its
+    /// file handles before deleting the files under them.
+    Demote {
+        /// Signalled (best-effort) once the worker's state is dropped.
+        done: Sender<()>,
+    },
 }
 
 /// Everything a shard worker sends back to the reactor.
@@ -380,6 +390,10 @@ struct Reactor {
     /// last served pull and suspends mutations once the follower has
     /// been silent long enough that it may have promoted.
     repl_guard: LeaderGuard,
+    /// Configured guard TTL, kept so the guard can be rebuilt fresh when
+    /// this node loses the leader role (a rejoined ex-leader is a *new*
+    /// follower; the old slot holder must not linger).
+    repl_ttl_ms: u64,
     /// Millisecond origin for the guard's clock.
     start: Instant,
 
@@ -415,6 +429,7 @@ impl Reactor {
             repl: cfg.repl,
             repl_lag,
             repl_guard: LeaderGuard::new(cfg.repl_ttl_ms),
+            repl_ttl_ms: cfg.repl_ttl_ms,
             start: Instant::now(),
             conns: HashMap::new(),
             next_conn: 0,
@@ -529,6 +544,11 @@ impl Reactor {
         loop {
             match self.listener.accept() {
                 Ok((stream, _)) => {
+                    // Failpoint: drop the fresh connection on the floor,
+                    // as if the accept had failed under fd pressure.
+                    if crate::failpoint::should_fail("reactor.accept", "").is_some() {
+                        continue;
+                    }
                     stream.set_nodelay(true).ok();
                     if stream.set_nonblocking(true).is_err() {
                         continue;
@@ -547,6 +567,12 @@ impl Reactor {
     /// pre-reactor per-thread loop: oversized frames get one structured
     /// error and their tail is discarded without being buffered.
     fn read_conn(&mut self, id: u64, now: Instant) {
+        // Failpoint: the socket read "fails"; the connection is torn down
+        // exactly as a real I/O error would tear it down.
+        if crate::failpoint::should_fail("reactor.read", "").is_some() {
+            self.close(id);
+            return;
+        }
         let mut chunk = [0u8; 4096];
         loop {
             let Some(conn) = self.conns.get_mut(&id) else {
@@ -689,6 +715,10 @@ impl Reactor {
                 let line = self.serve_repl_lease(req_id, epoch, leader_addr);
                 self.complete(id, seq, line);
             }
+            Request::Fail { action, spec } => {
+                let line = serve_fail(req_id, &action, spec.as_deref());
+                self.complete(id, seq, line);
+            }
             Request::Submit { app, demand } => {
                 if let Some(line) = self.refuse_if_not_leader(&req_id) {
                     self.complete(id, seq, line);
@@ -772,6 +802,13 @@ impl Reactor {
             self.metrics
                 .repl_writes_suspended
                 .store(0, Ordering::Relaxed);
+            // Forget the follower slot and any suspension: if this node
+            // is later re-promoted (rejoin cycles swap the pair's roles
+            // repeatedly), its follower will be a different address and
+            // must be able to claim a vacant slot.
+            if !self.repl_guard.vacant() {
+                self.repl_guard = LeaderGuard::new(self.repl_ttl_ms);
+            }
             return;
         }
         let now_ms = now.duration_since(self.start).as_millis() as u64;
@@ -893,6 +930,16 @@ impl Reactor {
         epoch: u64,
         leader_addr: String,
     ) -> String {
+        // Failpoint: the lease claim is "lost" before processing — the
+        // claimant retries and safety falls back to the pull-epoch fence.
+        if crate::failpoint::should_fail("repl.lease", &leader_addr).is_some() {
+            let reply = Reply::error(
+                req_id,
+                ErrorKind::Malformed,
+                "failpoint injected: repl.lease".to_string(),
+            );
+            return proto::encode_reply(&reply);
+        }
         let Some(repl) = self.repl.as_ref() else {
             let reply = Reply::error(
                 req_id,
@@ -1089,6 +1136,12 @@ impl Reactor {
     }
 
     fn flush_conn(&mut self, id: u64, now: Instant) {
+        // Failpoint: the socket write "fails" mid-reply; clients see a
+        // dropped connection with the reply possibly half-delivered.
+        if crate::failpoint::should_fail("reactor.write", "").is_some() {
+            self.close(id);
+            return;
+        }
         let Some(conn) = self.conns.get_mut(&id) else {
             return;
         };
@@ -1178,6 +1231,43 @@ impl Reactor {
     fn close(&mut self, id: u64) {
         self.conns.remove(&id);
     }
+}
+
+/// Serve the `fail` control verb inline: arm, disarm, or report the
+/// process-wide failpoint registry. Answered by the reactor on every
+/// node regardless of role — chaos tooling must be able to arm faults
+/// on followers and fenced nodes, not just the leader.
+fn serve_fail(req_id: Option<String>, action: &str, spec: Option<&str>) -> String {
+    let reply = match action {
+        "arm" => match crate::failpoint::arm(spec.unwrap_or_default()) {
+            Ok(count) => Reply::ok(
+                req_id,
+                obj(vec![
+                    ("armed", n(count as f64)),
+                    ("status", s(crate::failpoint::status_line())),
+                ]),
+            ),
+            Err(e) => Reply::error(req_id, ErrorKind::BadField, format!("fail spec: {e}")),
+        },
+        "disarm" => {
+            // Capture the tally before disarming wipes the registry.
+            let injected = crate::failpoint::injected_total();
+            crate::failpoint::disarm_all();
+            Reply::ok(
+                req_id,
+                obj(vec![("armed", n(0.0)), ("injected", n(injected as f64))]),
+            )
+        }
+        // Decode validated the verb, so this is `status`.
+        _ => Reply::ok(
+            req_id,
+            obj(vec![
+                ("injected", n(crate::failpoint::injected_total() as f64)),
+                ("status", s(crate::failpoint::status_line())),
+            ]),
+        ),
+    };
+    proto::encode_reply(&reply)
 }
 
 /// Sum per-shard snapshots into the daemon-wide `status` payload. Field

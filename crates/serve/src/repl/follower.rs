@@ -99,6 +99,16 @@ impl FollowerCore {
         self.cursors.get(shard).copied().unwrap_or(0)
     }
 
+    /// Send one shard's cursor home. Cursor 0 is always behind the
+    /// leader's compaction horizon (the ship base never stays at 0), so
+    /// the next pull answers with a full snapshot install — the scrub
+    /// repair path uses exactly this to re-pull a quarantined shard.
+    pub fn reset_cursor(&mut self, shard: usize) {
+        if let Some(cursor) = self.cursors.get_mut(shard) {
+            *cursor = 0;
+        }
+    }
+
     /// Whether a successful pull has ever happened.
     pub fn synced(&self) -> bool {
         self.synced
@@ -181,10 +191,15 @@ pub(crate) struct FollowerRuntime {
     pub shutdown: Arc<AtomicBool>,
 }
 
+/// How often the follower re-walks its sealed WAL regions for bit rot.
+const SCRUB_INTERVAL_MS: u64 = 500;
+
 /// The follower replication thread: pull every shard each poll round,
-/// append/install locally, and promote when the leader's lease lapses.
-/// Returns when the daemon shuts down or after a successful promotion
-/// (a promoted leader never re-demotes; rejoin requires a restart).
+/// append/install locally, scrub the local WAL for rot (repairing by
+/// re-pulling the affected shard from the leader), and promote when the
+/// leader's lease lapses. Returns when the daemon shuts down or after a
+/// successful promotion; if the promoted leader is later fenced, the
+/// daemon's rejoin supervisor demotes it back into this loop.
 pub(crate) fn run_follower(cfg: FollowerConfig, rt: FollowerRuntime) {
     let FollowerRuntime {
         wals,
@@ -200,6 +215,10 @@ pub(crate) fn run_follower(cfg: FollowerConfig, rt: FollowerRuntime) {
     // frames applied in order): what lets a caught-up follower compact
     // its own WAL instead of growing it for the life of the pair.
     let mut mirrors: Vec<Recovery> = wals.iter().map(|_| Recovery::default()).collect();
+    // Shards whose local WAL was quarantined by a scrub and are waiting
+    // for the snapshot re-install that completes the repair.
+    let mut pending_repair: Vec<bool> = vec![false; wals.len()];
+    let mut last_scrub_ms = 0u64;
     let mut leader = cfg.leader_addr.clone();
     let mut client: Option<Client> = None;
     let connect_timeout = Duration::from_millis(cfg.ttl_ms.clamp(100, 2_000));
@@ -214,6 +233,10 @@ pub(crate) fn run_follower(cfg: FollowerConfig, rt: FollowerRuntime) {
                 &cfg, &core, wals, &repl, &shard_txs, &app_ids, &shutdown, &leader,
             );
             return;
+        }
+        if now.saturating_sub(last_scrub_ms) >= SCRUB_INTERVAL_MS {
+            last_scrub_ms = now;
+            scrub_pass(&cfg, &repl, &mut core, &mut mirrors, &mut pending_repair);
         }
 
         if client.is_none() {
@@ -240,7 +263,29 @@ pub(crate) fn run_follower(cfg: FollowerConfig, rt: FollowerRuntime) {
                                 if core.epoch() != before {
                                     persist_epoch(&cfg.dir, core.epoch(), &leader, &repl);
                                 }
-                                apply_chunk(wal, &mut mirrors[shard], &chunk, shard, &repl);
+                                let installed =
+                                    apply_chunk(wal, &mut mirrors[shard], &chunk, shard, &repl);
+                                if pending_repair[shard] {
+                                    if installed {
+                                        // The quarantined shard now holds
+                                        // the leader's authoritative
+                                        // snapshot: repair complete.
+                                        pending_repair[shard] = false;
+                                        let metrics = repl.metrics();
+                                        metrics.scrub_repaired.fetch_add(1, Ordering::Relaxed);
+                                        if !pending_repair.iter().any(|p| *p) {
+                                            metrics.wal_degraded.store(0, Ordering::Relaxed);
+                                        }
+                                        eprintln!(
+                                            "tracond event=scrub_repaired shard={shard} \
+                                             source=\"peer snapshot install\""
+                                        );
+                                    } else if chunk.snapshot.is_some() {
+                                        // The install itself failed; go
+                                        // back to the snapshot path.
+                                        core.reset_cursor(shard);
+                                    }
+                                }
                                 round_lag =
                                     round_lag.max(chunk.ship_next.saturating_sub(chunk.next));
                             }
@@ -324,17 +369,24 @@ fn persist_epoch(dir: &Path, epoch: u64, leader: &str, repl: &Arc<ReplState>) {
 /// compacts its own WAL locally — a healthy pair never crosses the
 /// leader's compaction horizon, so without this the follower's log (and
 /// its promotion replay time) would grow for the life of the pair.
+///
+/// Returns `true` when the chunk carried a snapshot blob and it was
+/// installed successfully (the signal the scrub-repair path waits on).
 fn apply_chunk(
     wal: &mut Wal,
     mirror: &mut Recovery,
     chunk: &crate::repl::PullChunk,
     shard: usize,
     repl: &Arc<ReplState>,
-) {
+) -> bool {
     let metrics = repl.metrics();
+    let mut installed = false;
     if let Some(blob) = &chunk.snapshot {
-        if wal.install_snapshot_blob(blob).is_ok() {
+        let injected = crate::failpoint::armed()
+            && crate::failpoint::should_fail("repl.follower.install", &shard.to_string()).is_some();
+        if !injected && wal.install_snapshot_blob(blob).is_ok() {
             metrics.wal_snapshots.fetch_add(1, Ordering::Relaxed);
+            installed = true;
             // The install truncated the log: the mirror restarts from
             // exactly the installed document.
             *mirror = Recovery::default();
@@ -374,6 +426,55 @@ fn apply_chunk(
             metrics.wal_snapshots.fetch_add(1, Ordering::Relaxed);
         } else {
             metrics.wal_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    installed
+}
+
+/// One scrub pass over every shard's sealed WAL region. A shard with rot
+/// (mid-file CRC mismatch, implausible frame length, or an unparseable
+/// snapshot) is quarantined on the spot — the log is truncated at the
+/// corrupt offset — and queued for repair: the materialized mirror and
+/// the pull cursor both reset so the next pull re-installs the leader's
+/// authoritative snapshot wholesale. The live `Wal` handle stays valid
+/// across the truncation because its fd is `O_APPEND`: the next append
+/// lands at the new (clean-boundary) end of file.
+fn scrub_pass(
+    cfg: &FollowerConfig,
+    repl: &Arc<ReplState>,
+    core: &mut FollowerCore,
+    mirrors: &mut [Recovery],
+    pending_repair: &mut [bool],
+) {
+    let metrics = repl.metrics();
+    metrics.scrub_runs.fetch_add(1, Ordering::Relaxed);
+    for shard in 0..mirrors.len() {
+        let Ok(report) = wal::scrub_shard(&cfg.dir, shard) else {
+            continue;
+        };
+        if report.clean() {
+            continue;
+        }
+        if let Some(at) = report.corrupt_at {
+            let _ = wal::quarantine_shard(&cfg.dir, shard, at);
+        }
+        mirrors[shard] = Recovery::default();
+        core.reset_cursor(shard);
+        if !pending_repair[shard] {
+            // First detection for this shard: count it and raise the
+            // degraded gauge. A corrupt *snapshot* keeps scrubbing dirty
+            // until the re-install overwrites it — gate the counters on
+            // the repair flag so one incident is one increment.
+            pending_repair[shard] = true;
+            metrics
+                .scrub_corrupt_frames
+                .fetch_add(report.corrupt_count(), Ordering::Relaxed);
+            metrics.wal_degraded.store(1, Ordering::Relaxed);
+            eprintln!(
+                "tracond event=scrub_corrupt shard={shard} frames_ok={} quarantined_bytes={} \
+                 snapshot_corrupt={} action=\"re-pull from leader\"",
+                report.frames_ok, report.quarantined_bytes, report.snapshot_corrupt
+            );
         }
     }
 }

@@ -281,6 +281,17 @@ impl ReplState {
         self.set_leader_addr(self_addr);
         self.set_role(Role::Leader);
     }
+
+    /// Self-healing rejoin: a fenced ex-leader that confirmed a live
+    /// leader demotes into its follower. The Follower role is persisted
+    /// *before* the in-memory flip (same discipline as [`Self::fence`]),
+    /// so a crash mid-rejoin reboots as a follower of the recorded
+    /// leader instead of re-entering the fence/probe cycle.
+    pub fn demote_to_follower(&self, leader: String) {
+        self.set_leader_addr(Some(leader));
+        self.persist(Role::Follower);
+        self.set_role(Role::Follower);
+    }
 }
 
 /// Name of the durable epoch sidecar inside the WAL directory.
@@ -360,6 +371,11 @@ pub fn read_epoch(dir: &Path) -> u64 {
 /// inside one temp file; last rename wins whole.
 pub fn write_sidecar(dir: &Path, sidecar: &EpochSidecar) -> io::Result<()> {
     static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    if crate::failpoint::armed()
+        && crate::failpoint::should_fail("repl.sidecar", &dir.to_string_lossy()).is_some()
+    {
+        return Err(crate::failpoint::injected_error("repl.sidecar"));
+    }
     std::fs::create_dir_all(dir)?;
     let mut pairs = vec![
         ("epoch", n(sidecar.epoch as f64)),

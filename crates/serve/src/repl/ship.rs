@@ -52,13 +52,23 @@ struct ShardShip {
 /// reactor serves pulls.
 pub struct ShipLog {
     shards: Vec<Mutex<ShardShip>>,
+    /// Failpoint scope for this instance's `repl.ship.push` site, so a
+    /// test can arm faults against its own ship without touching other
+    /// ships alive in the same process.
+    scope: String,
 }
 
 impl ShipLog {
     /// An empty ship log for `shards` shards.
     pub fn new(shards: usize) -> ShipLog {
+        ShipLog::new_scoped(shards, String::new())
+    }
+
+    /// An empty ship log whose failpoint sites carry `scope`.
+    pub fn new_scoped(shards: usize, scope: String) -> ShipLog {
         ShipLog {
             shards: (0..shards.max(1)).map(|_| Mutex::default()).collect(),
+            scope,
         }
     }
 
@@ -76,6 +86,13 @@ impl ShipLog {
     /// Append one group-committed batch to a shard's tail.
     pub fn push(&self, shard: usize, recs: &[WalRecord]) {
         if shard >= self.shards.len() || recs.is_empty() {
+            return;
+        }
+        // Failpoint: silently drop the batch from the ship. No sequence
+        // gap opens (later pushes just take earlier numbers); the records
+        // reach the follower only with the next snapshot trim — exactly
+        // the lag window the scrub/repair properties exercise.
+        if crate::failpoint::should_fail("repl.ship.push", &self.scope).is_some() {
             return;
         }
         self.lock(shard).frames.extend_from_slice(recs);

@@ -149,6 +149,11 @@ pub struct SimCluster {
     leader_alive: bool,
 
     shards: usize,
+    ttl_ms: u64,
+    /// Failpoint scope carried by this cluster's ship logs, so a test can
+    /// arm `repl.ship.push@<scope>` without faulting other ships in the
+    /// process.
+    ship_scope: String,
     cfg: ServeConfig,
     services: Vec<Service>,
     repl: ReplState,
@@ -183,7 +188,8 @@ impl SimCluster {
             ..ServeConfig::default()
         };
         let metrics = Arc::new(Metrics::with_shards(shards));
-        let ship = Arc::new(ShipLog::new(shards));
+        let ship_scope = format!("sim-{seed:016x}");
+        let ship = Arc::new(ShipLog::new_scoped(shards, ship_scope.clone()));
         let slices = shard_machines(cfg.machines, shards);
         let services: Vec<Service> = (0..shards)
             .map(|shard| {
@@ -219,6 +225,8 @@ impl SimCluster {
             partitioned: false,
             leader_alive: true,
             shards,
+            ttl_ms: ttl_ms.max(1),
+            ship_scope,
             cfg,
             services,
             repl,
@@ -252,6 +260,11 @@ impl SimCluster {
     /// Virtual now.
     pub fn now_ms(&self) -> u64 {
         self.now_ms
+    }
+
+    /// The failpoint scope carried by this cluster's ship logs.
+    pub fn ship_scope(&self) -> &str {
+        &self.ship_scope
     }
 
     fn inst(&self) -> Instant {
@@ -488,7 +501,7 @@ impl SimCluster {
         );
         let epoch = self.core.claim_epoch();
         let metrics = Arc::new(Metrics::with_shards(self.shards));
-        let ship = Arc::new(ShipLog::new(self.shards));
+        let ship = Arc::new(ShipLog::new_scoped(self.shards, self.ship_scope.clone()));
         let slices = shard_machines(self.cfg.machines, self.shards);
         let now = self.inst();
         let mut global_next = 0u64;
@@ -526,9 +539,67 @@ impl SimCluster {
         PromotedNode {
             epoch,
             services,
+            ship,
+            metrics,
             base: self.base,
             now_ms: self.now_ms,
         }
+    }
+
+    /// Install a promoted node as this cluster's leader side and reset
+    /// the follower side to a blank rejoiner — the sim twin of the live
+    /// rejoin supervisor: the fenced ex-leader wipes its shard files,
+    /// demotes, and resyncs from the new leader through snapshot install.
+    pub fn swap_in_promoted(&mut self, node: PromotedNode) {
+        let PromotedNode {
+            epoch,
+            mut services,
+            ship,
+            metrics,
+            ..
+        } = node;
+        // Seed the new leader's ship exactly as the real promotion does:
+        // each shard publishes a covering snapshot, so the trim pushes the
+        // ship base past 0 and a cursor-0 rejoiner starts with a snapshot
+        // install instead of assuming it saw the pre-promotion frames.
+        for svc in &mut services {
+            svc.write_snapshot();
+        }
+        self.services = services;
+        self.repl = ReplState::new(
+            Role::Leader,
+            epoch,
+            None,
+            ship,
+            metrics,
+            None,
+            self.rng.next_u64() | 1,
+        );
+        self.guard = LeaderGuard::new(self.ttl_ms);
+        self.leader_alive = true;
+        self.partitioned = false;
+        self.net.clear();
+        self.core = FollowerCore::new(self.shards, epoch, self.ttl_ms, self.now_ms);
+        self.journals = (0..self.shards).map(|_| Journal::default()).collect();
+        self.next_poll_ms = self.now_ms;
+    }
+
+    /// Bit rot lands on one follower journal: the snapshot blob is lost
+    /// and a suffix of the frames is destroyed — the sim twin of a mid-log
+    /// CRC failure on disk.
+    pub fn corrupt_journal(&mut self, shard: usize) {
+        let journal = &mut self.journals[shard];
+        journal.snapshot = None;
+        let keep = journal.frames.len() / 2;
+        journal.frames.truncate(keep);
+    }
+
+    /// What the follower's scrub pass does on detection: quarantine the
+    /// journal (drop it wholesale) and reset the pull cursor to 0 so the
+    /// next pulls re-install the shard from the leader.
+    pub fn scrub_repair(&mut self, shard: usize) {
+        self.journals[shard] = Journal::default();
+        self.core.reset_cursor(shard);
     }
 
     /// Deliver a promoted peer's `repl_lease` claim to the (old) leader,
@@ -566,6 +637,8 @@ pub struct PromotedNode {
     /// old leader served at).
     pub epoch: u64,
     services: Vec<Service>,
+    ship: Arc<ShipLog>,
+    metrics: Arc<Metrics>,
     base: Instant,
     now_ms: u64,
 }
@@ -784,6 +857,174 @@ mod tests {
         sim.kill_leader();
         assert!(sim.run_until_lease_lapse(3_000));
         let promoted = sim.promote_follower();
+        assert_eq!(promoted.counts(), leader);
+        assert!(promoted.conserved());
+    }
+
+    /// The self-healing rejoin: a fenced ex-leader demotes into the
+    /// single follower slot, wipes, and resyncs from the promoted leader
+    /// through a snapshot install — all within 2 lease TTLs of the link
+    /// healing. The rejoined pair must then survive a second failover
+    /// with the full ledger intact.
+    #[test]
+    fn fenced_ex_leader_rejoins_and_resyncs_within_two_ttls() {
+        for seed in [3u64, 0xA11CE] {
+            let ttl = 300u64;
+            let mut sim = SimCluster::new(seed, 2, ttl, 10, SimKnobs::default());
+            sim.set_snapshot_every(4);
+            let mut tasks = Vec::new();
+            for _ in 0..12 {
+                if let Some(t) = sim.submit_any() {
+                    tasks.push(t);
+                }
+                sim.step(5);
+            }
+            for &t in tasks.iter().take(5) {
+                sim.complete(t);
+                sim.step(5);
+            }
+            assert!(sim.run_until_synced(5_000), "seed {seed}: never synced");
+            sim.set_partitioned(true);
+            assert!(sim.run_until_lease_lapse(3_000));
+            let promoted = sim.promote_follower();
+            let expect = promoted.counts();
+            // Heal: the promotion's lease claim fences the old leader...
+            sim.set_partitioned(false);
+            let role = sim.deliver_lease_to_leader(promoted.epoch, "10.0.0.2:7400");
+            assert_eq!(role, Role::Fenced);
+            // ...which self-heals: wipe, demote, rejoin as the follower.
+            sim.swap_in_promoted(promoted);
+            assert!(
+                sim.run_until_synced(2 * ttl),
+                "seed {seed}: rejoin overran 2 TTLs"
+            );
+            assert!(
+                sim.follower_has_snapshot(),
+                "rejoin must go through snapshot install"
+            );
+            assert_eq!(sim.leader_counts(), expect);
+            // The healed pair can fail over again without losing anything.
+            sim.kill_leader();
+            assert!(sim.run_until_lease_lapse(3_000));
+            let second = sim.promote_follower();
+            assert!(second.epoch > sim.leader_epoch());
+            assert_eq!(
+                second.counts(),
+                expect,
+                "seed {seed}: second failover lost data"
+            );
+            assert!(second.conserved());
+        }
+    }
+
+    /// Bit rot on a follower journal mid-run: the scrub quarantines the
+    /// shard and resets its cursor, and the re-pull (racing a lossy link
+    /// and fresh traffic) converges back to the leader's exact ledger.
+    #[test]
+    fn scrub_repair_recovers_a_rotted_journal_under_loss() {
+        for seed in [9u64, 0xC0FFEE] {
+            let knobs = SimKnobs {
+                drop_permille: 120,
+                dup_permille: 80,
+                min_delay_ms: 1,
+                max_delay_ms: 7,
+            };
+            let mut sim = SimCluster::new(seed, 2, 400, 10, knobs);
+            sim.set_snapshot_every(4);
+            let mut tasks = Vec::new();
+            for _ in 0..14 {
+                if let Some(t) = sim.submit_any() {
+                    tasks.push(t);
+                }
+                sim.step(6);
+            }
+            for &t in tasks.iter().take(6) {
+                sim.complete(t);
+                sim.step(6);
+            }
+            // Rot lands on shard 0. The momentary partition stands in for
+            // the real follower's single-threadedness: no chunk pulled
+            // before the scrub is applied after it.
+            sim.set_partitioned(true);
+            sim.corrupt_journal(0);
+            sim.scrub_repair(0);
+            sim.set_partitioned(false);
+            // More traffic while the repair races the lossy link.
+            for _ in 0..6 {
+                if let Some(t) = sim.submit_any() {
+                    tasks.push(t);
+                }
+                sim.step(6);
+            }
+            sim.set_knobs(SimKnobs::default());
+            assert!(
+                sim.run_until_synced(5_000),
+                "seed {seed}: repair never converged"
+            );
+            assert!(
+                sim.follower_has_snapshot(),
+                "repair must re-install from the leader's snapshot"
+            );
+            let leader = sim.leader_counts();
+            sim.kill_leader();
+            assert!(sim.run_until_lease_lapse(3_000));
+            let promoted = sim.promote_follower();
+            assert_eq!(
+                promoted.counts(),
+                leader,
+                "seed {seed}: repaired ledger diverged"
+            );
+            assert!(promoted.conserved());
+        }
+    }
+
+    /// Election safety holds even while a failpoint silently drops ship
+    /// pushes: the dropped records ride the next covering snapshot trim,
+    /// the promoted epoch is strictly higher, and the revived ex-leader
+    /// fences instead of splitting the brain.
+    #[test]
+    fn no_split_brain_while_ship_pushes_drop_under_failpoints() {
+        let _gate = crate::failpoint::test_gate();
+        crate::failpoint::disarm_all();
+        let seed = 0xFA11u64;
+        let mut sim = SimCluster::new(seed, 1, 300, 10, SimKnobs::default());
+        sim.set_snapshot_every(4);
+        let spec = format!("seed=7;repl.ship.push@{}=skip%250", sim.ship_scope());
+        crate::failpoint::arm(&spec).expect("spec parses");
+        let mut tasks = Vec::new();
+        for _ in 0..16 {
+            if let Some(t) = sim.submit_any() {
+                tasks.push(t);
+            }
+            sim.step(6);
+        }
+        for &t in tasks.iter().take(6) {
+            sim.complete(t);
+            sim.step(6);
+        }
+        crate::failpoint::disarm_all();
+        // Enough post-disarm records to force a covering trim: a trim's
+        // snapshot covers ALL prior state, including the dropped pushes.
+        for _ in 0..6 {
+            sim.submit_any();
+            sim.step(6);
+        }
+        assert!(sim.run_until_synced(5_000));
+        let leader = sim.leader_counts();
+        sim.kill_leader();
+        assert!(sim.run_until_lease_lapse(3_000));
+        let promoted = sim.promote_follower();
+        assert!(
+            promoted.epoch > sim.leader_epoch(),
+            "election safety under fault injection"
+        );
+        sim.revive_leader();
+        let role = sim.deliver_lease_to_leader(promoted.epoch, "10.0.0.2:7400");
+        assert_eq!(role, Role::Fenced);
+        assert!(
+            sim.submit_any().is_none(),
+            "fenced ex-leader must refuse writes"
+        );
         assert_eq!(promoted.counts(), leader);
         assert!(promoted.conserved());
     }

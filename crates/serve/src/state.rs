@@ -657,10 +657,13 @@ impl Service {
                         .wal_records
                         .fetch_add(recs.len() as u64, Ordering::Relaxed);
                     self.metrics.wal_fsyncs.fetch_add(1, Ordering::Relaxed);
-                    wal.snapshot_due()
+                    let due = wal.snapshot_due();
+                    self.set_wal_degraded(false, "append committed");
+                    due
                 }
-                Err(_) => {
+                Err(e) => {
                     self.metrics.wal_errors.fetch_add(1, Ordering::Relaxed);
+                    self.set_wal_degraded(true, &format!("append failed: {e}"));
                     false
                 }
             },
@@ -683,6 +686,60 @@ impl Service {
         if due {
             self.write_snapshot();
         }
+    }
+
+    /// Flip the process-wide WAL-degraded gauge, logging one structured
+    /// line on each transition (never per failure): `wal_degraded` means
+    /// acked mutations are not reaching disk, which `/healthz?strict=1`
+    /// reports as unhealthy until persistence recovers.
+    fn set_wal_degraded(&self, degraded: bool, detail: &str) {
+        let prev = self
+            .metrics
+            .wal_degraded
+            .swap(u64::from(degraded), Ordering::Relaxed);
+        if degraded && prev == 0 {
+            eprintln!(
+                "tracond event=wal_degraded shard={} detail=\"{detail}\"",
+                self.shard
+            );
+        } else if !degraded && prev != 0 {
+            eprintln!(
+                "tracond event=wal_recovered shard={} detail=\"{detail}\"",
+                self.shard
+            );
+        }
+    }
+
+    /// The inverse of a promotion: detach durability and forget all
+    /// admission state. The self-healing rejoin path demotes a fenced
+    /// ex-leader's workers before the node wipes its shard files and
+    /// resyncs from the live leader; a later `ShardMsg::Promote` rebuilds
+    /// everything from the recovered WAL via
+    /// [`Service::adopt_recovered`], which assumes a blank table. The
+    /// shipper Arc is deliberately kept: a re-promotion must be able to
+    /// ship to the *next* follower, and an idle follower never pushes.
+    pub fn demote(&mut self) {
+        // Free every occupied VM slot so the recovered state re-places
+        // onto an empty cluster.
+        for rec in self.tasks.values() {
+            if let TaskPhase::Running { vm, .. } = rec.phase {
+                self.cluster.clear(vm);
+            }
+        }
+        self.wal = None;
+        self.wal_txn = None;
+        self.queue.clear();
+        self.tasks.clear();
+        self.delayed.clear();
+        self.lease_q.clear();
+        self.migrated_out.clear();
+        self.admitted = 0;
+        self.rejected = 0;
+        self.running = 0;
+        self.completed = 0;
+        self.dead_lettered = 0;
+        self.draining = false;
+        self.sync_gauges();
     }
 
     /// Serialize the full task table (plus migrated-away tombstones) into
@@ -728,9 +785,11 @@ impl Service {
             match wal.install_snapshot_blob(&blob) {
                 Ok(()) => {
                     self.metrics.wal_snapshots.fetch_add(1, Ordering::Relaxed);
+                    self.set_wal_degraded(false, "snapshot installed");
                 }
-                Err(_) => {
+                Err(e) => {
                     self.metrics.wal_errors.fetch_add(1, Ordering::Relaxed);
+                    self.set_wal_degraded(true, &format!("snapshot install failed: {e}"));
                 }
             }
         }

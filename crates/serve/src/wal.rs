@@ -40,6 +40,7 @@
 //! copy survives a crash, the task is recovered exactly once by the
 //! merged replay in [`crate::shard`].
 
+use crate::failpoint;
 use crate::json::{self, Value};
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
@@ -588,8 +589,34 @@ impl Wal {
             frame.extend_from_slice(&crc32(&payload).to_le_bytes());
             frame.extend_from_slice(&payload);
         }
+        if !failpoint::armed() {
+            // The steady state: one relaxed load, no scope string built.
+            self.file.write_all(&frame)?;
+            self.file.sync_data()?;
+            self.records_since_snapshot += recs.len() as u64;
+            return Ok(());
+        }
+        let scope = self.dir.to_string_lossy();
+        match failpoint::should_fail("wal.append.write", &scope) {
+            Some(failpoint::Action::Short) => {
+                // A torn write: persist a strict prefix of the frame and
+                // report failure. Once later appends land behind it, the
+                // prefix is mid-file garbage only the scrubber will see.
+                let cut = (frame.len() / 2).max(1);
+                let _ = self.file.write_all(&frame[..cut]);
+                let _ = self.file.sync_data();
+                return Err(failpoint::injected_error("wal.append.write"));
+            }
+            Some(_) => return Err(failpoint::injected_error("wal.append.write")),
+            None => {}
+        }
         self.file.write_all(&frame)?;
-        self.file.sync_data()?;
+        match failpoint::should_fail("wal.append.sync", &scope) {
+            // A lying fsync: the data may sit in the page cache only.
+            Some(failpoint::Action::Skip) => {}
+            Some(_) => return Err(failpoint::injected_error("wal.append.sync")),
+            None => self.file.sync_data()?,
+        }
         self.records_since_snapshot += recs.len() as u64;
         Ok(())
     }
@@ -615,22 +642,150 @@ impl Wal {
     /// and truncates the log — how a lagging follower adopts the
     /// leader's compaction horizon wholesale.
     pub fn install_snapshot_blob(&mut self, blob: &str) -> io::Result<()> {
+        // Scope string only built when the registry is armed; disarmed the
+        // four hooks below are each a single relaxed load.
+        let scope = if failpoint::armed() {
+            self.dir.to_string_lossy().into_owned()
+        } else {
+            String::new()
+        };
+        if failpoint::should_fail("wal.snapshot.tmp", &scope).is_some() {
+            return Err(failpoint::injected_error("wal.snapshot.tmp"));
+        }
         let tmp = self.dir.join(format!("snapshot.{}.tmp", self.shard));
         let mut f = File::create(&tmp)?;
         f.write_all(blob.as_bytes())?;
         f.sync_data()?;
         drop(f);
+        if failpoint::should_fail("wal.snapshot.rename", &scope).is_some() {
+            return Err(failpoint::injected_error("wal.snapshot.rename"));
+        }
         std::fs::rename(&tmp, self.dir.join(shard_snapshot_name(self.shard)))?;
         // Make the rename durable (best effort — not all platforms allow
         // syncing a directory handle).
-        if let Ok(d) = File::open(&self.dir) {
-            let _ = d.sync_all();
+        if failpoint::should_fail("wal.snapshot.dirsync", &scope).is_none() {
+            if let Ok(d) = File::open(&self.dir) {
+                let _ = d.sync_all();
+            }
+        }
+        if failpoint::should_fail("wal.snapshot.truncate", &scope).is_some() {
+            return Err(failpoint::injected_error("wal.snapshot.truncate"));
         }
         self.file.set_len(0)?;
         self.file.sync_data()?;
         self.records_since_snapshot = 0;
         Ok(())
     }
+}
+
+/// What one read-only scrub pass over a shard found. The scrubber walks
+/// the *sealed* region of the log — frames fully contained in the file
+/// length observed when the pass started — so it never mistakes an
+/// in-flight append for rot; the live writer only ever extends the file.
+#[derive(Debug, Clone, Default)]
+pub struct ScrubReport {
+    /// Which shard was scrubbed.
+    pub shard: usize,
+    /// Sealed frames whose checksum verified.
+    pub frames_ok: u64,
+    /// Byte offset of the first corrupt sealed frame, if any. Everything
+    /// from here to the sealed end is the quarantined range: replay
+    /// cannot see past the bad frame, so the suffix is unreachable.
+    pub corrupt_at: Option<u64>,
+    /// Bytes in the quarantined range.
+    pub quarantined_bytes: u64,
+    /// The snapshot document failed CRC-equivalent verification (parse).
+    pub snapshot_corrupt: bool,
+    /// Bytes scanned this pass (snapshot + sealed log), for throughput.
+    pub scanned_bytes: u64,
+}
+
+impl ScrubReport {
+    /// No corruption found.
+    pub fn clean(&self) -> bool {
+        self.corrupt_at.is_none() && !self.snapshot_corrupt
+    }
+
+    /// Corrupt frames found this pass (counting the whole quarantined
+    /// suffix as unreachable, the metric counts the first bad frame plus
+    /// the snapshot when rotted).
+    pub fn corrupt_count(&self) -> u64 {
+        u64::from(self.corrupt_at.is_some()) + u64::from(self.snapshot_corrupt)
+    }
+}
+
+/// Re-verifies one shard's snapshot and sealed log frames without
+/// touching either file. Safe to run against a live writer: only frames
+/// fully contained in the length observed at the start of the pass are
+/// judged, and a frame extending past it is an in-flight tail, not rot.
+pub fn scrub_shard(dir: &Path, shard: usize) -> io::Result<ScrubReport> {
+    let mut report = ScrubReport {
+        shard,
+        ..ScrubReport::default()
+    };
+    match std::fs::read_to_string(dir.join(shard_snapshot_name(shard))) {
+        Ok(text) => {
+            report.scanned_bytes += text.len() as u64;
+            let mut throwaway = Recovery::default();
+            if decode_snapshot(&text, &mut throwaway).is_err() {
+                report.snapshot_corrupt = true;
+            }
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+    let buf = match std::fs::read(dir.join(shard_log_name(shard))) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(report),
+        Err(e) => return Err(e),
+    };
+    let sealed = buf.len();
+    let mut off = 0usize;
+    while off + 8 <= sealed {
+        let len = u32::from_le_bytes([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]]);
+        if len == 0 || len > MAX_RECORD_BYTES {
+            // An implausible length header could be a half-written len
+            // field; recovery truncates here either way, so treat it as
+            // the sealed region's corrupt horizon.
+            report.corrupt_at = Some(off as u64);
+            break;
+        }
+        let end = off + 8 + len as usize;
+        if end > sealed {
+            // In-flight tail: the frame extends past the length we
+            // observed; the writer may still be appending it.
+            break;
+        }
+        let crc = u32::from_le_bytes([buf[off + 4], buf[off + 5], buf[off + 6], buf[off + 7]]);
+        if crc32(&buf[off + 8..end]) != crc {
+            report.corrupt_at = Some(off as u64);
+            break;
+        }
+        report.frames_ok += 1;
+        off = end;
+    }
+    if let Some(at) = report.corrupt_at {
+        report.quarantined_bytes = sealed as u64 - at;
+    }
+    report.scanned_bytes += sealed as u64;
+    Ok(report)
+}
+
+/// Quarantines a corrupt log suffix by truncating the shard's log at
+/// `at` (the offset a [`scrub_shard`] pass reported). Returns the bytes
+/// removed. Safe against the live `O_APPEND` writer: its next append
+/// lands at the new end of file on a clean frame boundary. The records
+/// in the truncated range were already unreachable to replay.
+pub fn quarantine_shard(dir: &Path, shard: usize, at: u64) -> io::Result<u64> {
+    let path = dir.join(shard_log_name(shard));
+    let file = OpenOptions::new().write(true).open(&path)?;
+    let len = file.metadata()?.len();
+    if at >= len {
+        return Ok(0);
+    }
+    file.set_len(at)?;
+    file.sync_data()?;
+    Ok(len - at)
 }
 
 /// Serializes a task table into the snapshot document format — the exact
@@ -928,6 +1083,220 @@ mod tests {
         assert_eq!(rec.tasks.len(), 1, "legacy wal.log must be replayed");
         assert!(dir.join(shard_log_name(0)).exists());
         assert!(!dir.join(LEGACY_LOG_FILE).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The same splitmix64 the sim harness uses — seeded, dependency-free
+    /// randomness for the torture loop.
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn seed_log(dir: &PathBuf, n: u64) {
+        let (mut wal, _) = Wal::open(dir, 1000).unwrap();
+        for i in 0..n {
+            wal.append(&WalRecord::Submit {
+                task: i,
+                app: "grep".into(),
+            })
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn scrub_detects_mid_file_bit_rot_and_quarantine_truncates() {
+        let dir = tmpdir("scrub-rot");
+        seed_log(&dir, 5);
+        assert!(scrub_shard(&dir, 0).unwrap().clean());
+        // Rot one payload byte of the second frame: replay would stop
+        // there, so frames 2..5 are the unreachable quarantined suffix.
+        let log = dir.join(shard_log_name(0));
+        let mut bytes = std::fs::read(&log).unwrap();
+        let first_len = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+        let second = 8 + first_len;
+        bytes[second + 8] ^= 0x01;
+        std::fs::write(&log, &bytes).unwrap();
+        let report = scrub_shard(&dir, 0).unwrap();
+        assert!(!report.clean());
+        assert_eq!(report.frames_ok, 1);
+        assert_eq!(report.corrupt_at, Some(second as u64));
+        assert_eq!(
+            report.quarantined_bytes,
+            (bytes.len() - second) as u64,
+            "quarantined range must run from the bad frame to the sealed end"
+        );
+        let removed = quarantine_shard(&dir, 0, second as u64).unwrap();
+        assert_eq!(removed, report.quarantined_bytes);
+        assert!(scrub_shard(&dir, 0).unwrap().clean());
+        // The truncated log replays its intact prefix and accepts writes.
+        let (mut wal, rec) = Wal::open(&dir, 1000).unwrap();
+        assert_eq!(rec.replayed_records, 1);
+        assert_eq!(rec.truncated_bytes, 0, "quarantine already cut the rot");
+        wal.append(&WalRecord::Lease {
+            task: 0,
+            attempt: 0,
+        })
+        .unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scrub_ignores_an_in_flight_tail() {
+        let dir = tmpdir("scrub-tail");
+        seed_log(&dir, 3);
+        // A frame header whose payload extends past end-of-file is an
+        // append in progress, not rot: the pass must stay clean.
+        {
+            let mut f = OpenOptions::new()
+                .append(true)
+                .open(dir.join(shard_log_name(0)))
+                .unwrap();
+            f.write_all(&[0x40, 0x00, 0x00, 0x00, 0xaa, 0xbb, 0xcc, 0xdd, 0x01])
+                .unwrap();
+        }
+        let report = scrub_shard(&dir, 0).unwrap();
+        assert!(report.clean(), "{report:?}");
+        assert_eq!(report.frames_ok, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scrub_flags_a_rotted_snapshot() {
+        let dir = tmpdir("scrub-snap");
+        {
+            let (mut wal, _) = Wal::open(&dir, 1000).unwrap();
+            let tasks = vec![RecoveredTask {
+                task: 0,
+                app: "grep".into(),
+                attempts: 0,
+                state: RecState::Queued,
+                runtime: 0.0,
+                migrated_to: None,
+            }];
+            wal.snapshot(&tasks, 1).unwrap();
+        }
+        let snap = dir.join(shard_snapshot_name(0));
+        let mut bytes = std::fs::read(&snap).unwrap();
+        bytes[0] = b'\\';
+        std::fs::write(&snap, &bytes).unwrap();
+        let report = scrub_shard(&dir, 0).unwrap();
+        assert!(report.snapshot_corrupt);
+        assert!(report.corrupt_count() >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Proptest-style torture: flip random bytes anywhere in the log and
+    /// snapshot; scrub and recovery must never panic, replay must stop
+    /// at the first bad frame, and quarantining what scrub reports must
+    /// always leave a log that reopens with nothing left to truncate.
+    #[test]
+    fn torture_random_bit_flips_never_panic_recovery() {
+        let mut rng = 0x7261_636F_6E00_0A0Bu64;
+        for round in 0..40 {
+            let dir = tmpdir(&format!("torture-{round}"));
+            let n = 4 + splitmix(&mut rng) % 8;
+            seed_log(&dir, n);
+            let log = dir.join(shard_log_name(0));
+            let mut bytes = std::fs::read(&log).unwrap();
+            let flips = 1 + splitmix(&mut rng) % 3;
+            for _ in 0..flips {
+                let at = (splitmix(&mut rng) as usize) % bytes.len();
+                bytes[at] ^= 1 << (splitmix(&mut rng) % 8);
+            }
+            std::fs::write(&log, &bytes).unwrap();
+            let report = scrub_shard(&dir, 0).unwrap();
+            assert!(report.frames_ok <= n, "round {round}");
+            if let Some(at) = report.corrupt_at {
+                assert_eq!(report.quarantined_bytes, bytes.len() as u64 - at);
+                quarantine_shard(&dir, 0, at).unwrap();
+            }
+            // Recovery replays the intact prefix without panicking —
+            // whether or not the flips landed in a sealed frame — and
+            // after a quarantine there is no torn tail left to cut.
+            let (_, rec) = Wal::open(&dir, 1000).unwrap();
+            assert!(
+                rec.replayed_records + rec.skipped_records <= n,
+                "round {round}"
+            );
+            if report.corrupt_at.is_some() {
+                assert_eq!(rec.truncated_bytes, 0, "round {round}");
+                assert!(
+                    rec.replayed_records + rec.skipped_records <= report.frames_ok,
+                    "round {round}: replay must stop no later than scrub's horizon"
+                );
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn append_failpoints_inject_then_disarm_restores() {
+        let _gate = crate::failpoint::test_gate();
+        crate::failpoint::disarm_all();
+        let dir = tmpdir("failpoint-append");
+        let tag = dir.to_string_lossy().into_owned();
+        let (mut wal, _) = Wal::open(&dir, 1000).unwrap();
+        crate::failpoint::arm(&format!("wal.append.sync@{tag}=err*1")).unwrap();
+        let err = wal
+            .append(&WalRecord::Submit {
+                task: 0,
+                app: "grep".into(),
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("failpoint injected"), "{err}");
+        // The budget is spent: the next append persists normally.
+        wal.append(&WalRecord::Submit {
+            task: 1,
+            app: "grep".into(),
+        })
+        .unwrap();
+        crate::failpoint::disarm_all();
+        drop(wal);
+        let (_, rec) = Wal::open(&dir, 1000).unwrap();
+        assert!(rec.replayed_records >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn short_write_failpoint_leaves_rot_only_scrub_sees() {
+        let _gate = crate::failpoint::test_gate();
+        crate::failpoint::disarm_all();
+        let dir = tmpdir("failpoint-short");
+        let tag = dir.to_string_lossy().into_owned();
+        let (mut wal, _) = Wal::open(&dir, 1000).unwrap();
+        wal.append(&WalRecord::Submit {
+            task: 0,
+            app: "grep".into(),
+        })
+        .unwrap();
+        crate::failpoint::arm(&format!("wal.append.write@{tag}=short*1")).unwrap();
+        wal.append(&WalRecord::Submit {
+            task: 1,
+            app: "grep".into(),
+        })
+        .unwrap_err();
+        crate::failpoint::disarm_all();
+        // Appends continue after the torn frame: the prefix is now
+        // sealed mid-file garbage.
+        wal.append(&WalRecord::Submit {
+            task: 2,
+            app: "grep".into(),
+        })
+        .unwrap();
+        let report = scrub_shard(&dir, 0).unwrap();
+        assert!(!report.clean(), "{report:?}");
+        assert_eq!(report.frames_ok, 1);
+        assert!(report.quarantined_bytes > 0);
+        let at = report.corrupt_at.unwrap();
+        quarantine_shard(&dir, 0, at).unwrap();
+        drop(wal);
+        let (_, rec) = Wal::open(&dir, 1000).unwrap();
+        assert_eq!(rec.replayed_records, 1, "only the pre-rot record survives");
+        assert_eq!(rec.truncated_bytes, 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
